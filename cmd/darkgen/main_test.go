@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/darkvec/darkvec/internal/trace"
+)
+
+func TestRunWritesAllArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "trace.csv")
+	pcapPath := filepath.Join(dir, "trace.pcap")
+	feedsDir := filepath.Join(dir, "feeds")
+	if err := run(csvPath, pcapPath, feedsDir, 3, 0.01, 0.05, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 || tr.Days() != 3 {
+		t.Fatalf("trace: %d events, %d days", tr.Len(), tr.Days())
+	}
+
+	pf, err := os.Open(pcapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	ptr, skipped, err := trace.ReadPCAP(pf)
+	if err != nil || skipped != 0 {
+		t.Fatalf("pcap: %v, skipped %d", err, skipped)
+	}
+	if ptr.Len() != tr.Len() {
+		t.Fatalf("pcap events %d != csv events %d", ptr.Len(), tr.Len())
+	}
+
+	feeds, err := os.ReadDir(feedsDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feeds) < 8 {
+		t.Fatalf("feeds written: %d", len(feeds))
+	}
+}
+
+func TestRunSkipsUnrequestedOutputs(t *testing.T) {
+	if err := run("", "", "", 2, 0.005, 0.05, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadPath(t *testing.T) {
+	if err := run("/nonexistent-dir/x.csv", "", "", 2, 0.005, 0.05, 1); err == nil {
+		t.Fatal("unwritable path must fail")
+	}
+}

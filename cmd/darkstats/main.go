@@ -1,0 +1,88 @@
+// Command darkstats prints dataset statistics of a darknet trace: the
+// paper's Table 1 numbers, port ranking, sender activity distribution and
+// cumulative sender growth (Figures 1–2 data).
+//
+// Usage:
+//
+//	darkstats -in trace.csv [-top 14]
+//	darkstats -in capture.pcap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/darkvec/darkvec/internal/trace"
+)
+
+func main() {
+	var (
+		in  = flag.String("in", "", "input trace (.csv or .pcap)")
+		top = flag.Int("top", 14, "top ports to list")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*in, *top); err != nil {
+		fmt.Fprintln(os.Stderr, "darkstats:", err)
+		os.Exit(1)
+	}
+}
+
+func loadTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".pcap") {
+		tr, skipped, err := trace.ReadPCAP(f)
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "warning: %d packets failed to decode\n", skipped)
+		}
+		return tr, err
+	}
+	return trace.ReadCSV(f)
+}
+
+func run(in string, top int) error {
+	tr, err := loadTrace(in)
+	if err != nil {
+		return err
+	}
+	s := tr.Summary(3)
+	fmt.Printf("trace      %s .. %s (%d days)\n", s.FirstDay, s.LastDay, tr.Days())
+	fmt.Printf("sources    %d\n", s.Sources)
+	fmt.Printf("packets    %d\n", s.Packets)
+	fmt.Printf("ports      %d\n", s.Ports)
+
+	active := tr.ActiveSenders(10)
+	counts := tr.SenderCounts()
+	oneShot := 0
+	for _, c := range counts {
+		if c == 1 {
+			oneShot++
+		}
+	}
+	fmt.Printf("active     %d (%.1f%%), one-shot %d (%.1f%%)\n",
+		len(active), 100*float64(len(active))/float64(len(counts)),
+		oneShot, 100*float64(oneShot)/float64(len(counts)))
+
+	fmt.Printf("\ntop %d ports by packets:\n", top)
+	for i, p := range tr.TopPorts(top, 0) {
+		fmt.Printf("%3d  %-10s %9d pkts  %5.2f%%  %6d sources\n",
+			i+1, p.Key, p.Packets, p.TrafficShare*100, p.Sources)
+	}
+
+	fmt.Println("\ncumulative distinct senders (unfiltered / active):")
+	unf := tr.CumulativeSenders(1)
+	fil := tr.CumulativeSenders(10)
+	for d := range unf {
+		fmt.Printf("  day %2d  %8d  %8d\n", d+1, unf[d], fil[d])
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/darkvec/darkvec/internal/darksim"
+)
+
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	out := darksim.Generate(darksim.Config{Seed: 2, Days: 2, Scale: 0.005, Rate: 0.05})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := out.Trace.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunOnCSV(t *testing.T) {
+	path := writeTestTrace(t)
+	if err := run(path, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOnPCAP(t *testing.T) {
+	out := darksim.Generate(darksim.Config{Seed: 2, Days: 2, Scale: 0.005, Rate: 0.05})
+	path := filepath.Join(t.TempDir(), "t.pcap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Trace.WritePCAP(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run(path, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run("/does/not/exist.csv", 5); err == nil {
+		t.Fatal("missing input must fail")
+	}
+}
+
+func TestLoadTraceBadFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.csv")
+	if err := os.WriteFile(path, []byte("not,a,trace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadTrace(path); err == nil {
+		t.Fatal("junk csv must fail")
+	}
+}

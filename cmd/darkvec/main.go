@@ -1,0 +1,184 @@
+// Command darkvec runs the DarkVec pipeline on a darknet trace: it trains
+// the per-service Word2Vec embedding, then either classifies labeled
+// senders (semi-supervised, Leave-One-Out), extracts coordinated clusters
+// (unsupervised, k'-NN graph + Louvain), or both.
+//
+// Usage:
+//
+//	darkvec -in trace.csv -feeds feeds/ -mode classify
+//	darkvec -in trace.csv -mode cluster
+//	darkvec -in trace.csv -feeds feeds/ -mode both -model model.bin
+//
+// Feeds are per-class IP lists (<class>.txt, one address per line); the
+// Mirai-like class is derived from the packet fingerprint automatically.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/darkvec/darkvec/internal/cluster"
+	"github.com/darkvec/darkvec/internal/core"
+	"github.com/darkvec/darkvec/internal/labels"
+	"github.com/darkvec/darkvec/internal/netutil"
+	"github.com/darkvec/darkvec/internal/services"
+	"github.com/darkvec/darkvec/internal/trace"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input trace (.csv or .pcap)")
+		feedsDir = flag.String("feeds", "", "directory of <class>.txt IP feeds")
+		mode     = flag.String("mode", "both", "classify | cluster | both")
+		servKind = flag.String("services", "domain", "service definition: single | auto | domain")
+		servFile = flag.String("services-file", "", "JSON port→service map overriding -services")
+		dim      = flag.Int("dim", 50, "embedding dimension V")
+		window   = flag.Int("window", 25, "context window c")
+		epochs   = flag.Int("epochs", 10, "training epochs")
+		k        = flag.Int("k", 7, "k-NN classifier neighbours")
+		kPrime   = flag.Int("kprime", 3, "clustering graph out-degree k'")
+		seed     = flag.Uint64("seed", 1, "training seed")
+		modelOut = flag.String("model", "", "optional path to save the trained model")
+		evalDays = flag.Int("evaldays", 1, "evaluate on the final N days of the trace")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*in, *feedsDir, *mode, *servKind, *servFile, *dim, *window, *epochs, *k, *kPrime, *seed, *modelOut, *evalDays); err != nil {
+		fmt.Fprintln(os.Stderr, "darkvec:", err)
+		os.Exit(1)
+	}
+}
+
+func loadTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".pcap") {
+		tr, _, err := trace.ReadPCAP(f)
+		return tr, err
+	}
+	return trace.ReadCSV(f)
+}
+
+func loadFeeds(dir string) (map[string][]netutil.IPv4, error) {
+	feeds := map[string][]netutil.IPv4{}
+	if dir == "" {
+		return feeds, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".txt") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			return nil, err
+		}
+		ips, err := labels.ReadFeed(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", ent.Name(), err)
+		}
+		feeds[strings.TrimSuffix(ent.Name(), ".txt")] = ips
+	}
+	return feeds, nil
+}
+
+func run(in, feedsDir, mode, servKind, servFile string, dim, window, epochs, k, kPrime int, seed uint64, modelOut string, evalDays int) error {
+	tr, err := loadTrace(in)
+	if err != nil {
+		return err
+	}
+	feeds, err := loadFeeds(feedsDir)
+	if err != nil {
+		return err
+	}
+	gt := labels.Build(tr, feeds)
+	fmt.Printf("trace: %d events, %d days; ground truth: %d labeled senders in %d classes\n",
+		tr.Len(), tr.Days(), gt.Labeled(), len(gt.Classes()))
+
+	cfg := core.DefaultConfig()
+	cfg.Services = core.ServiceKind(servKind)
+	if servFile != "" {
+		f, err := os.Open(servFile)
+		if err != nil {
+			return err
+		}
+		custom, err := services.ParseCustom(strings.TrimSuffix(filepath.Base(servFile), ".json"), f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		cfg.Custom = custom
+	}
+	cfg.K = k
+	cfg.KPrime = kPrime
+	cfg.W2V.Dim = dim
+	cfg.W2V.Window = window
+	cfg.W2V.Epochs = epochs
+	cfg.W2V.Seed = seed
+
+	emb, err := core.TrainEmbedding(tr, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained: vocab %d, %d skip-grams, %s\n",
+		emb.Model.Vocab.Size(), emb.SkipGrams, emb.TrainTime.Round(1e6))
+
+	if modelOut != "" {
+		f, err := os.Create(modelOut)
+		if err != nil {
+			return err
+		}
+		if err := emb.Model.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("saved model to %s\n", modelOut)
+	}
+
+	eval := tr.LastDays(evalDays)
+	space, cov := emb.EvalSpace(eval, nil)
+	fmt.Printf("evaluation window: final %d day(s), %d senders in space, coverage %.1f%%\n",
+		evalDays, space.Len(), cov*100)
+
+	if mode == "classify" || mode == "both" {
+		rep := core.Evaluate(space, gt, k)
+		fmt.Printf("\n-- semi-supervised %d-NN (Leave-One-Out) --\n%s", k, rep)
+	}
+	if mode == "cluster" || mode == "both" {
+		cl := core.Cluster(space, kPrime, seed)
+		fmt.Printf("\n-- unsupervised clustering (k'=%d + Louvain) --\n", kPrime)
+		fmt.Printf("clusters: %d, modularity: %.3f\n", cl.Clusters, cl.Modularity)
+		sil := cluster.Silhouette(space, cl.Assign)
+		lbl := map[string]string{}
+		for _, w := range space.Words {
+			if ip, perr := netutil.ParseIPv4(w); perr == nil {
+				lbl[w] = gt.Class(ip)
+			}
+		}
+		profiles := cluster.Inspect(tr, space.Words, cl.Assign, sil, lbl, labels.Unknown)
+		for _, p := range profiles {
+			if len(p.Senders) < 3 {
+				continue
+			}
+			fmt.Printf("C%-3d %5d senders  %4d ports  sil %5.2f  %s\n",
+				p.Cluster, len(p.Senders), p.Ports, p.AvgSil, p.Describe(labels.Unknown))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/darkvec/darkvec/internal/darksim"
+	"github.com/darkvec/darkvec/internal/labels"
+	"github.com/darkvec/darkvec/internal/w2v"
+)
+
+// writeDataset materialises a small trace + feeds directory on disk.
+func writeDataset(t *testing.T) (tracePath, feedsDir string) {
+	t.Helper()
+	out := darksim.Generate(darksim.Config{Seed: 6, Days: 4, Scale: 0.01, Rate: 0.05})
+	dir := t.TempDir()
+	tracePath = filepath.Join(dir, "trace.csv")
+	f, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Trace.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	feedsDir = filepath.Join(dir, "feeds")
+	if err := os.MkdirAll(feedsDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for class, ips := range out.Feeds {
+		ff, err := os.Create(filepath.Join(feedsDir, class+".txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := labels.WriteFeed(ff, ips); err != nil {
+			t.Fatal(err)
+		}
+		ff.Close()
+	}
+	return tracePath, feedsDir
+}
+
+func TestRunBothModes(t *testing.T) {
+	tracePath, feedsDir := writeDataset(t)
+	modelPath := filepath.Join(t.TempDir(), "model.bin")
+	err := run(tracePath, feedsDir, "both", "domain", "",
+		16, 8, 2, 7, 3, 1, modelPath, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The model file must be loadable.
+	f, err := os.Open(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := w2v.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Vocab.Size() == 0 || m.Dim() != 16 {
+		t.Fatalf("model: vocab %d, dim %d", m.Vocab.Size(), m.Dim())
+	}
+}
+
+func TestRunClassifyOnlyWithoutFeeds(t *testing.T) {
+	tracePath, _ := writeDataset(t)
+	// Without feeds, the Mirai fingerprint still provides one GT class.
+	if err := run(tracePath, "", "classify", "auto", "", 16, 8, 1, 7, 3, 1, "", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("/missing.csv", "", "both", "domain", "", 16, 8, 1, 7, 3, 1, "", 1); err == nil {
+		t.Fatal("missing trace must fail")
+	}
+	tracePath, _ := writeDataset(t)
+	if err := run(tracePath, "/missing-feeds", "both", "domain", "", 16, 8, 1, 7, 3, 1, "", 1); err == nil {
+		t.Fatal("missing feeds dir must fail")
+	}
+	if err := run(tracePath, "", "both", "bogus-services", "", 16, 8, 1, 7, 3, 1, "", 1); err == nil {
+		t.Fatal("bad service kind must fail")
+	}
+}
+
+func TestLoadFeedsSkipsNonTxt(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README.md"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "censys.txt"), []byte("1.2.3.4\n# comment\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	feeds, err := loadFeeds(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feeds) != 1 || len(feeds["censys"]) != 1 {
+		t.Fatalf("feeds = %v", feeds)
+	}
+}
+
+func TestRunWithCustomServiceFile(t *testing.T) {
+	tracePath, _ := writeDataset(t)
+	svcPath := filepath.Join(t.TempDir(), "plant.json")
+	doc := `{"telnetish": ["23/tcp", "2323/tcp"], "adb": ["5555/tcp"]}`
+	if err := os.WriteFile(svcPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(tracePath, "", "classify", "domain", svcPath, 16, 8, 1, 7, 3, 1, "", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Malformed map must fail.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"x": ["nope"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(tracePath, "", "classify", "domain", bad, 16, 8, 1, 7, 3, 1, "", 1); err == nil {
+		t.Fatal("bad service file must fail")
+	}
+}

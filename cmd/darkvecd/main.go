@@ -1,0 +1,122 @@
+// Command darkvecd trains a DarkVec model on a trace and serves it over
+// HTTP: nearest-neighbour pivots, on-demand classification, cluster
+// summaries and dataset statistics for SOC tooling.
+//
+// Usage:
+//
+//	darkvecd -in trace.csv -feeds feeds/ -listen 127.0.0.1:8080
+//
+// Endpoints:
+//
+//	GET /healthz
+//	GET /v1/stats
+//	GET /v1/similar?ip=1.2.3.4&k=10
+//	GET /v1/classify?ip=1.2.3.4&k=7
+//	GET /v1/clusters?min=3
+//	GET /v1/sender?ip=1.2.3.4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/darkvec/darkvec/internal/apiserver"
+	"github.com/darkvec/darkvec/internal/core"
+	"github.com/darkvec/darkvec/internal/labels"
+	"github.com/darkvec/darkvec/internal/netutil"
+	"github.com/darkvec/darkvec/internal/trace"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input trace (.csv or .pcap)")
+		feedsDir = flag.String("feeds", "", "directory of <class>.txt IP feeds")
+		listen   = flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
+		dim      = flag.Int("dim", 50, "embedding dimension V")
+		window   = flag.Int("window", 25, "context window c")
+		epochs   = flag.Int("epochs", 10, "training epochs")
+		kPrime   = flag.Int("kprime", 3, "clustering graph out-degree")
+		evalDays = flag.Int("evaldays", 1, "serve the senders of the final N days")
+		seed     = flag.Uint64("seed", 1, "training seed")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*in, *feedsDir, *listen, *dim, *window, *epochs, *kPrime, *evalDays, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "darkvecd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, feedsDir, listen string, dim, window, epochs, kPrime, evalDays int, seed uint64) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	var tr *trace.Trace
+	if strings.HasSuffix(in, ".pcap") {
+		tr, _, err = trace.ReadPCAP(f)
+	} else {
+		tr, err = trace.ReadCSV(f)
+	}
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	feeds := map[string][]netutil.IPv4{}
+	if feedsDir != "" {
+		entries, err := os.ReadDir(feedsDir)
+		if err != nil {
+			return err
+		}
+		for _, ent := range entries {
+			if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".txt") {
+				continue
+			}
+			ff, err := os.Open(filepath.Join(feedsDir, ent.Name()))
+			if err != nil {
+				return err
+			}
+			ips, err := labels.ReadFeed(ff)
+			ff.Close()
+			if err != nil {
+				return fmt.Errorf("%s: %w", ent.Name(), err)
+			}
+			feeds[strings.TrimSuffix(ent.Name(), ".txt")] = ips
+		}
+	}
+	gt := labels.Build(tr, feeds)
+
+	cfg := core.DefaultConfig()
+	cfg.W2V.Dim = dim
+	cfg.W2V.Window = window
+	cfg.W2V.Epochs = epochs
+	cfg.W2V.Seed = seed
+	fmt.Printf("training on %d events (%d days)...\n", tr.Len(), tr.Days())
+	emb, err := core.TrainEmbedding(tr, cfg)
+	if err != nil {
+		return err
+	}
+	space, cov := emb.EvalSpace(tr.LastDays(evalDays), nil)
+	fmt.Printf("trained in %s; serving %d senders (coverage %.0f%%)\n",
+		emb.TrainTime.Round(time.Millisecond), space.Len(), cov*100)
+
+	srv := apiserver.New(apiserver.Config{
+		Space: space, GT: gt, Trace: tr, KPrime: kPrime, Seed: seed,
+	})
+	httpSrv := &http.Server{
+		Addr:              listen,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("listening on http://%s\n", listen)
+	return httpSrv.ListenAndServe()
+}

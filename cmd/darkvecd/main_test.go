@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/darkvec/darkvec/internal/darksim"
+)
+
+func TestRunBadInputs(t *testing.T) {
+	if err := run("/missing.csv", "", "127.0.0.1:0", 8, 4, 1, 3, 1, 1); err == nil {
+		t.Fatal("missing trace must fail")
+	}
+	dir := t.TempDir()
+	junk := filepath.Join(dir, "junk.csv")
+	if err := os.WriteFile(junk, []byte("nope\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(junk, "", "127.0.0.1:0", 8, 4, 1, 3, 1, 1); err == nil {
+		t.Fatal("junk trace must fail")
+	}
+	// Valid trace but missing feeds directory.
+	out := darksim.Generate(darksim.Config{Seed: 3, Days: 2, Scale: 0.005, Rate: 0.05})
+	tracePath := filepath.Join(dir, "t.csv")
+	f, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Trace.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run(tracePath, "/missing-feeds", "127.0.0.1:0", 8, 4, 1, 3, 1, 1); err == nil {
+		t.Fatal("missing feeds dir must fail")
+	}
+	// A bogus listen address must fail after training rather than hang.
+	if err := run(tracePath, "", "256.0.0.1:99999", 8, 4, 1, 3, 1, 1); err == nil {
+		t.Fatal("bad listen address must fail")
+	}
+}

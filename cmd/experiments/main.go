@@ -1,0 +1,104 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic darknet and prints them in paper-style rows (optionally
+// exporting CSV per experiment).
+//
+// Usage:
+//
+//	experiments -exp all [-scale 0.05] [-rate 0.1] [-days 30] [-epochs 5] [-csv out/]
+//	experiments -exp table3
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/darkvec/darkvec/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id or 'all'")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		days   = flag.Int("days", 30, "trace length in days")
+		scale  = flag.Float64("scale", 0.05, "population scale")
+		rate   = flag.Float64("rate", 0.10, "packet rate scale")
+		dim    = flag.Int("dim", 50, "embedding dimension V")
+		window = flag.Int("window", 25, "context window c")
+		epochs = flag.Int("epochs", 5, "training epochs")
+		seed   = flag.Uint64("seed", 1, "run seed")
+		csvDir = flag.String("csv", "", "directory for per-experiment CSV exports")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-10s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+	if err := run(*exp, experiments.Options{
+		Seed: *seed, Days: *days, Scale: *scale, Rate: *rate,
+		Dim: *dim, Window: *window, Epochs: *epochs,
+	}, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, opts experiments.Options, csvDir string) error {
+	var runners []experiments.Runner
+	if exp == "all" {
+		runners = experiments.All()
+	} else {
+		for _, id := range strings.Split(exp, ",") {
+			r, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			runners = append(runners, r)
+		}
+	}
+	start := time.Now()
+	fmt.Printf("generating dataset (days=%d scale=%g rate=%g seed=%d)...\n",
+		opts.Days, opts.Scale, opts.Rate, opts.Seed)
+	env := experiments.NewEnv(opts)
+	fmt.Printf("dataset ready in %s: %d events, %d sources, %d active\n\n",
+		time.Since(start).Round(time.Millisecond), env.Full.Len(),
+		len(env.Full.SenderCounts()), len(env.Active))
+
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, r := range runners {
+		t0 := time.Now()
+		res, err := r.Run(env)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		fmt.Print(res.Render())
+		fmt.Printf("(%s in %s)\n\n", r.ID, time.Since(t0).Round(time.Millisecond))
+		if csvDir != "" {
+			path := filepath.Join(csvDir, strings.ReplaceAll(r.ID, "/", "-")+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := res.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Printf("total runtime: %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

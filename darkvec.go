@@ -1,0 +1,208 @@
+// Package darkvec is a from-scratch Go implementation of DarkVec
+// (Gioacchini et al., CoNEXT 2021): automatic analysis of darknet traffic
+// with word embeddings. Senders' IP addresses are treated as words,
+// per-service time-windowed arrival sequences as sentences, and a single
+// skip-gram Word2Vec model projects senders into a latent space where
+// coordinated actors (botnets, scan projects) form compact regions. On top
+// of the embedding the package offers the paper's two analyses:
+//
+//   - semi-supervised: a cosine k-NN classifier propagates known labels
+//     (Mirai fingerprints, scanner-project feeds) to unknown senders;
+//   - unsupervised: a k′-NN similarity graph plus Louvain community
+//     detection surfaces previously unknown coordinated groups.
+//
+// The package also ships every substrate needed to reproduce the paper
+// end-to-end without external dependencies: a packet decoding layer, a pcap
+// reader/writer, a Word2Vec engine, a Louvain implementation, classic
+// clustering baselines, the DANTE and IP2VEC comparison systems, and a
+// synthetic darknet generator with the paper's population structure.
+//
+// # Quick start
+//
+//	data := darkvec.Simulate(darkvec.SimConfig{Scale: 0.02, Rate: 0.05})
+//	emb, err := darkvec.Train(data.Trace, darkvec.DefaultConfig())
+//	if err != nil { ... }
+//	gt := darkvec.BuildGroundTruth(data.Trace, data.Feeds)
+//	space, coverage := emb.EvalSpace(data.Trace.LastDays(1), nil)
+//	report := darkvec.Evaluate(space, gt, 7)
+//	fmt.Println(report, coverage)
+//
+// The exported identifiers are type aliases onto the implementation
+// packages, so the full godoc of each subsystem applies unchanged.
+package darkvec
+
+import (
+	"io"
+
+	"github.com/darkvec/darkvec/internal/cluster"
+	"github.com/darkvec/darkvec/internal/core"
+	"github.com/darkvec/darkvec/internal/corpus"
+	"github.com/darkvec/darkvec/internal/darksim"
+	"github.com/darkvec/darkvec/internal/embed"
+	"github.com/darkvec/darkvec/internal/knn"
+	"github.com/darkvec/darkvec/internal/labels"
+	"github.com/darkvec/darkvec/internal/metrics"
+	"github.com/darkvec/darkvec/internal/netutil"
+	"github.com/darkvec/darkvec/internal/services"
+	"github.com/darkvec/darkvec/internal/trace"
+	"github.com/darkvec/darkvec/internal/w2v"
+)
+
+// Core data types.
+type (
+	// Trace is an ordered darknet packet trace.
+	Trace = trace.Trace
+	// Event is one packet reaching the darknet.
+	Event = trace.Event
+	// PortKey identifies a destination port and protocol (e.g. 23/tcp).
+	PortKey = trace.PortKey
+	// IPv4 is a compact IPv4 address.
+	IPv4 = netutil.IPv4
+	// GroundTruth assigns senders to known classes.
+	GroundTruth = labels.Set
+)
+
+// Pipeline types.
+type (
+	// Config parameterises a DarkVec run; see DefaultConfig.
+	Config = core.Config
+	// W2VConfig are the Word2Vec hyper-parameters.
+	W2VConfig = w2v.Config
+	// Embedding is a trained DarkVec model.
+	Embedding = core.Embedding
+	// Space is a queryable set of unit-norm sender vectors.
+	Space = embed.Space
+	// Report is a per-class precision/recall/F-score report.
+	Report = metrics.Report
+	// ClassStat is one row of a Report.
+	ClassStat = metrics.ClassStat
+	// Prediction is one k-NN classification outcome.
+	Prediction = knn.Prediction
+	// Clustering is the unsupervised stage result.
+	Clustering = core.Clustering
+	// ClusterProfile characterises one detected cluster.
+	ClusterProfile = cluster.Profile
+	// Heatmap is the class × service traffic breakdown (paper Fig. 3).
+	Heatmap = core.Heatmap
+)
+
+// Simulation types.
+type (
+	// SimConfig controls the synthetic darknet generator.
+	SimConfig = darksim.Config
+	// SimOutput is a generated dataset: trace, scanner feeds, planted groups.
+	SimOutput = darksim.Output
+)
+
+// Corpus is the word-sequence training input built from a trace (§5.2).
+type Corpus = corpus.Corpus
+
+// ServiceKind selects the §5.2 service definition strategy.
+type ServiceKind = core.ServiceKind
+
+// Service definition strategies.
+const (
+	ServiceSingle = core.ServiceSingle
+	ServiceAuto   = core.ServiceAuto
+	ServiceDomain = core.ServiceDomain
+)
+
+// UnknownClass is the label of senders without ground truth.
+const UnknownClass = labels.Unknown
+
+// DefaultConfig returns the paper's operating point: domain-knowledge
+// services, ΔT = 1 h, V = 50, c = 25, 10 epochs, k = 7, k′ = 3.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Train filters active senders, builds the per-service corpus and trains a
+// single Word2Vec embedding over the trace.
+func Train(tr *Trace, cfg Config) (*Embedding, error) { return core.TrainEmbedding(tr, cfg) }
+
+// Evaluate runs the Leave-One-Out k-NN classification protocol over a space
+// under the given ground truth.
+func Evaluate(space *Space, gt *GroundTruth, k int) Report { return core.Evaluate(space, gt, k) }
+
+// Predict returns raw Leave-One-Out k-NN predictions for every labeled
+// sender in the space.
+func Predict(space *Space, gt *GroundTruth, k int) []Prediction {
+	return core.Predictions(space, gt, k)
+}
+
+// ExtendGroundTruth applies §6.4: Unknown senders predicted into a GT class
+// and no farther from their neighbours than true members are promoted.
+func ExtendGroundTruth(preds []Prediction) map[string][]Prediction {
+	return knn.ExtendGroundTruth(preds, labels.Unknown)
+}
+
+// Cluster builds the k′-NN graph over the space and extracts Louvain
+// communities.
+func Cluster(space *Space, kPrime int, seed uint64) Clustering {
+	return core.Cluster(space, kPrime, seed)
+}
+
+// Silhouette returns per-row silhouette coefficients (cosine distance) for
+// a cluster assignment.
+func Silhouette(space *Space, assign []int) []float64 { return cluster.Silhouette(space, assign) }
+
+// InspectClusters profiles every cluster against the trace and ground truth
+// (port signatures, subnet concentration, dominant label).
+func InspectClusters(tr *Trace, space *Space, assign []int, sil []float64, gt *GroundTruth) []ClusterProfile {
+	lbl := make(map[string]string, space.Len())
+	for _, w := range space.Words {
+		if ip, err := netutil.ParseIPv4(w); err == nil {
+			lbl[w] = gt.Class(ip)
+		}
+	}
+	return cluster.Inspect(tr, space.Words, assign, sil, lbl, labels.Unknown)
+}
+
+// BuildGroundTruth derives GT classes: the Mirai fingerprint from the trace
+// plus published scanner-project IP feeds.
+func BuildGroundTruth(tr *Trace, feeds map[string][]IPv4) *GroundTruth {
+	return labels.Build(tr, feeds)
+}
+
+// Simulate generates a synthetic darknet dataset with the paper's
+// population structure at the configured scale.
+func Simulate(cfg SimConfig) *SimOutput { return darksim.Generate(cfg) }
+
+// ParseIPv4 parses a dotted-quad address.
+func ParseIPv4(s string) (IPv4, error) { return netutil.ParseIPv4(s) }
+
+// BuildCorpus constructs the per-service, ΔT-windowed word sequences for a
+// trace under a service definition — the input of Embedding.Model.Update
+// when folding fresh traffic into an existing model. deltaT <= 0 uses the
+// paper's one hour.
+func BuildCorpus(tr *Trace, kind ServiceKind, deltaT int64) (*Corpus, error) {
+	cfg := core.Config{Services: kind}
+	def, err := cfg.Definition(tr)
+	if err != nil {
+		return nil, err
+	}
+	return corpus.Build(tr, def, deltaT), nil
+}
+
+// ReadTraceCSV loads a trace in the repository's CSV interchange format.
+func ReadTraceCSV(r io.Reader) (*Trace, error) { return trace.ReadCSV(r) }
+
+// WriteTraceCSV stores a trace in the CSV interchange format.
+func WriteTraceCSV(w io.Writer, tr *Trace) error { return tr.WriteCSV(w) }
+
+// ReadTracePCAP decodes a libpcap capture into a trace, re-deriving Mirai
+// fingerprints from TCP sequence numbers; it also reports how many packets
+// failed to decode.
+func ReadTracePCAP(r io.Reader) (*Trace, int, error) { return trace.ReadPCAP(r) }
+
+// WriteTracePCAP serialises the trace as a valid libpcap capture with
+// fully-formed Ethernet/IPv4/TCP|UDP|ICMP packets.
+func WriteTracePCAP(w io.Writer, tr *Trace) error { return tr.WritePCAP(w) }
+
+// ParseServiceMap reads a user-supplied JSON port→service map (an
+// operator's own Table 7) usable via Config.Custom. See services.ParseCustom
+// for the document format.
+func ParseServiceMap(name string, r io.Reader) (*services.Custom, error) {
+	return services.ParseCustom(name, r)
+}
+
+// MergeTraces combines several darknet views into one time-ordered trace.
+func MergeTraces(traces ...*Trace) *Trace { return trace.Merge(traces...) }

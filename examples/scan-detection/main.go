@@ -1,0 +1,82 @@
+// Scan detection: the paper's unsupervised workflow (§7, Table 5).
+//
+// Without using any labels, it builds the k'-NN similarity graph over the
+// embedding, extracts Louvain communities, ranks them by silhouette and
+// prints an analyst-style description of each substantial cluster —
+// surfacing coordinated scanners (single-/24 scans, botnets, rotating scan
+// teams) that no security feed knows about.
+//
+//	go run ./examples/scan-detection
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"github.com/darkvec/darkvec"
+)
+
+func main() {
+	data := darkvec.Simulate(darkvec.SimConfig{
+		Seed: 7, Days: 15, Scale: 0.02, Rate: 0.05,
+	})
+	cfg := darkvec.DefaultConfig()
+	cfg.W2V.Epochs = 5
+	emb, err := darkvec.Train(data.Trace, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gt := darkvec.BuildGroundTruth(data.Trace, data.Feeds)
+	space, _ := emb.EvalSpace(data.Trace.LastDays(1), nil)
+
+	// k' = 3, the paper's elbow choice (Fig. 10).
+	cl := darkvec.Cluster(space, 3, 1)
+	fmt.Printf("detected %d clusters, modularity %.3f\n\n", cl.Clusters, cl.Modularity)
+
+	sil := darkvec.Silhouette(space, cl.Assign)
+	profiles := darkvec.InspectClusters(data.Trace, space, cl.Assign, sil, gt)
+
+	// Rank by silhouette like the paper's Fig. 11 and describe each
+	// substantial cluster like Table 5.
+	sort.Slice(profiles, func(i, j int) bool { return profiles[i].AvgSil > profiles[j].AvgSil })
+	shown := 0
+	for _, p := range profiles {
+		if len(p.Senders) < 4 {
+			continue
+		}
+		fmt.Printf("C%-3d %5d senders %5d ports  /24s:%-4d sil %5.2f  %s\n",
+			p.Cluster, len(p.Senders), p.Ports, p.Subnets24, p.AvgSil,
+			p.Describe(darkvec.UnknownClass))
+		shown++
+	}
+	fmt.Printf("\n%d substantial clusters shown.\n", shown)
+
+	// Validation against the planted populations: which coordinated groups
+	// did the unsupervised stage recover? (An analyst on a real darknet
+	// would do this with whois/rDNS — here the generator is the oracle.)
+	memberOf := map[darkvec.IPv4]string{}
+	for name, ips := range data.Groups {
+		for _, ip := range ips {
+			memberOf[ip] = name
+		}
+	}
+	recovered := map[string]int{}
+	for _, p := range profiles {
+		counts := map[string]int{}
+		for _, ip := range p.Senders {
+			if g, ok := memberOf[ip]; ok {
+				counts[g]++
+			}
+		}
+		for g, n := range counts {
+			if n > recovered[g] {
+				recovered[g] = n
+			}
+		}
+	}
+	fmt.Println("\nplanted group → best single-cluster recovery:")
+	for _, g := range data.SortedGroupNames() {
+		fmt.Printf("  %-22s %3d/%3d\n", g, recovered[g], len(data.Groups[g]))
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/darkvec/darkvec
+
+go 1.22

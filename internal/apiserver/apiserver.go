@@ -1,0 +1,230 @@
+// Package apiserver exposes a trained DarkVec model over HTTP so the
+// embedding can back dashboards and SOC tooling: nearest-neighbour pivots,
+// on-demand classification, cluster summaries and dataset statistics. The
+// handlers are plain net/http with JSON responses and are safe for
+// concurrent use (the underlying model is immutable once served).
+package apiserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"github.com/darkvec/darkvec/internal/cluster"
+	"github.com/darkvec/darkvec/internal/core"
+	"github.com/darkvec/darkvec/internal/embed"
+	"github.com/darkvec/darkvec/internal/knn"
+	"github.com/darkvec/darkvec/internal/labels"
+	"github.com/darkvec/darkvec/internal/netutil"
+	"github.com/darkvec/darkvec/internal/trace"
+)
+
+// Server wires a trained model and its context into an http.Handler.
+type Server struct {
+	space    *embed.Space
+	labels   map[string]string
+	profiles []cluster.Profile
+	assign   []int
+	stats    trace.Stats
+	mux      *http.ServeMux
+}
+
+// Config assembles a Server.
+type Config struct {
+	Space *embed.Space
+	GT    *labels.Set
+	Trace *trace.Trace
+	// KPrime controls the clustering exposed at /clusters (default 3).
+	KPrime int
+	// Seed for the clustering pass.
+	Seed uint64
+}
+
+// New builds the server, running one clustering pass up front so /clusters
+// is a cheap read.
+func New(cfg Config) *Server {
+	lbl := make(map[string]string, cfg.Space.Len())
+	for _, w := range cfg.Space.Words {
+		if ip, err := netutil.ParseIPv4(w); err == nil {
+			lbl[w] = cfg.GT.Class(ip)
+		}
+	}
+	kp := cfg.KPrime
+	if kp <= 0 {
+		kp = 3
+	}
+	s := &Server{
+		space:  cfg.Space,
+		labels: lbl,
+		stats:  cfg.Trace.Summary(3),
+		mux:    http.NewServeMux(),
+	}
+	if cfg.Space.Len() > 1 {
+		cl := core.Cluster(cfg.Space, kp, cfg.Seed)
+		sil := cluster.Silhouette(cfg.Space, cl.Assign)
+		s.assign = cl.Assign
+		s.profiles = cluster.Inspect(cfg.Trace, cfg.Space.Words, cl.Assign, sil, lbl, labels.Unknown)
+	}
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/similar", s.handleSimilar)
+	s.mux.HandleFunc("GET /v1/classify", s.handleClassify)
+	s.mux.HandleFunc("GET /v1/clusters", s.handleClusters)
+	s.mux.HandleFunc("GET /v1/sender", s.handleSender)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "senders": s.space.Len()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.stats)
+}
+
+// kParam parses ?k= with a default and sane bounds.
+func kParam(r *http.Request, def int) int {
+	k, err := strconv.Atoi(r.URL.Query().Get("k"))
+	if err != nil || k <= 0 || k > 100 {
+		return def
+	}
+	return k
+}
+
+// ipParam validates ?ip=.
+func ipParam(w http.ResponseWriter, r *http.Request) (string, bool) {
+	ipStr := r.URL.Query().Get("ip")
+	if _, err := netutil.ParseIPv4(ipStr); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid or missing ip parameter: %v", err)
+		return "", false
+	}
+	return ipStr, true
+}
+
+// SimilarResponse is the /v1/similar payload.
+type SimilarResponse struct {
+	IP        string         `json:"ip"`
+	Neighbors []SimilarEntry `json:"neighbors"`
+}
+
+// SimilarEntry is one neighbour with its label.
+type SimilarEntry struct {
+	IP    string  `json:"ip"`
+	Sim   float64 `json:"similarity"`
+	Class string  `json:"class"`
+}
+
+func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
+	ip, ok := ipParam(w, r)
+	if !ok {
+		return
+	}
+	sims, found := s.space.MostSimilar(ip, kParam(r, 10))
+	if !found {
+		writeErr(w, http.StatusNotFound, "sender %s not in the embedding", ip)
+		return
+	}
+	resp := SimilarResponse{IP: ip}
+	for _, sim := range sims {
+		resp.Neighbors = append(resp.Neighbors, SimilarEntry{
+			IP: sim.Word, Sim: sim.Sim, Class: s.labels[sim.Word],
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ClassifyResponse is the /v1/classify payload.
+type ClassifyResponse struct {
+	IP      string  `json:"ip"`
+	Class   string  `json:"class"`
+	Known   string  `json:"known_label"`
+	Support int     `json:"votes"`
+	AvgSim  float64 `json:"avg_similarity"`
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	ip, ok := ipParam(w, r)
+	if !ok {
+		return
+	}
+	pred, found := knn.ClassifyOne(s.space, s.labels, ip, kParam(r, 7))
+	if !found {
+		writeErr(w, http.StatusNotFound, "sender %s not in the embedding", ip)
+		return
+	}
+	writeJSON(w, http.StatusOK, ClassifyResponse{
+		IP: ip, Class: pred.Label, Known: pred.Truth,
+		Support: pred.Support, AvgSim: pred.AvgSim,
+	})
+}
+
+// ClusterEntry is one /v1/clusters row.
+type ClusterEntry struct {
+	Cluster     int     `json:"cluster"`
+	Senders     int     `json:"senders"`
+	Ports       int     `json:"ports"`
+	Subnets24   int     `json:"subnets_24"`
+	AvgSil      float64 `json:"avg_silhouette"`
+	Dominant    string  `json:"dominant_class"`
+	Description string  `json:"description"`
+}
+
+func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
+	minSize, _ := strconv.Atoi(r.URL.Query().Get("min"))
+	var out []ClusterEntry
+	for _, p := range s.profiles {
+		if len(p.Senders) < minSize {
+			continue
+		}
+		out = append(out, ClusterEntry{
+			Cluster: p.Cluster, Senders: len(p.Senders), Ports: p.Ports,
+			Subnets24: p.Subnets24, AvgSil: p.AvgSil, Dominant: p.Dominant,
+			Description: p.Describe(labels.Unknown),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Senders > out[j].Senders })
+	writeJSON(w, http.StatusOK, out)
+}
+
+// SenderResponse is the /v1/sender payload.
+type SenderResponse struct {
+	IP      string `json:"ip"`
+	Class   string `json:"class"`
+	Cluster int    `json:"cluster"`
+}
+
+func (s *Server) handleSender(w http.ResponseWriter, r *http.Request) {
+	ip, ok := ipParam(w, r)
+	if !ok {
+		return
+	}
+	row, found := s.space.Index(ip)
+	if !found {
+		writeErr(w, http.StatusNotFound, "sender %s not in the embedding", ip)
+		return
+	}
+	resp := SenderResponse{IP: ip, Class: s.labels[ip], Cluster: -1}
+	if row < len(s.assign) {
+		resp.Cluster = s.assign[row]
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

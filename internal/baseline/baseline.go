@@ -1,0 +1,114 @@
+// Package baseline implements the paper's §4 motivation experiment: a
+// supervised classifier over simple traffic features. For every class the
+// top-5 destination ports are extracted, the union forms the feature set,
+// and each sender is described by the fraction of its traffic sent to each
+// selected port. A cosine k-NN with Leave-One-Out evaluation then yields
+// the (deliberately weak) Table 6 results.
+package baseline
+
+import (
+	"sort"
+
+	"github.com/darkvec/darkvec/internal/embed"
+	"github.com/darkvec/darkvec/internal/labels"
+	"github.com/darkvec/darkvec/internal/netutil"
+	"github.com/darkvec/darkvec/internal/trace"
+)
+
+// FeatureSet is the derived port-fraction feature space.
+type FeatureSet struct {
+	Ports  []trace.PortKey // feature dimensions: union of per-class top-5 ports
+	Space  *embed.Space    // one row per sender, L2-normalised fractions
+	Labels map[string]string
+}
+
+// Build computes features over the trace for senders in active (nil = all),
+// labeling them with set. Following the paper, the per-class top-5 port
+// selection intentionally biases the features toward the GT classes.
+func Build(tr *trace.Trace, set *labels.Set, active map[netutil.IPv4]bool) *FeatureSet {
+	classPorts := map[string]map[trace.PortKey]int{}
+	senderPorts := map[netutil.IPv4]map[trace.PortKey]int{}
+	senderTotal := map[netutil.IPv4]int{}
+	for _, e := range tr.Events {
+		if active != nil && !active[e.Src] {
+			continue
+		}
+		c := set.Class(e.Src)
+		if classPorts[c] == nil {
+			classPorts[c] = map[trace.PortKey]int{}
+		}
+		k := e.Key()
+		classPorts[c][k]++
+		if senderPorts[e.Src] == nil {
+			senderPorts[e.Src] = map[trace.PortKey]int{}
+		}
+		senderPorts[e.Src][k]++
+		senderTotal[e.Src]++
+	}
+	// Union of top-5 ports per class.
+	featSet := map[trace.PortKey]bool{}
+	classes := make([]string, 0, len(classPorts))
+	for c := range classPorts {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		type pk struct {
+			k trace.PortKey
+			n int
+		}
+		all := make([]pk, 0, len(classPorts[c]))
+		for k, n := range classPorts[c] {
+			all = append(all, pk{k, n})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].n != all[j].n {
+				return all[i].n > all[j].n
+			}
+			return all[i].k.Port < all[j].k.Port
+		})
+		for i := 0; i < len(all) && i < 5; i++ {
+			featSet[all[i].k] = true
+		}
+	}
+	ports := make([]trace.PortKey, 0, len(featSet))
+	for k := range featSet {
+		ports = append(ports, k)
+	}
+	sort.Slice(ports, func(i, j int) bool {
+		if ports[i].Port != ports[j].Port {
+			return ports[i].Port < ports[j].Port
+		}
+		return ports[i].Proto < ports[j].Proto
+	})
+	col := make(map[trace.PortKey]int, len(ports))
+	for i, k := range ports {
+		col[k] = i
+	}
+
+	senders := make([]netutil.IPv4, 0, len(senderPorts))
+	for ip := range senderPorts {
+		senders = append(senders, ip)
+	}
+	sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
+	words := make([]string, len(senders))
+	vectors := make([][]float32, len(senders))
+	lbl := make(map[string]string, len(senders))
+	for i, ip := range senders {
+		words[i] = ip.String()
+		v := make([]float32, len(ports))
+		total := float32(senderTotal[ip])
+		for k, n := range senderPorts[ip] {
+			if j, ok := col[k]; ok {
+				v[j] = float32(n) / total
+			}
+		}
+		vectors[i] = v
+		lbl[words[i]] = set.Class(ip)
+	}
+	space, err := embed.New(words, vectors)
+	if err != nil {
+		panic(err) // lengths are constructed equal
+	}
+	return &FeatureSet{Ports: ports, Space: space, Labels: lbl}
+}

@@ -1,0 +1,89 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"github.com/darkvec/darkvec/internal/knn"
+	"github.com/darkvec/darkvec/internal/labels"
+	"github.com/darkvec/darkvec/internal/netutil"
+	"github.com/darkvec/darkvec/internal/packet"
+	"github.com/darkvec/darkvec/internal/trace"
+)
+
+func ip(s string) netutil.IPv4 { return netutil.MustParseIPv4(s) }
+
+func mk(ts int64, src string, port uint16) trace.Event {
+	return trace.Event{
+		Ts: ts, Src: ip(src), Dst: ip("198.18.0.1"),
+		Port: port, Proto: packet.IPProtocolTCP,
+	}
+}
+
+// fixture: class "tel" senders hit port 23, class "web" senders hit 80/443.
+func fixture() (*trace.Trace, *labels.Set) {
+	var events []trace.Event
+	ts := int64(0)
+	add := func(src string, ports ...uint16) {
+		for _, p := range ports {
+			events = append(events, mk(ts, src, p))
+			ts++
+		}
+	}
+	add("1.0.0.1", 23, 23, 23)
+	add("1.0.0.2", 23, 23, 2323)
+	add("1.0.0.3", 23, 2323, 23)
+	add("2.0.0.1", 80, 443, 80)
+	add("2.0.0.2", 443, 80, 443)
+	add("2.0.0.3", 80, 80, 443)
+	tr := trace.New(events)
+	feeds := map[string][]netutil.IPv4{
+		"tel": {ip("1.0.0.1"), ip("1.0.0.2"), ip("1.0.0.3")},
+		"web": {ip("2.0.0.1"), ip("2.0.0.2"), ip("2.0.0.3")},
+	}
+	return tr, labels.Build(tr, feeds)
+}
+
+func TestBuildFeatureSet(t *testing.T) {
+	tr, set := fixture()
+	fs := Build(tr, set, nil)
+	// Union of top-5 ports over both classes: {23, 2323, 80, 443}.
+	if len(fs.Ports) != 4 {
+		t.Fatalf("ports = %v", fs.Ports)
+	}
+	if fs.Space.Len() != 6 {
+		t.Fatalf("space len = %d", fs.Space.Len())
+	}
+	// Feature fractions: 1.0.0.1 sent all 3 packets to 23 → fraction 1.
+	row, ok := fs.Space.Index("1.0.0.1")
+	if !ok {
+		t.Fatal("1.0.0.1 missing")
+	}
+	var nonzero int
+	for _, v := range fs.Space.Row(row) {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 1 {
+		t.Fatalf("1.0.0.1 should have a single nonzero feature, row=%v", fs.Space.Row(row))
+	}
+}
+
+func TestBaselineClassifiesCleanSplit(t *testing.T) {
+	tr, set := fixture()
+	fs := Build(tr, set, nil)
+	rep := knn.Evaluate(fs.Space, fs.Labels, 2, labels.Unknown)
+	if math.Abs(rep.Accuracy-1) > 1e-9 {
+		t.Fatalf("accuracy = %v\n%s", rep.Accuracy, rep)
+	}
+}
+
+func TestBuildActiveFilter(t *testing.T) {
+	tr, set := fixture()
+	active := map[netutil.IPv4]bool{ip("1.0.0.1"): true, ip("2.0.0.1"): true}
+	fs := Build(tr, set, active)
+	if fs.Space.Len() != 2 {
+		t.Fatalf("filtered space = %d", fs.Space.Len())
+	}
+}

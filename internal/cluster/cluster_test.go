@@ -1,0 +1,261 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/darkvec/darkvec/internal/embed"
+	"github.com/darkvec/darkvec/internal/netutil"
+)
+
+// blobs builds two tight clusters on orthogonal axes.
+func blobs(t *testing.T) *embed.Space {
+	t.Helper()
+	words := []string{"a1", "a2", "a3", "b1", "b2", "b3"}
+	vecs := [][]float32{
+		{1, 0.02}, {1, -0.02}, {1, 0.01},
+		{0.02, 1}, {-0.02, 1}, {0.01, 1},
+	}
+	s, err := embed.New(words, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSilhouetteSeparatedClusters(t *testing.T) {
+	s := blobs(t)
+	assign := []int{0, 0, 0, 1, 1, 1}
+	sil := Silhouette(s, assign)
+	for i, v := range sil {
+		if v < 0.8 {
+			t.Errorf("point %d silhouette %.3f, want near 1", i, v)
+		}
+		if v > 1+1e-9 || v < -1-1e-9 {
+			t.Errorf("silhouette out of range: %v", v)
+		}
+	}
+}
+
+func TestSilhouetteBadAssignment(t *testing.T) {
+	s := blobs(t)
+	// Mix the clusters deliberately.
+	assign := []int{0, 1, 0, 1, 0, 1}
+	sil := Silhouette(s, assign)
+	var mean float64
+	for _, v := range sil {
+		mean += v
+	}
+	mean /= float64(len(sil))
+	if mean > 0.1 {
+		t.Fatalf("scrambled assignment mean silhouette %.3f should be ~<=0", mean)
+	}
+}
+
+func TestSilhouetteSingletonIsZero(t *testing.T) {
+	s := blobs(t)
+	assign := []int{0, 0, 0, 1, 1, 2} // b3 is a singleton
+	sil := Silhouette(s, assign)
+	if sil[5] != 0 {
+		t.Fatalf("singleton silhouette = %v", sil[5])
+	}
+}
+
+func TestSilhouetteMatchesDirectComputation(t *testing.T) {
+	// Small case verified against the textbook formula with explicit
+	// pairwise distances.
+	words := []string{"p", "q", "r", "s"}
+	vecs := [][]float32{{1, 0}, {0.9, 0.1}, {0, 1}, {0.1, 0.9}}
+	s, err := embed.New(words, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := []int{0, 0, 1, 1}
+	got := Silhouette(s, assign)
+	// Direct O(n²) computation.
+	dist := func(i, j int) float64 { return 1 - s.Cosine(i, j) }
+	for i := 0; i < 4; i++ {
+		var a, b float64
+		var na, nb int
+		for j := 0; j < 4; j++ {
+			if j == i {
+				continue
+			}
+			if assign[j] == assign[i] {
+				a += dist(i, j)
+				na++
+			} else {
+				b += dist(i, j)
+				nb++
+			}
+		}
+		a /= float64(na)
+		b /= float64(nb)
+		want := (b - a) / math.Max(a, b)
+		if math.Abs(got[i]-want) > 1e-6 {
+			t.Fatalf("point %d: got %.6f, want %.6f", i, got[i], want)
+		}
+	}
+}
+
+func TestSilhouetteRangeProperty(t *testing.T) {
+	r := netutil.NewRand(31)
+	f := func(seed uint32) bool {
+		n := 5 + int(seed%10)
+		words := make([]string, n)
+		vecs := make([][]float32, n)
+		assign := make([]int, n)
+		for i := 0; i < n; i++ {
+			words[i] = string(rune('a' + i))
+			vecs[i] = []float32{float32(r.NormFloat64()), float32(r.NormFloat64()), float32(r.NormFloat64())}
+			assign[i] = int(r.Uint32()) % 3
+		}
+		// Compact assignment ids.
+		max := 0
+		for _, a := range assign {
+			if a > max {
+				max = a
+			}
+		}
+		s, err := embed.New(words, vecs)
+		if err != nil {
+			return false
+		}
+		for _, v := range Silhouette(s, assign) {
+			if v < -1-1e-6 || v > 1+1e-6 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankBySilhouette(t *testing.T) {
+	s := blobs(t)
+	assign := []int{0, 0, 0, 1, 1, 1}
+	ranked := RankBySilhouette(s, assign)
+	if len(ranked) != 2 {
+		t.Fatalf("ranked = %+v", ranked)
+	}
+	if ranked[0].Avg < ranked[1].Avg {
+		t.Fatal("ranking must be decreasing")
+	}
+	if ranked[0].Size != 3 || ranked[1].Size != 3 {
+		t.Fatalf("sizes = %+v", ranked)
+	}
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	s := blobs(t)
+	assign, iters := KMeans(s, 2, 50, 1)
+	if iters == 0 {
+		t.Fatal("kmeans must iterate")
+	}
+	if assign[0] != assign[1] || assign[1] != assign[2] {
+		t.Fatalf("cluster A split: %v", assign)
+	}
+	if assign[3] != assign[4] || assign[4] != assign[5] {
+		t.Fatalf("cluster B split: %v", assign)
+	}
+	if assign[0] == assign[3] {
+		t.Fatalf("clusters merged: %v", assign)
+	}
+}
+
+func TestKMeansEdgeCases(t *testing.T) {
+	s := blobs(t)
+	assign, _ := KMeans(s, 10, 10, 1) // k > n clamps
+	if len(assign) != s.Len() {
+		t.Fatal("assignment length")
+	}
+	assign, _ = KMeans(s, 0, 10, 1)
+	for _, a := range assign {
+		if a != 0 {
+			t.Fatal("k<=0 must yield a single cluster")
+		}
+	}
+}
+
+func TestDBSCANFindsBlobsAndNoise(t *testing.T) {
+	words := []string{"a1", "a2", "a3", "b1", "b2", "b3", "out"}
+	vecs := [][]float32{
+		{1, 0.02}, {1, -0.02}, {1, 0.01},
+		{0.02, 1}, {-0.02, 1}, {0.01, 1},
+		{-1, -1},
+	}
+	s, err := embed.New(words, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := DBSCAN(s, 0.05, 2)
+	if labels[0] != labels[1] || labels[1] != labels[2] || labels[0] == Noise {
+		t.Fatalf("blob A: %v", labels)
+	}
+	if labels[3] != labels[4] || labels[4] != labels[5] || labels[3] == Noise {
+		t.Fatalf("blob B: %v", labels)
+	}
+	if labels[0] == labels[3] {
+		t.Fatalf("blobs merged: %v", labels)
+	}
+	if labels[6] != Noise {
+		t.Fatalf("outlier label = %d, want noise", labels[6])
+	}
+}
+
+func TestDBSCANAllNoise(t *testing.T) {
+	s := blobs(t)
+	labels := DBSCAN(s, 1e-9, 3)
+	for _, l := range labels {
+		if l != Noise {
+			t.Fatalf("labels = %v", labels)
+		}
+	}
+}
+
+func TestHACSeparatesBlobs(t *testing.T) {
+	s := blobs(t)
+	assign := HAC(s, 2)
+	if assign[0] != assign[1] || assign[1] != assign[2] {
+		t.Fatalf("cluster A split: %v", assign)
+	}
+	if assign[3] != assign[4] || assign[4] != assign[5] {
+		t.Fatalf("cluster B split: %v", assign)
+	}
+	if assign[0] == assign[3] {
+		t.Fatalf("clusters merged: %v", assign)
+	}
+}
+
+func TestHACEdgeCases(t *testing.T) {
+	s := blobs(t)
+	assign := HAC(s, 100)
+	distinct := map[int]bool{}
+	for _, a := range assign {
+		distinct[a] = true
+	}
+	if len(distinct) != s.Len() {
+		t.Fatal("k >= n must keep singletons")
+	}
+	assign = HAC(s, 1)
+	for _, a := range assign {
+		if a != 0 {
+			t.Fatalf("k=1 must merge everything: %v", assign)
+		}
+	}
+	if got := HAC(mustSpace(t, nil, nil), 3); len(got) != 0 {
+		t.Fatal("empty space")
+	}
+}
+
+func mustSpace(t *testing.T, w []string, v [][]float32) *embed.Space {
+	t.Helper()
+	s, err := embed.New(w, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

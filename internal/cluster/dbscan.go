@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"github.com/darkvec/darkvec/internal/embed"
+)
+
+// Noise is the DBSCAN label for unclustered points.
+const Noise = -1
+
+// DBSCAN clusters the space with cosine distance (1 - similarity), radius
+// eps and density threshold minPts. Returns per-row cluster labels with
+// Noise (-1) for outliers. The neighbourhood computation is exact brute
+// force, O(n²·V) — acceptable for the ablation-scale experiments it serves.
+func DBSCAN(s *embed.Space, eps float64, minPts int) []int {
+	n := s.Len()
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	visited := make([]bool, n)
+	next := 0
+	var queue []int
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		neigh := regionQuery(s, i, eps)
+		if len(neigh) < minPts {
+			continue // stays noise unless claimed as a border point later
+		}
+		c := next
+		next++
+		labels[i] = c
+		queue = append(queue[:0], neigh...)
+		for qi := 0; qi < len(queue); qi++ {
+			j := queue[qi]
+			if !visited[j] {
+				visited[j] = true
+				jn := regionQuery(s, j, eps)
+				if len(jn) >= minPts {
+					queue = append(queue, jn...)
+				}
+			}
+			if labels[j] == Noise {
+				labels[j] = c
+			}
+		}
+	}
+	return labels
+}
+
+// regionQuery returns rows within cosine distance eps of row i, including i.
+func regionQuery(s *embed.Space, i int, eps float64) []int {
+	var out []int
+	q := s.Row(i)
+	dim := s.Dim
+	minSim := 1 - eps
+	for j := 0; j < s.Len(); j++ {
+		row := s.Row(j)
+		var dot float32
+		for d := 0; d < dim; d++ {
+			dot += q[d] * row[d]
+		}
+		if float64(dot) >= minSim {
+			out = append(out, j)
+		}
+	}
+	return out
+}

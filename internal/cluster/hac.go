@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"container/heap"
+	"math"
+
+	"github.com/darkvec/darkvec/internal/embed"
+)
+
+// HAC performs hierarchical agglomerative clustering with average linkage on
+// cosine distance, cutting the dendrogram at k clusters. It uses the
+// Lance–Williams update over an explicit distance matrix, so memory is
+// O(n²); it serves the paper's §7.1 baseline comparison at ablation scale.
+func HAC(s *embed.Space, k int) []int {
+	n := s.Len()
+	assign := make([]int, n)
+	if n == 0 {
+		return assign
+	}
+	if k <= 0 {
+		k = 1
+	}
+	if k >= n {
+		for i := range assign {
+			assign[i] = i
+		}
+		return assign
+	}
+	// Distance matrix (cosine distance between rows).
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := 1 - s.Cosine(i, j)
+			dist[i][j], dist[j][i] = d, d
+		}
+	}
+	size := make([]int, n)
+	parent := make([]int, n)
+	active := make([]bool, n)
+	for i := range size {
+		size[i] = 1
+		parent[i] = i
+		active[i] = true
+	}
+
+	pq := &pairHeap{}
+	heap.Init(pq)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			heap.Push(pq, mergeCand{dist[i][j], i, j})
+		}
+	}
+	clusters := n
+	for clusters > k && pq.Len() > 0 {
+		p := heap.Pop(pq).(mergeCand)
+		if !active[p.a] || !active[p.b] || math.Abs(dist[p.a][p.b]-p.d) > 1e-12 {
+			continue // stale entry
+		}
+		a, b := p.a, p.b
+		// Merge b into a with average linkage: d(a∪b, x) =
+		// (|a|·d(a,x) + |b|·d(b,x)) / (|a|+|b|).
+		total := float64(size[a] + size[b])
+		for x := 0; x < n; x++ {
+			if !active[x] || x == a || x == b {
+				continue
+			}
+			nd := (float64(size[a])*dist[a][x] + float64(size[b])*dist[b][x]) / total
+			dist[a][x], dist[x][a] = nd, nd
+			heap.Push(pq, mergeCand{nd, min(a, x), max(a, x)})
+		}
+		size[a] += size[b]
+		active[b] = false
+		parent[b] = a
+		clusters--
+	}
+	// Resolve roots and compact ids.
+	root := func(v int) int {
+		for parent[v] != v {
+			v = parent[v]
+		}
+		return v
+	}
+	renum := map[int]int{}
+	for i := 0; i < n; i++ {
+		r := root(i)
+		if _, ok := renum[r]; !ok {
+			renum[r] = len(renum)
+		}
+		assign[i] = renum[r]
+	}
+	return assign
+}
+
+// mergeCand is a candidate merge of clusters a < b at average-linkage
+// distance d. Stale candidates (superseded distances) are skipped on pop.
+type mergeCand struct {
+	d    float64
+	a, b int
+}
+
+type pairHeap []mergeCand
+
+func (h pairHeap) Len() int           { return len(h) }
+func (h pairHeap) Less(i, j int) bool { return h[i].d < h[j].d }
+func (h pairHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *pairHeap) Push(x interface{}) {
+	*h = append(*h, x.(mergeCand))
+}
+func (h *pairHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

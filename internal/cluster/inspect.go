@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/darkvec/darkvec/internal/metrics"
+	"github.com/darkvec/darkvec/internal/netutil"
+	"github.com/darkvec/darkvec/internal/trace"
+)
+
+// Profile characterises one detected cluster the way the paper's manual
+// inspection does (§7.3, Table 5): who is in it, what it targets, how
+// concentrated it is in address space, and its dominant ground-truth label.
+type Profile struct {
+	Cluster   int
+	Senders   []netutil.IPv4
+	Packets   int
+	Ports     int              // distinct port keys targeted
+	TopPorts  []trace.PortStat // by packets, top 5
+	Subnets24 int              // distinct /24s the senders occupy
+	Subnets16 int              // distinct /16s
+	MiraiFrac float64          // share of senders emitting the Mirai fingerprint
+	GTCounts  map[string]int   // ground-truth label histogram of members
+	Dominant  string           // most common GT label
+	DomFrac   float64          // its share of the cluster
+	AvgSil    float64          // mean member silhouette
+	PortShare map[trace.PortKey]float64
+}
+
+// Inspect builds profiles for every cluster. words maps space rows to sender
+// strings; assign is the per-row cluster id; labels maps sender → GT class
+// (missing senders count as unknownLabel); sil is the per-row silhouette
+// (may be nil).
+func Inspect(tr *trace.Trace, words []string, assign []int, sil []float64, labels map[string]string, unknownLabel string) []Profile {
+	byCluster := map[int][]int{}
+	for row, c := range assign {
+		byCluster[c] = append(byCluster[c], row)
+	}
+	// Per-sender event slices for fast per-cluster aggregation.
+	events := map[netutil.IPv4][]trace.Event{}
+	for _, e := range tr.Events {
+		events[e.Src] = append(events[e.Src], e)
+	}
+	ids := make([]int, 0, len(byCluster))
+	for c := range byCluster {
+		ids = append(ids, c)
+	}
+	sort.Ints(ids)
+	var out []Profile
+	for _, c := range ids {
+		rows := byCluster[c]
+		p := Profile{Cluster: c, GTCounts: map[string]int{}, PortShare: map[trace.PortKey]float64{}}
+		sub24 := map[netutil.IPv4]bool{}
+		sub16 := map[netutil.IPv4]bool{}
+		portPkts := map[trace.PortKey]int{}
+		portSenders := map[trace.PortKey]map[netutil.IPv4]bool{}
+		mirai := 0
+		var silSum float64
+		for _, row := range rows {
+			ip, err := netutil.ParseIPv4(words[row])
+			if err != nil {
+				continue
+			}
+			p.Senders = append(p.Senders, ip)
+			sub24[ip.Subnet(24).Base] = true
+			sub16[ip.Subnet(16).Base] = true
+			label := labels[words[row]]
+			if label == "" {
+				label = unknownLabel
+			}
+			p.GTCounts[label]++
+			if sil != nil {
+				silSum += sil[row]
+			}
+			hasMirai := false
+			for _, e := range events[ip] {
+				p.Packets++
+				k := e.Key()
+				portPkts[k]++
+				if portSenders[k] == nil {
+					portSenders[k] = map[netutil.IPv4]bool{}
+				}
+				portSenders[k][ip] = true
+				if e.Mirai {
+					hasMirai = true
+				}
+			}
+			if hasMirai {
+				mirai++
+			}
+		}
+		if len(p.Senders) == 0 {
+			continue
+		}
+		p.Ports = len(portPkts)
+		p.MiraiFrac = float64(mirai) / float64(len(p.Senders))
+		p.Subnets24, p.Subnets16 = len(sub24), len(sub16)
+		if sil != nil {
+			p.AvgSil = silSum / float64(len(rows))
+		}
+		type ps struct {
+			k trace.PortKey
+			n int
+		}
+		all := make([]ps, 0, len(portPkts))
+		for k, n := range portPkts {
+			all = append(all, ps{k, n})
+			if p.Packets > 0 {
+				p.PortShare[k] = float64(n) / float64(p.Packets)
+			}
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].n != all[j].n {
+				return all[i].n > all[j].n
+			}
+			return all[i].k.Port < all[j].k.Port
+		})
+		for i := 0; i < len(all) && i < 5; i++ {
+			p.TopPorts = append(p.TopPorts, trace.PortStat{
+				Key:          all[i].k,
+				Packets:      all[i].n,
+				TrafficShare: float64(all[i].n) / float64(p.Packets),
+				Sources:      len(portSenders[all[i].k]),
+			})
+		}
+		bestLabel, bestN := unknownLabel, 0
+		gls := make([]string, 0, len(p.GTCounts))
+		for l := range p.GTCounts {
+			gls = append(gls, l)
+		}
+		sort.Strings(gls)
+		for _, l := range gls {
+			if p.GTCounts[l] > bestN {
+				bestLabel, bestN = l, p.GTCounts[l]
+			}
+		}
+		p.Dominant = bestLabel
+		p.DomFrac = float64(bestN) / float64(len(p.Senders))
+		out = append(out, p)
+	}
+	return out
+}
+
+// PortJaccard returns the Jaccard index between the port sets of two
+// profiles (§7.3.1's inter-cluster overlap measure).
+func PortJaccard(a, b Profile) float64 {
+	sa := map[trace.PortKey]bool{}
+	sb := map[trace.PortKey]bool{}
+	for k := range a.PortShare {
+		sa[k] = true
+	}
+	for k := range b.PortShare {
+		sb[k] = true
+	}
+	return metrics.Jaccard(sa, sb)
+}
+
+// Describe produces a short Table 5 style description of the cluster using
+// the same heuristics an analyst applies: dominant label, subnet
+// concentration, fingerprints, port focus.
+func (p Profile) Describe(unknownLabel string) string {
+	top := "no traffic"
+	if len(p.TopPorts) > 0 {
+		t := p.TopPorts[0]
+		top = fmt.Sprintf("%.0f%% of traffic to %s", t.TrafficShare*100, t.Key)
+	}
+	switch {
+	case p.Dominant != unknownLabel && p.DomFrac >= 0.5:
+		return fmt.Sprintf("known scanner %s (%d/%d senders); %s", p.Dominant, p.GTCounts[p.Dominant], len(p.Senders), top)
+	case p.MiraiFrac >= 0.5:
+		return fmt.Sprintf("Mirai-like botnet activity (%.0f%% fingerprinted senders); %s", p.MiraiFrac*100, top)
+	case p.Subnets24 == 1:
+		return fmt.Sprintf("coordinated scan from a single /24 (%s); %s", p.Senders[0].Subnet(24), top)
+	case p.Subnets16 == 1:
+		return fmt.Sprintf("coordinated scan from a single /16 (%s); %s", p.Senders[0].Subnet(16), top)
+	default:
+		return fmt.Sprintf("distributed senders across %d /24s targeting %d ports; %s", p.Subnets24, p.Ports, top)
+	}
+}

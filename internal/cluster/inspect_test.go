@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/darkvec/darkvec/internal/netutil"
+	"github.com/darkvec/darkvec/internal/packet"
+	"github.com/darkvec/darkvec/internal/trace"
+)
+
+func inspectFixture(t *testing.T) (*trace.Trace, []string, []int, map[string]string) {
+	t.Helper()
+	mk := func(ts int64, src string, port uint16, mirai bool) trace.Event {
+		return trace.Event{
+			Ts: ts, Src: netutil.MustParseIPv4(src),
+			Dst:  netutil.MustParseIPv4("198.18.0.1"),
+			Port: port, Proto: packet.IPProtocolTCP, Mirai: mirai,
+		}
+	}
+	tr := trace.New([]trace.Event{
+		// Cluster 0: two senders in one /24, hammering 445.
+		mk(0, "38.1.1.10", 445, false),
+		mk(1, "38.1.1.10", 445, false),
+		mk(2, "38.1.1.20", 445, false),
+		mk(3, "38.1.1.20", 80, false),
+		// Cluster 1: a Mirai-fingerprinted sender plus a labeled one.
+		mk(4, "9.9.9.9", 23, true),
+		mk(5, "7.7.7.7", 23, false),
+	})
+	words := []string{"38.1.1.10", "38.1.1.20", "9.9.9.9", "7.7.7.7"}
+	assign := []int{0, 0, 1, 1}
+	labels := map[string]string{
+		"38.1.1.10": "unknown", "38.1.1.20": "unknown",
+		"9.9.9.9": "mirai-like", "7.7.7.7": "mirai-like",
+	}
+	return tr, words, assign, labels
+}
+
+func TestInspectProfiles(t *testing.T) {
+	tr, words, assign, lbl := inspectFixture(t)
+	sil := []float64{0.9, 0.8, 0.7, 0.6}
+	profs := Inspect(tr, words, assign, sil, lbl, "unknown")
+	if len(profs) != 2 {
+		t.Fatalf("profiles = %d", len(profs))
+	}
+	p0 := profs[0]
+	if p0.Cluster != 0 || len(p0.Senders) != 2 || p0.Packets != 4 {
+		t.Fatalf("p0 = %+v", p0)
+	}
+	if p0.Subnets24 != 1 || p0.Ports != 2 {
+		t.Fatalf("p0 subnet/ports = %d/%d", p0.Subnets24, p0.Ports)
+	}
+	if p0.TopPorts[0].Key.Port != 445 || p0.TopPorts[0].Packets != 3 {
+		t.Fatalf("p0 top port = %+v", p0.TopPorts[0])
+	}
+	if p0.Dominant != "unknown" || p0.DomFrac != 1 {
+		t.Fatalf("p0 dominant = %s %f", p0.Dominant, p0.DomFrac)
+	}
+	if p0.AvgSil < 0.84 || p0.AvgSil > 0.86 {
+		t.Fatalf("p0 avg sil = %v", p0.AvgSil)
+	}
+	p1 := profs[1]
+	if p1.MiraiFrac != 0.5 {
+		t.Fatalf("p1 mirai frac = %v", p1.MiraiFrac)
+	}
+	if p1.Dominant != "mirai-like" {
+		t.Fatalf("p1 dominant = %s", p1.Dominant)
+	}
+}
+
+func TestPortJaccard(t *testing.T) {
+	tr, words, assign, lbl := inspectFixture(t)
+	profs := Inspect(tr, words, assign, nil, lbl, "unknown")
+	// Cluster 0 targets {445, 80}; cluster 1 targets {23}: Jaccard 0.
+	if got := PortJaccard(profs[0], profs[1]); got != 0 {
+		t.Fatalf("jaccard = %v", got)
+	}
+	if got := PortJaccard(profs[0], profs[0]); got != 1 {
+		t.Fatalf("self jaccard = %v", got)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	tr, words, assign, lbl := inspectFixture(t)
+	profs := Inspect(tr, words, assign, nil, lbl, "unknown")
+	d0 := profs[0].Describe("unknown")
+	if !strings.Contains(d0, "/24") {
+		t.Fatalf("p0 description should mention the /24: %q", d0)
+	}
+	d1 := profs[1].Describe("unknown")
+	if !strings.Contains(d1, "mirai-like") {
+		t.Fatalf("p1 description should mention the class: %q", d1)
+	}
+}
+
+func TestDescribeMiraiBranch(t *testing.T) {
+	mk := func(ts int64, src string) trace.Event {
+		return trace.Event{
+			Ts: ts, Src: netutil.MustParseIPv4(src),
+			Dst:  netutil.MustParseIPv4("198.18.0.1"),
+			Port: 23, Proto: packet.IPProtocolTCP, Mirai: true,
+		}
+	}
+	tr := trace.New([]trace.Event{mk(0, "1.0.0.1"), mk(1, "2.0.0.1")})
+	words := []string{"1.0.0.1", "2.0.0.1"}
+	profs := Inspect(tr, words, []int{0, 0}, nil, map[string]string{}, "unknown")
+	d := profs[0].Describe("unknown")
+	if !strings.Contains(d, "Mirai-like botnet") {
+		t.Fatalf("description = %q", d)
+	}
+}
+
+func TestInspectSkipsEmptyAndBadWords(t *testing.T) {
+	tr := trace.New(nil)
+	profs := Inspect(tr, []string{"not-an-ip"}, []int{0}, nil, map[string]string{}, "unknown")
+	if len(profs) != 0 {
+		t.Fatalf("profiles = %+v", profs)
+	}
+}

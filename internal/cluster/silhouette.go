@@ -1,0 +1,108 @@
+// Package cluster provides the unsupervised analysis toolbox of DarkVec §7:
+// silhouette scoring with cosine distance, the classic clustering baselines
+// the paper dismisses (k-means, DBSCAN, hierarchical agglomerative), and
+// cluster inspection utilities (port signatures, Jaccard overlap, temporal
+// occupancy, subnet concentration) used to build Table 5.
+package cluster
+
+import (
+	"math"
+	"sort"
+
+	"github.com/darkvec/darkvec/internal/embed"
+)
+
+// Silhouette computes the per-point silhouette coefficient of assignment
+// over the space, using cosine distance (1 - cosine similarity). Points in
+// singleton clusters score 0, the scikit-learn convention.
+//
+// Because rows are unit-normalised, the mean cosine distance from a point to
+// a cluster reduces to 1 - q·centroidSum/|C|, making the exact computation
+// O(n·k·V) instead of O(n²·V).
+func Silhouette(s *embed.Space, assign []int) []float64 {
+	n := s.Len()
+	if len(assign) != n {
+		panic("cluster: assignment length mismatch")
+	}
+	k := 0
+	for _, c := range assign {
+		if c >= k {
+			k = c + 1
+		}
+	}
+	dim := s.Dim
+	sums := make([]float64, k*dim)
+	sizes := make([]int, k)
+	for i := 0; i < n; i++ {
+		c := assign[i]
+		row := s.Row(i)
+		for d := 0; d < dim; d++ {
+			sums[c*dim+d] += float64(row[d])
+		}
+		sizes[c]++
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		own := assign[i]
+		if sizes[own] <= 1 {
+			out[i] = 0
+			continue
+		}
+		row := s.Row(i)
+		var a, b float64
+		b = math.Inf(1)
+		for c := 0; c < k; c++ {
+			if sizes[c] == 0 {
+				continue
+			}
+			var dot float64
+			for d := 0; d < dim; d++ {
+				dot += float64(row[d]) * sums[c*dim+d]
+			}
+			if c == own {
+				// Exclude the point itself from its own-cluster mean.
+				a = 1 - (dot-1)/float64(sizes[c]-1)
+			} else {
+				d := 1 - dot/float64(sizes[c])
+				if d < b {
+					b = d
+				}
+			}
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			out[i] = (b - a) / den
+		}
+	}
+	return out
+}
+
+// ClusterSilhouettes averages per-point silhouettes by cluster and returns
+// them sorted by decreasing average (the paper's Figure 11 ranking).
+type ClusterSilhouette struct {
+	Cluster int
+	Size    int
+	Avg     float64
+}
+
+// RankBySilhouette computes the Figure 11 series.
+func RankBySilhouette(s *embed.Space, assign []int) []ClusterSilhouette {
+	sil := Silhouette(s, assign)
+	sums := map[int]float64{}
+	sizes := map[int]int{}
+	for i, c := range assign {
+		sums[c] += sil[i]
+		sizes[c]++
+	}
+	out := make([]ClusterSilhouette, 0, len(sums))
+	for c, sum := range sums {
+		out = append(out, ClusterSilhouette{Cluster: c, Size: sizes[c], Avg: sum / float64(sizes[c])})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Avg != out[j].Avg {
+			return out[i].Avg > out[j].Avg
+		}
+		return out[i].Cluster < out[j].Cluster
+	})
+	return out
+}

@@ -1,0 +1,255 @@
+// Package core wires the DarkVec methodology together (§5): active-sender
+// filtering, service definition, corpus construction, a single Word2Vec
+// embedding, the semi-supervised k-NN evaluation (§6) and the unsupervised
+// k′-NN graph + Louvain clustering (§7).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/darkvec/darkvec/internal/corpus"
+	"github.com/darkvec/darkvec/internal/embed"
+	"github.com/darkvec/darkvec/internal/graphx"
+	"github.com/darkvec/darkvec/internal/knn"
+	"github.com/darkvec/darkvec/internal/labels"
+	"github.com/darkvec/darkvec/internal/louvain"
+	"github.com/darkvec/darkvec/internal/metrics"
+	"github.com/darkvec/darkvec/internal/netutil"
+	"github.com/darkvec/darkvec/internal/services"
+	"github.com/darkvec/darkvec/internal/trace"
+	"github.com/darkvec/darkvec/internal/w2v"
+)
+
+// ServiceKind selects the §5.2 service definition.
+type ServiceKind string
+
+// Supported service definitions.
+const (
+	ServiceSingle ServiceKind = "single"
+	ServiceAuto   ServiceKind = "auto"
+	ServiceDomain ServiceKind = "domain"
+)
+
+// Config parameterises a DarkVec run. The zero value plus DefaultConfig()
+// reproduces the paper's operating point: domain-knowledge services,
+// ΔT = 1 h, V = 50, c = 25, k = 7, k′ = 3, active threshold 10 packets.
+type Config struct {
+	Services   ServiceKind
+	AutoTopN   int   // auto-defined services: top-n ports (paper: 10)
+	DeltaT     int64 // sequence window seconds (paper: 1 hour)
+	MinPackets int   // active-sender threshold (paper: 10)
+	K          int   // k-NN classifier neighbours (paper: 7)
+	KPrime     int   // clustering graph out-degree (paper: 3)
+	W2V        w2v.Config
+	// Custom, when non-nil, overrides Services with a user-supplied port →
+	// service map (an operator's own Table 7).
+	Custom *services.Custom
+}
+
+// DefaultConfig returns the paper's operating point.
+func DefaultConfig() Config {
+	return Config{
+		Services:   ServiceDomain,
+		AutoTopN:   10,
+		DeltaT:     corpus.DefaultDeltaT,
+		MinPackets: 10,
+		K:          7,
+		KPrime:     3,
+		W2V: w2v.Config{
+			Dim:          50,
+			Window:       25,
+			Epochs:       10,
+			Negative:     5,
+			Workers:      1,
+			Seed:         1,
+			ShrinkWindow: true,
+			PadToken:     "NULL",
+		},
+	}
+}
+
+// Definition materialises the configured service definition (Auto needs the
+// training trace to rank ports).
+func (c Config) Definition(tr *trace.Trace) (services.Definition, error) {
+	if c.Custom != nil {
+		return c.Custom, nil
+	}
+	switch c.Services {
+	case ServiceSingle:
+		return services.Single{}, nil
+	case ServiceAuto, "":
+		n := c.AutoTopN
+		if n == 0 {
+			n = 10
+		}
+		return services.NewAuto(tr, n), nil
+	case ServiceDomain:
+		return services.NewDomain(), nil
+	}
+	return nil, fmt.Errorf("core: unknown service kind %q", c.Services)
+}
+
+// Embedding is a trained DarkVec model plus bookkeeping.
+type Embedding struct {
+	Model     *w2v.Model
+	Corpus    *corpus.Corpus
+	Active    map[netutil.IPv4]bool // senders that passed the filter
+	TrainTime time.Duration
+	SkipGrams int64 // padded pair count per the Table 3 accounting
+	Epochs    int
+}
+
+// TrainEmbedding runs the §5 pipeline on a training trace: filter active
+// senders, build the per-service ΔT corpus, train one Word2Vec model.
+func TrainEmbedding(tr *trace.Trace, cfg Config) (*Embedding, error) {
+	if cfg.MinPackets == 0 {
+		cfg.MinPackets = 10
+	}
+	if cfg.DeltaT == 0 {
+		cfg.DeltaT = corpus.DefaultDeltaT
+	}
+	active := tr.ActiveSenders(cfg.MinPackets)
+	filtered := tr.FilterSenders(active)
+	def, err := cfg.Definition(filtered)
+	if err != nil {
+		return nil, err
+	}
+	corp := corpus.Build(filtered, def, cfg.DeltaT)
+	start := time.Now()
+	model, err := w2v.Train(corp.Sentences(), cfg.W2V)
+	if err != nil {
+		return nil, err
+	}
+	epochs := cfg.W2V.Epochs
+	if epochs == 0 {
+		epochs = 10
+	}
+	window := cfg.W2V.Window
+	if window == 0 {
+		window = 25
+	}
+	return &Embedding{
+		Model:     model,
+		Corpus:    corp,
+		Active:    active,
+		TrainTime: time.Since(start),
+		SkipGrams: corp.SkipGrams(window, cfg.W2V.PadToken != "") * int64(epochs),
+		Epochs:    epochs,
+	}, nil
+}
+
+// EvalSpace projects the evaluation population into a query space and
+// reports coverage: the fraction of that population the embedding knows
+// (Fig 6's metric). The population is the senders present in eval and
+// marked active — pass the active-sender set of the FULL dataset (the
+// paper's definition); nil falls back to the training trace's active set,
+// which is only equivalent when the model was trained on the full dataset.
+func (e *Embedding) EvalSpace(eval *trace.Trace, active map[netutil.IPv4]bool) (*embed.Space, float64) {
+	if active == nil {
+		active = e.Active
+	}
+	present := map[string]bool{}
+	total, covered := 0, 0
+	for _, ip := range eval.Senders() {
+		if !active[ip] {
+			continue
+		}
+		total++
+		w := ip.String()
+		if _, ok := e.Model.Vocab.ID(w); ok {
+			present[w] = true
+			covered++
+		}
+	}
+	space := embed.FromModel(e.Model, present)
+	var cov float64
+	if total > 0 {
+		cov = float64(covered) / float64(total)
+	}
+	return space, cov
+}
+
+// Evaluate runs the Leave-One-Out k-NN protocol over the space with labels
+// from set, producing the paper-style report.
+func Evaluate(space *embed.Space, set *labels.Set, k int) metrics.Report {
+	return knn.Evaluate(space, wordLabels(space, set), k, labels.Unknown)
+}
+
+// Predictions returns raw LOO k-NN predictions (for GT extension, §6.4).
+func Predictions(space *embed.Space, set *labels.Set, k int) []knn.Prediction {
+	return knn.Classify(space, wordLabels(space, set), k)
+}
+
+func wordLabels(space *embed.Space, set *labels.Set) map[string]string {
+	out := make(map[string]string, space.Len())
+	for _, w := range space.Words {
+		ip, err := netutil.ParseIPv4(w)
+		if err != nil {
+			continue
+		}
+		out[w] = set.Class(ip)
+	}
+	return out
+}
+
+// Clustering is the unsupervised stage output.
+type Clustering struct {
+	Assign     []int // per space row
+	Clusters   int
+	Modularity float64
+	Graph      *graphx.Graph
+}
+
+// Cluster builds the k′-NN graph over the space and extracts Louvain
+// communities (§7.1–7.2).
+func Cluster(space *embed.Space, kPrime int, seed uint64) Clustering {
+	if kPrime <= 0 {
+		kPrime = 3
+	}
+	g := graphx.KNNGraph(space, kPrime)
+	res := louvain.Run(g, louvain.Options{Seed: seed})
+	return Clustering{
+		Assign:     res.Community,
+		Clusters:   res.Communities,
+		Modularity: res.Modularity,
+		Graph:      g,
+	}
+}
+
+// Heatmap computes Figure 3: for each (GT class, service) pair, the
+// fraction of the class's packets that hit the service, using the given
+// service definition. Rows are classes, columns services.
+type Heatmap struct {
+	Classes  []string
+	Services []string
+	// Frac[class][service] is normalised per class (columns of the paper's
+	// figure, which normalises per sender class).
+	Frac map[string]map[string]float64
+}
+
+// BuildHeatmap aggregates eval-trace traffic by class and service.
+func BuildHeatmap(tr *trace.Trace, set *labels.Set, def services.Definition) Heatmap {
+	counts := map[string]map[string]int{}
+	totals := map[string]int{}
+	for _, e := range tr.Events {
+		c := set.Class(e.Src)
+		s := def.Service(e.Key())
+		if counts[c] == nil {
+			counts[c] = map[string]int{}
+		}
+		counts[c][s]++
+		totals[c]++
+	}
+	h := Heatmap{Services: def.Names(), Frac: map[string]map[string]float64{}}
+	for c, svc := range counts {
+		h.Classes = append(h.Classes, c)
+		h.Frac[c] = map[string]float64{}
+		for s, n := range svc {
+			h.Frac[c][s] = float64(n) / float64(totals[c])
+		}
+	}
+	sort.Strings(h.Classes)
+	return h
+}

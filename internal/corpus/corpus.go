@@ -1,0 +1,127 @@
+// Package corpus turns a darknet trace into the word sequences DarkVec
+// trains on (§5.2): senders' IP addresses are words; packets are split by
+// service and by fixed ΔT time windows; within one (service, window) cell
+// the arrival-ordered sender addresses form one sequence. The union of all
+// sequences over all services is the corpus for a single Word2Vec model.
+package corpus
+
+import (
+	"sort"
+
+	"github.com/darkvec/darkvec/internal/services"
+	"github.com/darkvec/darkvec/internal/trace"
+)
+
+// Sequence is one "sentence": the senders hitting one service during one ΔT
+// window, in arrival order.
+type Sequence struct {
+	Service string
+	Window  int // zero-based window index from the trace start
+	Words   []string
+}
+
+// Corpus is the full training input.
+type Corpus struct {
+	Sequences []Sequence
+	DeltaT    int64 // seconds
+	Kind      string
+}
+
+// DefaultDeltaT is the paper's ΔT of one hour.
+const DefaultDeltaT = int64(3600)
+
+// Build constructs the corpus for the trace under the given service
+// definition and window width in seconds.
+func Build(t *trace.Trace, def services.Definition, deltaT int64) *Corpus {
+	if deltaT <= 0 {
+		deltaT = DefaultDeltaT
+	}
+	type cell struct {
+		service string
+		window  int
+	}
+	first, _ := t.Span()
+	cells := make(map[cell][]string)
+	order := make([]cell, 0, 64)
+	for _, e := range t.Events {
+		c := cell{
+			service: def.Service(e.Key()),
+			window:  int((e.Ts - first) / deltaT),
+		}
+		if _, ok := cells[c]; !ok {
+			order = append(order, c)
+		}
+		cells[c] = append(cells[c], e.Src.String())
+	}
+	// Stable corpus order: by window then service name, so training with a
+	// fixed seed is reproducible regardless of event interleaving.
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].window != order[j].window {
+			return order[i].window < order[j].window
+		}
+		return order[i].service < order[j].service
+	})
+	out := &Corpus{DeltaT: deltaT, Kind: def.Kind()}
+	for _, c := range order {
+		out.Sequences = append(out.Sequences, Sequence{
+			Service: c.service,
+			Window:  c.window,
+			Words:   cells[c],
+		})
+	}
+	return out
+}
+
+// Tokens returns the total number of words across all sequences.
+func (c *Corpus) Tokens() int {
+	n := 0
+	for _, s := range c.Sequences {
+		n += len(s.Words)
+	}
+	return n
+}
+
+// Sentences exposes the corpus in the [][]string shape the Word2Vec trainer
+// consumes. The inner slices are shared with the corpus, not copied.
+func (c *Corpus) Sentences() [][]string {
+	out := make([][]string, len(c.Sequences))
+	for i := range c.Sequences {
+		out[i] = c.Sequences[i].Words
+	}
+	return out
+}
+
+// Vocabulary returns the distinct words with their corpus frequencies.
+func (c *Corpus) Vocabulary() map[string]int {
+	v := make(map[string]int)
+	for _, s := range c.Sequences {
+		for _, w := range s.Words {
+			v[w]++
+		}
+	}
+	return v
+}
+
+// SkipGrams counts the (center, context) training pairs a window of size c
+// yields. With padding (the paper's NULL-word scheme) every token has
+// exactly 2c context slots; without it, windows clip at sequence edges.
+// This is the "Skip-grams" column of Table 3.
+func (c *Corpus) SkipGrams(window int, padded bool) int64 {
+	var n int64
+	for _, s := range c.Sequences {
+		l := len(s.Words)
+		if l == 0 {
+			continue
+		}
+		if padded {
+			n += int64(l) * int64(2*window)
+			continue
+		}
+		for i := 0; i < l; i++ {
+			left := min(window, i)
+			right := min(window, l-1-i)
+			n += int64(left + right)
+		}
+	}
+	return n
+}

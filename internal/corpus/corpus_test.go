@@ -1,0 +1,142 @@
+package corpus
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/darkvec/darkvec/internal/netutil"
+	"github.com/darkvec/darkvec/internal/packet"
+	"github.com/darkvec/darkvec/internal/services"
+	"github.com/darkvec/darkvec/internal/trace"
+)
+
+func ev(ts int64, src string, port uint16) trace.Event {
+	return trace.Event{
+		Ts:    ts,
+		Src:   netutil.MustParseIPv4(src),
+		Port:  port,
+		Proto: packet.IPProtocolTCP,
+	}
+}
+
+func TestBuildSplitsByServiceAndWindow(t *testing.T) {
+	// Two services (telnet 23, ssh 22) over two one-hour windows.
+	tr := trace.New([]trace.Event{
+		ev(0, "10.0.0.1", 23),
+		ev(10, "10.0.0.2", 23),
+		ev(20, "10.0.0.3", 22),
+		ev(3600, "10.0.0.4", 23),
+		ev(3700, "10.0.0.5", 22),
+	})
+	c := Build(tr, services.NewDomain(), 3600)
+	if len(c.Sequences) != 4 {
+		t.Fatalf("sequences = %d: %+v", len(c.Sequences), c.Sequences)
+	}
+	// Stable order: window asc, then service name asc.
+	wantServices := []string{"ssh", "telnet", "ssh", "telnet"}
+	wantWindows := []int{0, 0, 1, 1}
+	for i, s := range c.Sequences {
+		if s.Service != wantServices[i] || s.Window != wantWindows[i] {
+			t.Fatalf("seq %d = {%s w%d}, want {%s w%d}", i, s.Service, s.Window, wantServices[i], wantWindows[i])
+		}
+	}
+	// Arrival order within a cell.
+	telnet0 := c.Sequences[1]
+	if !reflect.DeepEqual(telnet0.Words, []string{"10.0.0.1", "10.0.0.2"}) {
+		t.Fatalf("telnet window 0 words = %v", telnet0.Words)
+	}
+}
+
+func TestBuildSameSenderMultipleServices(t *testing.T) {
+	tr := trace.New([]trace.Event{
+		ev(0, "10.0.0.1", 23),
+		ev(1, "10.0.0.1", 22),
+	})
+	c := Build(tr, services.NewDomain(), 3600)
+	count := 0
+	for _, s := range c.Sequences {
+		for _, w := range s.Words {
+			if w == "10.0.0.1" {
+				count++
+			}
+		}
+	}
+	if count != 2 {
+		t.Fatalf("sender must appear in both services, got %d", count)
+	}
+}
+
+func TestTokensAndVocabulary(t *testing.T) {
+	tr := trace.New([]trace.Event{
+		ev(0, "10.0.0.1", 23),
+		ev(1, "10.0.0.1", 23),
+		ev(2, "10.0.0.2", 23),
+	})
+	c := Build(tr, services.Single{}, 3600)
+	if c.Tokens() != 3 {
+		t.Fatalf("tokens = %d", c.Tokens())
+	}
+	v := c.Vocabulary()
+	if v["10.0.0.1"] != 2 || v["10.0.0.2"] != 1 {
+		t.Fatalf("vocab = %v", v)
+	}
+}
+
+func TestSkipGramCounts(t *testing.T) {
+	tr := trace.New([]trace.Event{
+		ev(0, "10.0.0.1", 23),
+		ev(1, "10.0.0.2", 23),
+		ev(2, "10.0.0.3", 23),
+		ev(3, "10.0.0.4", 23),
+	})
+	c := Build(tr, services.Single{}, 3600)
+	// One sequence of length 4, window 2.
+	// Padded: 4 tokens × 2·2 = 16.
+	if got := c.SkipGrams(2, true); got != 16 {
+		t.Fatalf("padded = %d", got)
+	}
+	// Clipped: positions contribute 2+3+3+2 = 10.
+	if got := c.SkipGrams(2, false); got != 10 {
+		t.Fatalf("clipped = %d", got)
+	}
+	// Window larger than the sequence: clipped = n(n-1) ordered pairs.
+	if got := c.SkipGrams(10, false); got != 12 {
+		t.Fatalf("wide clipped = %d", got)
+	}
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	events := []trace.Event{
+		ev(0, "10.0.0.1", 23), ev(0, "10.0.0.2", 22), ev(0, "10.0.0.3", 445),
+		ev(3601, "10.0.0.4", 23), ev(7300, "10.0.0.5", 22),
+	}
+	a := Build(trace.New(append([]trace.Event(nil), events...)), services.NewDomain(), 3600)
+	b := Build(trace.New(append([]trace.Event(nil), events...)), services.NewDomain(), 3600)
+	if !reflect.DeepEqual(a.Sequences, b.Sequences) {
+		t.Fatal("corpus construction must be deterministic")
+	}
+}
+
+func TestBuildDefaultDeltaT(t *testing.T) {
+	tr := trace.New([]trace.Event{ev(0, "10.0.0.1", 23)})
+	c := Build(tr, services.Single{}, 0)
+	if c.DeltaT != DefaultDeltaT {
+		t.Fatalf("deltaT = %d", c.DeltaT)
+	}
+}
+
+func TestSentencesShareStorage(t *testing.T) {
+	tr := trace.New([]trace.Event{ev(0, "10.0.0.1", 23), ev(1, "10.0.0.2", 23)})
+	c := Build(tr, services.Single{}, 3600)
+	s := c.Sentences()
+	if len(s) != 1 || len(s[0]) != 2 {
+		t.Fatalf("sentences = %v", s)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	c := Build(&trace.Trace{}, services.Single{}, 3600)
+	if len(c.Sequences) != 0 || c.Tokens() != 0 || c.SkipGrams(5, true) != 0 {
+		t.Fatal("empty trace must yield empty corpus")
+	}
+}

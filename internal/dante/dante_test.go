@@ -1,0 +1,86 @@
+package dante
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/darkvec/darkvec/internal/netutil"
+	"github.com/darkvec/darkvec/internal/packet"
+	"github.com/darkvec/darkvec/internal/trace"
+)
+
+func ip(s string) netutil.IPv4 { return netutil.MustParseIPv4(s) }
+
+func mk(ts int64, src string, port uint16) trace.Event {
+	return trace.Event{
+		Ts: ts, Src: ip(src), Dst: ip("198.18.0.1"),
+		Port: port, Proto: packet.IPProtocolTCP,
+	}
+}
+
+func fixture() *trace.Trace {
+	var events []trace.Event
+	ts := int64(0)
+	add := func(src string, ports ...uint16) {
+		for _, p := range ports {
+			events = append(events, mk(ts, src, p))
+			ts++
+		}
+	}
+	// Two behavioural groups by port profile.
+	add("1.0.0.1", 23, 2323, 23, 2323, 23)
+	add("1.0.0.2", 23, 23, 2323, 23, 2323)
+	add("2.0.0.1", 80, 443, 8080, 80, 443)
+	add("2.0.0.2", 443, 80, 443, 8080, 80)
+	return trace.New(events)
+}
+
+func TestSkipGramCount(t *testing.T) {
+	tr := fixture()
+	// 4 senders × 5 tokens × 2·window pairs × epochs.
+	got := SkipGramCount(tr, nil, 3, 2)
+	want := int64(4 * 5 * 6 * 2)
+	if got != want {
+		t.Fatalf("skipgrams = %d, want %d", got, want)
+	}
+}
+
+func TestSkipGramCountActiveFilter(t *testing.T) {
+	tr := fixture()
+	active := map[netutil.IPv4]bool{ip("1.0.0.1"): true}
+	got := SkipGramCount(tr, active, 2, 1)
+	if got != 5*4 {
+		t.Fatalf("skipgrams = %d", got)
+	}
+}
+
+func TestBudgetGuard(t *testing.T) {
+	tr := fixture()
+	_, err := Train(tr, nil, Config{Dim: 8, Window: 3, Epochs: 2, MaxSkipGrams: 10})
+	var be *ErrBudget
+	if !errors.As(err, &be) {
+		t.Fatalf("error = %v, want ErrBudget", err)
+	}
+	if be.Pairs <= be.Budget {
+		t.Fatalf("budget error fields: %+v", be)
+	}
+}
+
+func TestTrainGroupsSimilarSenders(t *testing.T) {
+	tr := fixture()
+	space, err := Train(tr, nil, Config{Dim: 12, Window: 2, Epochs: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space.Len() != 4 {
+		t.Fatalf("space = %d senders", space.Len())
+	}
+	i1, _ := space.Index("1.0.0.1")
+	i2, _ := space.Index("1.0.0.2")
+	j1, _ := space.Index("2.0.0.1")
+	within := space.Cosine(i1, i2)
+	across := space.Cosine(i1, j1)
+	if within <= across {
+		t.Fatalf("within-group %.3f must beat across-group %.3f", within, across)
+	}
+}

@@ -1,0 +1,294 @@
+// Package embed wraps a trained embedding in the query structure the
+// DarkVec analyses need: an L2-normalised matrix keyed by word, cosine
+// similarity, and exact top-k nearest-neighbour search (the paper's
+// classifier and clustering both use exact cosine k-NN).
+package embed
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/darkvec/darkvec/internal/w2v"
+)
+
+// Space is a set of words with unit-norm vectors. Rows are dense; word ids
+// are positions in Words.
+type Space struct {
+	Words []string
+	Dim   int
+	rows  []float32 // len(Words) x Dim, each row L2-normalised
+	index map[string]int
+}
+
+// FromModel builds a Space from a trained model, keeping only words in keep
+// (nil keeps all) and dropping the pad token.
+func FromModel(m *w2v.Model, keep map[string]bool) *Space {
+	pad := m.Cfg.PadToken
+	var words []string
+	for _, w := range m.Words() {
+		if w == pad && pad != "" {
+			continue
+		}
+		if keep != nil && !keep[w] {
+			continue
+		}
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	s := &Space{
+		Words: words,
+		Dim:   m.Dim(),
+		rows:  make([]float32, len(words)*m.Dim()),
+		index: make(map[string]int, len(words)),
+	}
+	for i, w := range words {
+		s.index[w] = i
+		v, _ := m.Vector(w)
+		copy(s.rows[i*s.Dim:(i+1)*s.Dim], v)
+		normalize(s.rows[i*s.Dim : (i+1)*s.Dim])
+	}
+	return s
+}
+
+// New builds a Space directly from words and vectors (vectors are copied and
+// normalised). Lengths must agree.
+func New(words []string, vectors [][]float32) (*Space, error) {
+	if len(words) != len(vectors) {
+		return nil, errors.New("embed: words/vectors length mismatch")
+	}
+	if len(words) == 0 {
+		return &Space{index: map[string]int{}}, nil
+	}
+	dim := len(vectors[0])
+	s := &Space{
+		Words: append([]string(nil), words...),
+		Dim:   dim,
+		rows:  make([]float32, len(words)*dim),
+		index: make(map[string]int, len(words)),
+	}
+	for i, v := range vectors {
+		if len(v) != dim {
+			return nil, errors.New("embed: ragged vector dimensions")
+		}
+		s.index[words[i]] = i
+		copy(s.rows[i*dim:(i+1)*dim], v)
+		normalize(s.rows[i*dim : (i+1)*dim])
+	}
+	return s, nil
+}
+
+func normalize(v []float32) {
+	var ss float64
+	for _, x := range v {
+		ss += float64(x) * float64(x)
+	}
+	if ss == 0 {
+		return
+	}
+	inv := float32(1 / math.Sqrt(ss))
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// Len returns the number of words.
+func (s *Space) Len() int { return len(s.Words) }
+
+// Index returns the row of word, if present.
+func (s *Space) Index(word string) (int, bool) {
+	i, ok := s.index[word]
+	return i, ok
+}
+
+// Row returns the unit vector at row i (shared storage).
+func (s *Space) Row(i int) []float32 { return s.rows[i*s.Dim : (i+1)*s.Dim] }
+
+// Cosine returns the cosine similarity between rows i and j.
+func (s *Space) Cosine(i, j int) float64 {
+	a, b := s.Row(i), s.Row(j)
+	var dot float32
+	for k := range a {
+		dot += a[k] * b[k]
+	}
+	return float64(dot)
+}
+
+// Neighbor is one nearest-neighbour hit.
+type Neighbor struct {
+	Row int
+	Sim float64
+}
+
+// neighborHeap is a min-heap on similarity, holding the current best k.
+type neighborHeap []Neighbor
+
+func (h neighborHeap) Len() int            { return len(h) }
+func (h neighborHeap) Less(i, j int) bool  { return h[i].Sim < h[j].Sim }
+func (h neighborHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *neighborHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *neighborHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// KNN returns the k rows most cosine-similar to row i, excluding i itself,
+// ordered by decreasing similarity. Ties break toward the lower row index
+// for determinism.
+func (s *Space) KNN(i, k int) []Neighbor {
+	if k <= 0 || s.Len() <= 1 {
+		return nil
+	}
+	q := s.Row(i)
+	h := make(neighborHeap, 0, k+1)
+	dim := s.Dim
+	for j := 0; j < s.Len(); j++ {
+		if j == i {
+			continue
+		}
+		row := s.rows[j*dim : (j+1)*dim]
+		var dot float32
+		for t := 0; t < dim; t++ {
+			dot += q[t] * row[t]
+		}
+		sim := float64(dot)
+		if len(h) < k {
+			heap.Push(&h, Neighbor{Row: j, Sim: sim})
+		} else if sim > h[0].Sim {
+			h[0] = Neighbor{Row: j, Sim: sim}
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]Neighbor, len(h))
+	copy(out, h)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Sim != out[b].Sim {
+			return out[a].Sim > out[b].Sim
+		}
+		return out[a].Row < out[b].Row
+	})
+	return out
+}
+
+// AllKNN computes KNN for every row. With rows ~ tens of thousands this is
+// the dominant O(n²·V) cost of the unsupervised stage, so it streams rows
+// without allocating the full similarity matrix.
+func (s *Space) AllKNN(k int) [][]Neighbor {
+	return s.AllKNNParallel(k, 1)
+}
+
+// AllKNNParallel is AllKNN sharded over workers goroutines (workers <= 0
+// uses GOMAXPROCS). Row results are independent, so the output is identical
+// to the sequential version regardless of worker count.
+func (s *Space) AllKNNParallel(k, workers int) [][]Neighbor {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := s.Len()
+	out := make([][]Neighbor, n)
+	if workers == 1 || n < 2*workers {
+		for i := range out {
+			out[i] = s.KNN(i, k)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(start int) {
+			defer wg.Done()
+			for i := start; i < n; i += workers {
+				out[i] = s.KNN(i, k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+
+// Similar is a nearest-neighbour hit resolved to its word.
+type Similar struct {
+	Word string
+	Sim  float64
+}
+
+// MostSimilar returns the k words most cosine-similar to word, the
+// word2vec-style query an analyst uses to pivot from one suspicious sender
+// to its cohort. The second return is false when the word is not in the
+// space.
+func (s *Space) MostSimilar(word string, k int) ([]Similar, bool) {
+	i, ok := s.index[word]
+	if !ok {
+		return nil, false
+	}
+	nn := s.KNN(i, k)
+	out := make([]Similar, len(nn))
+	for j, n := range nn {
+		out[j] = Similar{Word: s.Words[n.Row], Sim: n.Sim}
+	}
+	return out, true
+}
+
+// Analogy solves a : b :: c : ? — the classic word2vec vector-offset query
+// (king - man + woman). It returns the k words nearest to
+// vec(b) - vec(a) + vec(c), excluding the three inputs. On darknet
+// embeddings this asks "which sender relates to c the way b relates to a"
+// (e.g. pivoting from one scan team to the corresponding member of another
+// team). ok is false when any input word is missing.
+func (s *Space) Analogy(a, b, c string, k int) ([]Similar, bool) {
+	ia, okA := s.index[a]
+	ib, okB := s.index[b]
+	ic, okC := s.index[c]
+	if !okA || !okB || !okC || k <= 0 {
+		return nil, false
+	}
+	q := make([]float32, s.Dim)
+	ra, rb, rc := s.Row(ia), s.Row(ib), s.Row(ic)
+	var ss float64
+	for d := 0; d < s.Dim; d++ {
+		q[d] = rb[d] - ra[d] + rc[d]
+		ss += float64(q[d]) * float64(q[d])
+	}
+	if ss > 0 {
+		inv := float32(1 / math.Sqrt(ss))
+		for d := range q {
+			q[d] *= inv
+		}
+	}
+	exclude := map[int]bool{ia: true, ib: true, ic: true}
+	h := make(neighborHeap, 0, k+1)
+	for j := 0; j < s.Len(); j++ {
+		if exclude[j] {
+			continue
+		}
+		row := s.Row(j)
+		var dot float32
+		for d := 0; d < s.Dim; d++ {
+			dot += q[d] * row[d]
+		}
+		sim := float64(dot)
+		if len(h) < k {
+			heap.Push(&h, Neighbor{Row: j, Sim: sim})
+		} else if sim > h[0].Sim {
+			h[0] = Neighbor{Row: j, Sim: sim}
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]Similar, len(h))
+	for j, n := range h {
+		out[j] = Similar{Word: s.Words[n.Row], Sim: n.Sim}
+	}
+	sort.Slice(out, func(x, y int) bool {
+		if out[x].Sim != out[y].Sim {
+			return out[x].Sim > out[y].Sim
+		}
+		return out[x].Word < out[y].Word
+	})
+	return out, true
+}

@@ -1,0 +1,92 @@
+package embed
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteText exports the space in the word2vec text format: a "count dim"
+// header line, then one "word v1 v2 ... vDim" line per row. The vectors
+// written are the unit-normalised rows, which is what similarity tooling
+// consumes.
+func (s *Space) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", s.Len(), s.Dim); err != nil {
+		return err
+	}
+	for i, word := range s.Words {
+		if _, err := bw.WriteString(word); err != nil {
+			return err
+		}
+		row := s.Row(i)
+		for _, v := range row {
+			if err := bw.WriteByte(' '); err != nil {
+				return err
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(float64(v), 'g', -1, 32)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the word2vec text format written by WriteText (or by any
+// other word2vec implementation). Vectors are re-normalised on load.
+func ReadText(r io.Reader) (*Space, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("embed: reading header: %w", err)
+	}
+	parts := strings.Fields(header)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("embed: malformed header %q", strings.TrimSpace(header))
+	}
+	count, err := strconv.Atoi(parts[0])
+	if err != nil || count < 0 {
+		return nil, fmt.Errorf("embed: bad count %q", parts[0])
+	}
+	dim, err := strconv.Atoi(parts[1])
+	if err != nil || dim <= 0 {
+		return nil, fmt.Errorf("embed: bad dimension %q", parts[1])
+	}
+	words := make([]string, 0, count)
+	vectors := make([][]float32, 0, count)
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 1
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != dim+1 {
+			return nil, fmt.Errorf("embed: line %d has %d fields, want %d", line, len(fields), dim+1)
+		}
+		vec := make([]float32, dim)
+		for i := 0; i < dim; i++ {
+			v, err := strconv.ParseFloat(fields[i+1], 32)
+			if err != nil {
+				return nil, fmt.Errorf("embed: line %d: %w", line, err)
+			}
+			vec[i] = float32(v)
+		}
+		words = append(words, fields[0])
+		vectors = append(vectors, vec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(words) != count {
+		return nil, fmt.Errorf("embed: header promises %d rows, found %d", count, len(words))
+	}
+	return New(words, vectors)
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/darkvec/darkvec/internal/cluster"
+	"github.com/darkvec/darkvec/internal/core"
+	"github.com/darkvec/darkvec/internal/honeypot"
+	"github.com/darkvec/darkvec/internal/labels"
+	"github.com/darkvec/darkvec/internal/netutil"
+	"github.com/darkvec/darkvec/internal/packet"
+)
+
+// HoneypotVerify reproduces §7.3.3's confirmation of the unknown6 SSH
+// brute-force cluster: the unsupervised stage surfaces an SSH-dominant
+// cluster of unlabeled senders; their port-22 activity is replayed against
+// a live loopback honeypot; the honeypot's per-source attempt counts
+// confirm (or not) the brute-force hypothesis.
+func (e *Env) HoneypotVerify() (Result, error) {
+	space, err := e.unsupSpace()
+	if err != nil {
+		return Result{}, err
+	}
+	cl := core.Cluster(space, e.Opts.KPrime, e.Opts.Seed)
+	lbl := map[string]string{}
+	for _, w := range space.Words {
+		if ip, perr := netutil.ParseIPv4(w); perr == nil {
+			lbl[w] = e.GT.Class(ip)
+		}
+	}
+	profiles := cluster.Inspect(e.Full, space.Words, cl.Assign, nil, lbl, labels.Unknown)
+
+	// Pick the largest cluster whose traffic is SSH-dominant.
+	var target *cluster.Profile
+	for i := range profiles {
+		p := &profiles[i]
+		if len(p.TopPorts) == 0 || len(p.Senders) < 4 {
+			continue
+		}
+		top := p.TopPorts[0]
+		if top.Key.Port == 22 && top.Key.Proto == packet.IPProtocolTCP && top.TrafficShare > 0.5 {
+			if target == nil || len(p.Senders) > len(target.Senders) {
+				target = p
+			}
+		}
+	}
+	r := Result{
+		ID:     "honeypot",
+		Title:  "Honeypot confirmation of the SSH brute-force cluster (§7.3.3)",
+		Header: []string{"metric", "value"},
+	}
+	if target == nil {
+		r.Rows = append(r.Rows, []string{"ssh-dominant cluster", "not found at this scale"})
+		return r, nil
+	}
+
+	// Per-sender SSH attempt volume from the trace.
+	sshEvents := map[netutil.IPv4]int{}
+	members := map[netutil.IPv4]bool{}
+	for _, ip := range target.Senders {
+		members[ip] = true
+	}
+	for _, ev := range e.Full.Events {
+		if members[ev.Src] && ev.Port == 22 && ev.Proto == packet.IPProtocolTCP {
+			sshEvents[ev.Src]++
+		}
+	}
+
+	srv, err := honeypot.Listen("127.0.0.1:0")
+	if err != nil {
+		return r, err
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := (honeypot.Replayer{Addr: srv.Addr()}).Replay(ctx, sshEvents); err != nil {
+		return r, err
+	}
+	verdicts := honeypot.Verify(srv.AttemptsBySource(), 3)
+	confirmed := 0
+	for _, v := range verdicts {
+		if v.Confirm {
+			confirmed++
+		}
+	}
+	// Oracle: how many members actually came from the planted SSH group?
+	planted := 0
+	for _, ip := range e.Out.Groups["unknown6-ssh"] {
+		if members[ip] {
+			planted++
+		}
+	}
+	r.Rows = append(r.Rows,
+		[]string{"cluster", fmt.Sprintf("C%d", target.Cluster)},
+		[]string{"members", itoa(len(target.Senders))},
+		[]string{"ssh traffic share", pct(target.TopPorts[0].TrafficShare)},
+		[]string{"replayed sources", itoa(len(sshEvents))},
+		[]string{"confirmed brute-forcers", itoa(confirmed)},
+		[]string{"members from planted unknown6", itoa(planted)},
+	)
+	r.Notes = append(r.Notes,
+		"paper: honeypot data confirmed the brute-force activity of the unknown6 senders")
+	return r, nil
+}

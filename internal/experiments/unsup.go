@@ -1,0 +1,377 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/darkvec/darkvec/internal/cluster"
+	"github.com/darkvec/darkvec/internal/core"
+	"github.com/darkvec/darkvec/internal/embed"
+	"github.com/darkvec/darkvec/internal/labels"
+	"github.com/darkvec/darkvec/internal/metrics"
+	"github.com/darkvec/darkvec/internal/netutil"
+	"github.com/darkvec/darkvec/internal/trace"
+)
+
+// unsupSpace returns the domain-services embedding projected over the
+// last-day active senders — the input of every unsupervised experiment.
+func (e *Env) unsupSpace() (*embed.Space, error) {
+	emb, err := e.Embedding(core.ServiceDomain, e.Opts.Days)
+	if err != nil {
+		return nil, err
+	}
+	space, _ := emb.EvalSpace(e.Last, e.Active)
+	return space, nil
+}
+
+// Fig10 sweeps k′ and reports the number of Louvain clusters and the
+// modularity, plus the elbow choice.
+func (e *Env) Fig10() (Result, error) {
+	space, err := e.unsupSpace()
+	if err != nil {
+		return Result{}, err
+	}
+	r := Result{
+		ID:     "fig10",
+		Title:  "Louvain clusters and modularity vs k'",
+		Header: []string{"k'", "clusters", "modularity"},
+	}
+	var curve []float64
+	for kp := 1; kp <= 14; kp++ {
+		cl := core.Cluster(space, kp, e.Opts.Seed)
+		r.Rows = append(r.Rows, []string{itoa(kp), itoa(cl.Clusters), f3(cl.Modularity)})
+		curve = append(curve, float64(cl.Clusters))
+	}
+	elbow := metrics.Elbow(curve) + 1 // k' is 1-based
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("elbow of the cluster-count curve at k' = %d (paper: 3)", elbow),
+		"paper Fig. 10: thousands of tiny clusters at k'=1, stabilising with high modularity from k'=3")
+	return r, nil
+}
+
+// Fig11 ranks clusters (at k′ = 3) by average member silhouette.
+func (e *Env) Fig11() (Result, error) {
+	space, err := e.unsupSpace()
+	if err != nil {
+		return Result{}, err
+	}
+	cl := core.Cluster(space, e.Opts.KPrime, e.Opts.Seed)
+	ranked := cluster.RankBySilhouette(space, cl.Assign)
+	r := Result{
+		ID:     "fig11",
+		Title:  "Average silhouette per cluster, ranked",
+		Header: []string{"rank", "cluster", "size", "avg-silhouette"},
+	}
+	excellent := 0
+	for i, cs := range ranked {
+		r.Rows = append(r.Rows, []string{itoa(i + 1), itoa(cs.Cluster), itoa(cs.Size), f3(cs.Avg)})
+		if cs.Avg > 0.5 {
+			excellent++
+		}
+	}
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("%d/%d clusters above 0.5 silhouette (paper: more than half)", excellent, len(ranked)),
+		"negative-silhouette clusters hold senders without temporal structure (cf. Stretchoid, Fig 9a)")
+	return r, nil
+}
+
+// Table5 runs the full unsupervised pipeline and matches detected clusters
+// against the planted coordinated groups.
+func (e *Env) Table5() (Result, error) {
+	space, err := e.unsupSpace()
+	if err != nil {
+		return Result{}, err
+	}
+	cl := core.Cluster(space, e.Opts.KPrime, e.Opts.Seed)
+	sil := cluster.Silhouette(space, cl.Assign)
+	lbl := map[string]string{}
+	for _, w := range space.Words {
+		if ip, perr := netutil.ParseIPv4(w); perr == nil {
+			lbl[w] = e.GT.Class(ip)
+		}
+	}
+	profiles := cluster.Inspect(e.Full, space.Words, cl.Assign, sil, lbl, labels.Unknown)
+
+	r := Result{
+		ID:     "table5",
+		Title:  "Detected coordinated groups (k'=3 + Louvain)",
+		Header: []string{"cluster", "senders", "ports", "avg-sil", "best-group-match", "recovered", "description"},
+	}
+	// Row → planted group recall: for each profile, the planted group with
+	// the largest member overlap.
+	memberOf := map[netutil.IPv4]string{}
+	groupSize := map[string]int{}
+	for name, ips := range e.Out.Groups {
+		for _, ip := range ips {
+			memberOf[ip] = name
+		}
+		groupSize[name] = len(ips)
+	}
+	bestRecall := map[string]float64{} // planted group → best single-cluster recall
+	for _, p := range profiles {
+		if len(p.Senders) < 3 {
+			continue // the paper's table lists substantial clusters only
+		}
+		overlap := map[string]int{}
+		for _, ip := range p.Senders {
+			if g, ok := memberOf[ip]; ok {
+				overlap[g]++
+			}
+		}
+		best, bestN := "", 0
+		for _, g := range sortedKeys(overlap) {
+			if overlap[g] > bestN {
+				best, bestN = g, overlap[g]
+			}
+		}
+		recovered := "–"
+		if best != "" {
+			rec := float64(bestN) / float64(groupSize[best])
+			recovered = pct(rec)
+			if rec > bestRecall[best] {
+				bestRecall[best] = rec
+			}
+		}
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("C%d", p.Cluster), itoa(len(p.Senders)), itoa(p.Ports),
+			f2(p.AvgSil), best, recovered, p.Describe(labels.Unknown),
+		})
+	}
+	// Summary: which planted groups were surfaced at all.
+	var found, missed []string
+	for _, g := range e.Out.SortedGroupNames() {
+		if bestRecall[g] >= 0.5 {
+			found = append(found, g)
+		} else {
+			missed = append(missed, fmt.Sprintf("%s(%.0f%%)", g, bestRecall[g]*100))
+		}
+	}
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("groups recovered at ≥50%% by a single cluster: %v", found),
+		fmt.Sprintf("weaker or split: %v", missed),
+		"paper Table 5: Censys/Shadowserver sub-groups plus unknown1..8 surface as separate clusters")
+	return r, nil
+}
+
+// Fig12to15 reports the temporal structure of the clusters matching the
+// paper's case studies: Censys sub-clusters (Fig 12), Shadowserver tiers
+// (Fig 13), the unknown1 NetBIOS /24 (Fig 14) and the ADB worm ramp
+// (Fig 15).
+func (e *Env) Fig12to15() (Result, error) {
+	r := Result{
+		ID:     "fig12-15",
+		Title:  "Activity structure of notable planted groups",
+		Header: []string{"group", "senders", "mean-occupancy", "mean-burstiness", "ramp-corr"},
+	}
+	groups := []string{
+		"censys",
+		"shadowserver-c25", "shadowserver-c29", "shadowserver-c37",
+		"unknown1-netbios", "unknown4-adb",
+	}
+	for _, g := range groups {
+		ips := e.Out.Groups[g]
+		if len(ips) == 0 {
+			continue
+		}
+		raster := e.Full.Raster(ips, 3600)
+		occ := metrics.Mean(raster.Occupancy())
+		burst := metrics.Mean(raster.Burstiness())
+		// Ramp detection works on daily bins: hourly bins are mostly empty
+		// and would drown the growth trend in zeros.
+		daily := e.Full.Raster(ips, 86400)
+		r.Rows = append(r.Rows, []string{
+			g, itoa(len(ips)), f3(occ), f2(burst), f2(rampCorrelation(daily)),
+		})
+	}
+	// Censys sub-structure: port sets of the 7 teams barely overlap
+	// (paper: inter-cluster Jaccard ≈ 0.19).
+	r.Notes = append(r.Notes,
+		"unknown4-adb's positive ramp correlation is the worm spreading (paper Fig. 15)",
+		"unknown1's low burstiness is the clockwork NetBIOS scan (paper Fig. 14)")
+	return r, nil
+}
+
+// rampCorrelation measures whether group activity grows over time: the
+// Pearson correlation between bin index and the number of active senders in
+// the bin. The ADB worm scores high; steady scanners score near 0.
+func rampCorrelation(raster trace.ActivityRaster) float64 {
+	if raster.Bins == 0 {
+		return 0
+	}
+	counts := make([]float64, raster.Bins)
+	for _, cells := range raster.Cells {
+		for _, b := range cells {
+			counts[b]++
+		}
+	}
+	n := float64(len(counts))
+	var sx, sy, sxx, syy, sxy float64
+	for i, y := range counts {
+		x := float64(i)
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	num := n*sxy - sx*sy
+	den := math.Sqrt((n*sxx - sx*sx) * (n*syy - sy*sy))
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// AblationClusterers compares the classic clustering algorithms the paper
+// dismisses (§7.1) against the k′-NN graph + Louvain pipeline on the same
+// embedding, scoring each by mean silhouette and GT purity.
+func (e *Env) AblationClusterers() (Result, error) {
+	space, err := e.unsupSpace()
+	if err != nil {
+		return Result{}, err
+	}
+	lv := core.Cluster(space, e.Opts.KPrime, e.Opts.Seed)
+	k := lv.Clusters
+	if k < 2 {
+		k = 8
+	}
+	type method struct {
+		name   string
+		assign []int
+	}
+	km, _ := cluster.KMeans(space, k, 30, e.Opts.Seed)
+	db := cluster.DBSCAN(space, 0.15, 4)
+	methods := []method{
+		{"graph+louvain", lv.Assign},
+		{"kmeans", km},
+		{"dbscan", compactNoise(db)},
+	}
+	if space.Len() <= 1500 {
+		methods = append(methods, method{"hac", cluster.HAC(space, k)})
+	}
+	r := Result{
+		ID:     "ablation",
+		Title:  "Clustering methods on the same embedding",
+		Header: []string{"method", "clusters", "mean-silhouette", "gt-purity", "planted-ARI", "noise"},
+	}
+	for _, m := range methods {
+		sil := metrics.Mean(cluster.Silhouette(space, m.assign))
+		purity, noise := e.purity(space, m.assign)
+		r.Rows = append(r.Rows, []string{
+			m.name, itoa(distinct(m.assign)), f3(sil), f2(purity),
+			f2(e.plantedARI(space, m.assign)), pct(noise),
+		})
+	}
+	r.Notes = append(r.Notes,
+		"§7.1: plain k-means/DBSCAN/HAC underperform in high-dimensional cosine space; the k'-NN graph + Louvain wins")
+	return r, nil
+}
+
+// compactNoise maps DBSCAN's -1 noise label onto per-point singleton
+// clusters so silhouette/purity remain well defined.
+func compactNoise(assign []int) []int {
+	out := make([]int, len(assign))
+	next := 0
+	for _, a := range assign {
+		if a >= next {
+			next = a + 1
+		}
+	}
+	for i, a := range assign {
+		if a == cluster.Noise {
+			out[i] = next
+			next++
+		} else {
+			out[i] = a
+		}
+	}
+	return out
+}
+
+func distinct(assign []int) int {
+	set := map[int]bool{}
+	for _, a := range assign {
+		set[a] = true
+	}
+	return len(set)
+}
+
+// plantedARI computes the Adjusted Rand Index between an assignment and the
+// planted coordinated-group partition, restricted to planted members (the
+// background has no ground-truth partition to agree with).
+func (e *Env) plantedARI(space *embed.Space, assign []int) float64 {
+	groupID := map[string]int{}
+	for i, name := range e.Out.SortedGroupNames() {
+		groupID[name] = i
+	}
+	memberGroup := map[string]int{}
+	for name, ips := range e.Out.Groups {
+		for _, ip := range ips {
+			memberGroup[ip.String()] = groupID[name]
+		}
+	}
+	var truth, pred []int
+	for row, c := range assign {
+		if g, ok := memberGroup[space.Words[row]]; ok {
+			truth = append(truth, g)
+			pred = append(pred, c)
+		}
+	}
+	if len(truth) == 0 {
+		return 0
+	}
+	return metrics.AdjustedRandIndex(truth, pred)
+}
+
+// purity scores an assignment by the weighted share of members matching
+// their cluster's dominant planted group (background senders excluded), and
+// returns the fraction of rows in singleton clusters ("noise").
+func (e *Env) purity(space *embed.Space, assign []int) (float64, float64) {
+	memberOf := map[string]string{}
+	for name, ips := range e.Out.Groups {
+		for _, ip := range ips {
+			memberOf[ip.String()] = name
+		}
+	}
+	clusters := map[int][]int{}
+	for row, c := range assign {
+		clusters[c] = append(clusters[c], row)
+	}
+	matched, total := 0, 0
+	singletons := 0
+	ids := make([]int, 0, len(clusters))
+	for c := range clusters {
+		ids = append(ids, c)
+	}
+	sort.Ints(ids)
+	for _, c := range ids {
+		rows := clusters[c]
+		if len(rows) == 1 {
+			singletons++
+		}
+		counts := map[string]int{}
+		members := 0
+		for _, row := range rows {
+			if g, ok := memberOf[space.Words[row]]; ok {
+				counts[g]++
+				members++
+			}
+		}
+		if members == 0 {
+			continue
+		}
+		best := 0
+		for _, n := range counts {
+			if n > best {
+				best = n
+			}
+		}
+		matched += best
+		total += members
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	return float64(matched) / float64(total), float64(singletons) / float64(len(clusters))
+}

@@ -1,0 +1,145 @@
+package graphx
+
+import (
+	"math"
+	"testing"
+
+	"github.com/darkvec/darkvec/internal/embed"
+)
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 0.5)
+	if g.Edges() != 1 {
+		t.Fatalf("edges = %d", g.Edges())
+	}
+	mustPanic(t, func() { g.AddEdge(0, 5, 1) })
+	mustPanic(t, func() { g.AddEdge(-1, 0, 1) })
+	mustPanic(t, func() { g.AddEdge(0, 1, -1) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestTotalWeight(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 0.5)
+	g.AddEdge(1, 0, 0.25)
+	g.AddEdge(2, 2, 1)
+	if got := g.TotalWeight(); math.Abs(got-1.75) > 1e-12 {
+		t.Fatalf("total = %v", got)
+	}
+}
+
+func TestUndirectedSumsBothDirections(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 0.5)
+	g.AddEdge(1, 0, 0.25)
+	g.AddEdge(0, 2, 1)
+	und := g.Undirected()
+	// Edge 0-1 weight must be 0.75 in both adjacency lists.
+	var w01, w10 float64
+	for _, e := range und.Out[0] {
+		if e.To == 1 {
+			w01 = e.Weight
+		}
+	}
+	for _, e := range und.Out[1] {
+		if e.To == 0 {
+			w10 = e.Weight
+		}
+	}
+	if math.Abs(w01-0.75) > 1e-12 || math.Abs(w10-0.75) > 1e-12 {
+		t.Fatalf("w01=%v w10=%v", w01, w10)
+	}
+	// Total undirected weight counts each pair twice (both directions).
+	if got := und.TotalWeight(); math.Abs(got-2*1.75) > 1e-12 {
+		t.Fatalf("und total = %v", got)
+	}
+}
+
+func TestUndirectedKeepsSelfLoops(t *testing.T) {
+	g := New(1)
+	g.AddEdge(0, 0, 2)
+	und := g.Undirected()
+	if len(und.Out[0]) != 1 || und.Out[0][0].Weight != 2 {
+		t.Fatalf("self loop = %+v", und.Out[0])
+	}
+}
+
+func TestKNNGraph(t *testing.T) {
+	words := []string{"a1", "a2", "a3", "b1", "b2"}
+	vecs := [][]float32{{1, 0}, {1, 0.05}, {1, -0.05}, {0, 1}, {0.05, 1}}
+	s, err := embed.New(words, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := KNNGraph(s, 2)
+	if g.N() != 5 {
+		t.Fatalf("n = %d", g.N())
+	}
+	for v, es := range g.Out {
+		if len(es) != 2 {
+			t.Fatalf("vertex %d out-degree = %d", v, len(es))
+		}
+		for _, e := range es {
+			if e.Weight <= 0 {
+				t.Fatalf("edge weight %v must be positive", e.Weight)
+			}
+		}
+	}
+	// a1's neighbours are a2, a3 — never the b's.
+	for _, e := range g.Out[0] {
+		if e.To > 2 {
+			t.Fatalf("a1 linked to %d", e.To)
+		}
+	}
+}
+
+func TestKNNGraphClampsNegativeCosine(t *testing.T) {
+	s, err := embed.New([]string{"a", "b"}, [][]float32{{1, 0}, {-1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := KNNGraph(s, 1)
+	if g.Out[0][0].Weight <= 0 {
+		t.Fatal("antipodal neighbour must get a clamped positive weight")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(6)
+	// Two triangles, no bridge.
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 0, 1)
+	g.AddEdge(3, 4, 1)
+	g.AddEdge(4, 5, 1)
+	comp := g.ConnectedComponents()
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatalf("first triangle split: %v", comp)
+	}
+	if comp[3] != comp[4] || comp[4] != comp[5] {
+		t.Fatalf("second group split: %v", comp)
+	}
+	if comp[0] == comp[3] {
+		t.Fatalf("components merged: %v", comp)
+	}
+}
+
+func TestConnectedComponentsDirectionIgnored(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 1, 1) // only incoming for 1; still one component
+	comp := g.ConnectedComponents()
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatalf("directed edges must not split components: %v", comp)
+	}
+}

@@ -1,0 +1,142 @@
+package honeypot
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/darkvec/darkvec/internal/netutil"
+)
+
+func startServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestBannerAndAuthRecording(t *testing.T) {
+	s := startServer(t)
+	conn, err := net.DialTimeout("tcp", s.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	banner, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(banner, "SSH-2.0-") {
+		t.Fatalf("banner = %q", banner)
+	}
+	fmt.Fprintln(conn, "HELLO 10.1.2.3")
+	fmt.Fprintln(conn, "AUTH root root")
+	if resp, _ := br.ReadString('\n'); strings.TrimSpace(resp) != "DENIED" {
+		t.Fatalf("response = %q", resp)
+	}
+	fmt.Fprintln(conn, "AUTH admin admin")
+	if resp, _ := br.ReadString('\n'); strings.TrimSpace(resp) != "DENIED" {
+		t.Fatalf("second response wrong")
+	}
+	fmt.Fprintln(conn, "QUIT")
+	conn.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if len(s.Attempts()) == 2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	attempts := s.Attempts()
+	if len(attempts) != 2 {
+		t.Fatalf("attempts = %d", len(attempts))
+	}
+	if attempts[0].Source != netutil.MustParseIPv4("10.1.2.3") || attempts[0].User != "root" {
+		t.Fatalf("attempt[0] = %+v", attempts[0])
+	}
+}
+
+func TestAuthWithoutHelloIgnored(t *testing.T) {
+	s := startServer(t)
+	conn, err := net.DialTimeout("tcp", s.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(conn, "AUTH root root") // no HELLO: must not be recorded
+	fmt.Fprintln(conn, "QUIT")
+	time.Sleep(50 * time.Millisecond)
+	if n := len(s.Attempts()); n != 0 {
+		t.Fatalf("attempts = %d, want 0", n)
+	}
+}
+
+func TestReplayerEndToEnd(t *testing.T) {
+	s := startServer(t)
+	attempts := map[netutil.IPv4]int{
+		netutil.MustParseIPv4("203.0.113.5"):  6,
+		netutil.MustParseIPv4("203.0.113.9"):  2,
+		netutil.MustParseIPv4("198.51.100.1"): 25, // capped at 10
+	}
+	r := Replayer{Addr: s.Addr()}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := r.Replay(ctx, attempts); err != nil {
+		t.Fatal(err)
+	}
+	by := s.AttemptsBySource()
+	if by[netutil.MustParseIPv4("203.0.113.5")] != 6 {
+		t.Fatalf("203.0.113.5 = %d", by[netutil.MustParseIPv4("203.0.113.5")])
+	}
+	if by[netutil.MustParseIPv4("198.51.100.1")] != 10 {
+		t.Fatalf("cap broken: %d", by[netutil.MustParseIPv4("198.51.100.1")])
+	}
+
+	verdicts := Verify(by, 3)
+	confirmed := map[netutil.IPv4]bool{}
+	for _, v := range verdicts {
+		confirmed[v.Source] = v.Confirm
+	}
+	if !confirmed[netutil.MustParseIPv4("203.0.113.5")] {
+		t.Fatal("6 attempts must confirm brute force")
+	}
+	if confirmed[netutil.MustParseIPv4("203.0.113.9")] {
+		t.Fatal("2 attempts must not confirm")
+	}
+}
+
+func TestServerCloseStopsAccepting(t *testing.T) {
+	s, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+		conn.Close()
+		t.Fatal("closed server must refuse connections")
+	}
+}
+
+func TestVerifyDefaults(t *testing.T) {
+	by := map[netutil.IPv4]int{netutil.MustParseIPv4("1.1.1.1"): 3}
+	v := Verify(by, 0)
+	if len(v) != 1 || !v[0].Confirm {
+		t.Fatalf("verdicts = %+v", v)
+	}
+}

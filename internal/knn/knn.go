@@ -1,0 +1,173 @@
+// Package knn implements the semi-supervised stage of DarkVec (§6): a
+// k-nearest-neighbour classifier over an embedding space with cosine
+// similarity, majority voting, and the Leave-One-Out evaluation protocol the
+// paper uses for Tables 3, 4 and 6 and Figures 6–8.
+package knn
+
+import (
+	"sort"
+
+	"github.com/darkvec/darkvec/internal/embed"
+	"github.com/darkvec/darkvec/internal/metrics"
+)
+
+// Prediction is the classification outcome for one word.
+type Prediction struct {
+	Word    string
+	Truth   string
+	Label   string  // predicted class
+	AvgSim  float64 // mean cosine similarity to the k neighbours
+	Support int     // votes received by the winning class
+}
+
+// Classify predicts the class of every labeled word by majority vote over
+// its k nearest neighbours in the space, Leave-One-Out style: the word
+// itself never votes. labels maps word → class for every word that has a
+// label (including the catch-all Unknown class, which votes like any other).
+// Words present in the space but absent from labels do not vote and are not
+// classified.
+func Classify(s *embed.Space, labels map[string]string, k int) []Prediction {
+	// Row → label lookup aligned with the space.
+	rowLabel := make([]string, s.Len())
+	for i, w := range s.Words {
+		rowLabel[i] = labels[w] // "" for unlabeled
+	}
+	var out []Prediction
+	for i, w := range s.Words {
+		truth := rowLabel[i]
+		if truth == "" {
+			continue
+		}
+		// Fetch extra neighbours so unlabeled rows can be skipped while
+		// still collecting k votes.
+		votes := make([]embed.Neighbor, 0, k)
+		for fetch := k; ; fetch *= 2 {
+			nn := s.KNN(i, fetch)
+			votes = votes[:0]
+			for _, n := range nn {
+				if rowLabel[n.Row] != "" {
+					votes = append(votes, n)
+					if len(votes) == k {
+						break
+					}
+				}
+			}
+			if len(votes) == k || len(nn) >= s.Len()-1 || fetch > 4*k+16 {
+				break
+			}
+		}
+		out = append(out, vote(w, truth, votes, rowLabel))
+	}
+	return out
+}
+
+// ClassifyOne predicts the class of a single word by majority vote over its
+// k nearest labeled neighbours (the word itself never votes, so the result
+// is Leave-One-Out-consistent with Classify). ok is false when the word is
+// not in the space.
+func ClassifyOne(s *embed.Space, labels map[string]string, word string, k int) (Prediction, bool) {
+	i, ok := s.Index(word)
+	if !ok {
+		return Prediction{}, false
+	}
+	rowLabel := make([]string, s.Len())
+	for r, w := range s.Words {
+		rowLabel[r] = labels[w]
+	}
+	votes := make([]embed.Neighbor, 0, k)
+	for fetch := k; ; fetch *= 2 {
+		nn := s.KNN(i, fetch)
+		votes = votes[:0]
+		for _, n := range nn {
+			if rowLabel[n.Row] != "" {
+				votes = append(votes, n)
+				if len(votes) == k {
+					break
+				}
+			}
+		}
+		if len(votes) == k || len(nn) >= s.Len()-1 || fetch > 4*k+16 {
+			break
+		}
+	}
+	return vote(word, labels[word], votes, rowLabel), true
+}
+
+// vote tallies neighbour labels: majority count wins, ties break toward the
+// class with the larger summed similarity, then lexicographically.
+func vote(word, truth string, votes []embed.Neighbor, rowLabel []string) Prediction {
+	counts := map[string]int{}
+	sims := map[string]float64{}
+	var total float64
+	for _, v := range votes {
+		l := rowLabel[v.Row]
+		counts[l]++
+		sims[l] += v.Sim
+		total += v.Sim
+	}
+	best, bestN, bestSim := "", -1, 0.0
+	classes := make([]string, 0, len(counts))
+	for c := range counts {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		if counts[c] > bestN || (counts[c] == bestN && sims[c] > bestSim) {
+			best, bestN, bestSim = c, counts[c], sims[c]
+		}
+	}
+	p := Prediction{Word: word, Truth: truth, Label: best, Support: bestN}
+	if len(votes) > 0 {
+		p.AvgSim = total / float64(len(votes))
+	}
+	return p
+}
+
+// Evaluate runs Classify and builds the paper-style report: accuracy over
+// ground-truth classes only, with the Unknown class contributing votes and a
+// recall row but no precision/F-score.
+func Evaluate(s *embed.Space, labels map[string]string, k int, unknownLabel string) metrics.Report {
+	preds := Classify(s, labels, k)
+	truth := make([]string, len(preds))
+	pred := make([]string, len(preds))
+	for i, p := range preds {
+		truth[i], pred[i] = p.Truth, p.Label
+	}
+	return metrics.BuildReport(truth, pred, map[string]bool{unknownLabel: true})
+}
+
+// ExtendGroundTruth implements §6.4: among Unknown words predicted as GT
+// class c, keep those whose average neighbour distance does not exceed the
+// maximum average distance observed for true members of c. Returns the
+// promoted words per class, sorted by increasing average distance
+// (decreasing similarity).
+func ExtendGroundTruth(preds []Prediction, unknownLabel string) map[string][]Prediction {
+	// Per-class distance ceiling from true members.
+	maxAvgDist := map[string]float64{}
+	for _, p := range preds {
+		if p.Truth == unknownLabel || p.Truth != p.Label {
+			continue
+		}
+		d := 1 - p.AvgSim
+		if d > maxAvgDist[p.Truth] {
+			maxAvgDist[p.Truth] = d
+		}
+	}
+	out := map[string][]Prediction{}
+	for _, p := range preds {
+		if p.Truth != unknownLabel || p.Label == unknownLabel {
+			continue
+		}
+		ceil, ok := maxAvgDist[p.Label]
+		if !ok {
+			continue
+		}
+		if 1-p.AvgSim <= ceil {
+			out[p.Label] = append(out[p.Label], p)
+		}
+	}
+	for _, list := range out {
+		sort.Slice(list, func(i, j int) bool { return list[i].AvgSim > list[j].AvgSim })
+	}
+	return out
+}

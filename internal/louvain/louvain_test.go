@@ -1,0 +1,218 @@
+package louvain
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/darkvec/darkvec/internal/graphx"
+	"github.com/darkvec/darkvec/internal/netutil"
+)
+
+// clique adds a complete subgraph over the vertex ids.
+func clique(g *graphx.Graph, ids []int, w float64) {
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			g.AddEdge(ids[i], ids[j], w)
+		}
+	}
+}
+
+func TestTwoCliquesWithBridge(t *testing.T) {
+	g := graphx.New(10)
+	clique(g, []int{0, 1, 2, 3, 4}, 1)
+	clique(g, []int{5, 6, 7, 8, 9}, 1)
+	g.AddEdge(4, 5, 0.1) // weak bridge
+	res := Run(g, Options{})
+	if res.Communities != 2 {
+		t.Fatalf("communities = %d, assignment %v", res.Communities, res.Community)
+	}
+	for v := 1; v < 5; v++ {
+		if res.Community[v] != res.Community[0] {
+			t.Fatalf("clique 1 split: %v", res.Community)
+		}
+	}
+	for v := 6; v < 10; v++ {
+		if res.Community[v] != res.Community[5] {
+			t.Fatalf("clique 2 split: %v", res.Community)
+		}
+	}
+	if res.Community[0] == res.Community[5] {
+		t.Fatal("cliques merged")
+	}
+	if res.Modularity < 0.3 {
+		t.Fatalf("modularity = %v", res.Modularity)
+	}
+}
+
+func TestRingOfCliques(t *testing.T) {
+	// 4 cliques of 5, ring-connected — the classic Louvain benchmark.
+	const k, size = 4, 5
+	g := graphx.New(k * size)
+	for c := 0; c < k; c++ {
+		ids := make([]int, size)
+		for i := range ids {
+			ids[i] = c*size + i
+		}
+		clique(g, ids, 1)
+		g.AddEdge(c*size, ((c+1)%k)*size+1, 0.2)
+	}
+	res := Run(g, Options{})
+	if res.Communities != k {
+		t.Fatalf("communities = %d", res.Communities)
+	}
+	if res.Modularity < 0.5 {
+		t.Fatalf("modularity = %v", res.Modularity)
+	}
+}
+
+func TestDisconnectedComponents(t *testing.T) {
+	g := graphx.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	res := Run(g, Options{})
+	if res.Communities != 2 {
+		t.Fatalf("communities = %d", res.Communities)
+	}
+}
+
+func TestSingletonAndEmptyGraphs(t *testing.T) {
+	res := Run(graphx.New(1), Options{})
+	if res.Communities != 1 || res.Community[0] != 0 {
+		t.Fatalf("singleton: %+v", res)
+	}
+	res = Run(graphx.New(0), Options{})
+	if res.Communities != 0 {
+		t.Fatalf("empty: %+v", res)
+	}
+	// No edges: every vertex its own community, modularity 0.
+	res = Run(graphx.New(3), Options{})
+	if res.Communities != 3 || res.Modularity != 0 {
+		t.Fatalf("edgeless: %+v", res)
+	}
+}
+
+func TestCommunityIDsCompactAndSizeOrdered(t *testing.T) {
+	g := graphx.New(7)
+	clique(g, []int{0, 1, 2, 3}, 1) // big community
+	clique(g, []int{4, 5}, 1)       // small
+	// 6 isolated.
+	res := Run(g, Options{})
+	sizes := map[int]int{}
+	maxID := 0
+	for _, c := range res.Community {
+		sizes[c]++
+		if c > maxID {
+			maxID = c
+		}
+	}
+	if maxID != res.Communities-1 {
+		t.Fatalf("ids not compact: %v", res.Community)
+	}
+	// id 0 must be the largest community.
+	if sizes[0] != 4 {
+		t.Fatalf("community 0 size = %d (assignment %v)", sizes[0], res.Community)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	build := func() *graphx.Graph {
+		g := graphx.New(12)
+		clique(g, []int{0, 1, 2, 3}, 1)
+		clique(g, []int{4, 5, 6, 7}, 1)
+		clique(g, []int{8, 9, 10, 11}, 1)
+		g.AddEdge(3, 4, 0.2)
+		g.AddEdge(7, 8, 0.2)
+		return g
+	}
+	a := Run(build(), Options{Seed: 5})
+	b := Run(build(), Options{Seed: 5})
+	for v := range a.Community {
+		if a.Community[v] != b.Community[v] {
+			t.Fatal("same seed must give identical partitions")
+		}
+	}
+}
+
+func TestModularityRangeProperty(t *testing.T) {
+	f := func(edges []struct{ U, V, W uint8 }) bool {
+		if len(edges) == 0 {
+			return true
+		}
+		if len(edges) > 60 {
+			edges = edges[:60]
+		}
+		g := graphx.New(16)
+		for _, e := range edges {
+			g.AddEdge(int(e.U%16), int(e.V%16), float64(e.W%8)+0.1)
+		}
+		res := Run(g, Options{})
+		return res.Modularity >= -0.5-1e-9 && res.Modularity <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModularityOfKnownPartition(t *testing.T) {
+	// Two disconnected edges, perfect partition: Q = 1/2.
+	g := graphx.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	und := g.Undirected()
+	q := Modularity(und, []int{0, 0, 1, 1}, 1)
+	if q < 0.499 || q > 0.501 {
+		t.Fatalf("Q = %v, want 0.5", q)
+	}
+	// Everything in one community: Q = 0 for this graph... actually
+	// Q = 1 - 1 = 0 only when a single community holds all edges and all
+	// degree: in = 2m, tot = 2m → Q = 1 - 1 = 0.
+	q = Modularity(und, []int{0, 0, 0, 0}, 1)
+	if q > 1e-9 || q < -1e-9 {
+		t.Fatalf("single community Q = %v, want 0", q)
+	}
+}
+
+func TestLouvainBeatsRandomPartition(t *testing.T) {
+	rng := netutil.NewRand(9)
+	g := graphx.New(20)
+	clique(g, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 1)
+	clique(g, []int{10, 11, 12, 13, 14, 15, 16, 17, 18, 19}, 1)
+	g.AddEdge(0, 10, 0.5)
+	res := Run(g, Options{})
+	und := g.Undirected()
+	random := make([]int, 20)
+	for i := range random {
+		random[i] = rng.Intn(4)
+	}
+	if Modularity(und, random, 1) >= res.Modularity {
+		t.Fatal("Louvain must beat a random partition")
+	}
+}
+
+func TestResolutionParameter(t *testing.T) {
+	// Higher resolution favours more, smaller communities.
+	g := graphx.New(12)
+	clique(g, []int{0, 1, 2, 3, 4, 5}, 1)
+	clique(g, []int{6, 7, 8, 9, 10, 11}, 1)
+	g.AddEdge(0, 6, 0.8)
+	g.AddEdge(1, 7, 0.8)
+	low := Run(g, Options{Resolution: 0.1})
+	high := Run(g, Options{Resolution: 4})
+	if high.Communities < low.Communities {
+		t.Fatalf("resolution 4 gave %d communities, resolution 0.1 gave %d",
+			high.Communities, low.Communities)
+	}
+}
+
+func TestMaxLevelsCap(t *testing.T) {
+	g := graphx.New(9)
+	clique(g, []int{0, 1, 2}, 1)
+	clique(g, []int{3, 4, 5}, 1)
+	clique(g, []int{6, 7, 8}, 1)
+	g.AddEdge(2, 3, 0.1)
+	g.AddEdge(5, 6, 0.1)
+	res := Run(g, Options{MaxLevels: 1})
+	if res.Communities == 0 {
+		t.Fatal("capped run must still produce communities")
+	}
+}

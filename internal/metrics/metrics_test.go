@@ -1,0 +1,248 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildReportPerfect(t *testing.T) {
+	truth := []string{"a", "a", "b", "b", "b"}
+	r := BuildReport(truth, truth, nil)
+	if r.Accuracy != 1 {
+		t.Fatalf("accuracy = %v", r.Accuracy)
+	}
+	for _, c := range r.Classes {
+		if c.Precision != 1 || c.Recall != 1 || c.FScore != 1 {
+			t.Fatalf("class %s: %+v", c.Label, c)
+		}
+	}
+	// Ordering: decreasing support.
+	if r.Classes[0].Label != "b" || r.Classes[0].Support != 3 {
+		t.Fatalf("ordering: %+v", r.Classes)
+	}
+}
+
+func TestBuildReportKnownConfusion(t *testing.T) {
+	truth := []string{"a", "a", "a", "b", "b"}
+	pred := []string{"a", "a", "b", "b", "a"}
+	r := BuildReport(truth, pred, nil)
+	a := r.Class("a")
+	// a: tp=2, fn=1, fp=1 → precision 2/3, recall 2/3.
+	if math.Abs(a.Precision-2.0/3) > 1e-12 || math.Abs(a.Recall-2.0/3) > 1e-12 {
+		t.Fatalf("class a: %+v", a)
+	}
+	if math.Abs(r.Accuracy-3.0/5) > 1e-12 {
+		t.Fatalf("accuracy = %v", r.Accuracy)
+	}
+	if math.Abs(a.FScore-2.0/3) > 1e-12 {
+		t.Fatalf("fscore = %v", a.FScore)
+	}
+}
+
+func TestBuildReportSkipMetrics(t *testing.T) {
+	truth := []string{"a", "a", "unknown", "unknown"}
+	pred := []string{"a", "unknown", "unknown", "a"}
+	r := BuildReport(truth, pred, map[string]bool{"unknown": true})
+	// Accuracy over class a only: 1 of 2.
+	if math.Abs(r.Accuracy-0.5) > 1e-12 {
+		t.Fatalf("accuracy = %v", r.Accuracy)
+	}
+	u := r.Class("unknown")
+	if !math.IsNaN(u.Precision) || !math.IsNaN(u.FScore) {
+		t.Fatalf("unknown metrics should be NaN: %+v", u)
+	}
+	if math.Abs(u.Recall-0.5) > 1e-12 {
+		t.Fatalf("unknown recall = %v", u.Recall)
+	}
+	// Unknown misclassifications must still hurt class a's precision:
+	// a got one false positive from unknown.
+	a := r.Class("a")
+	if math.Abs(a.Precision-0.5) > 1e-12 {
+		t.Fatalf("a precision = %v", a.Precision)
+	}
+}
+
+func TestBuildReportMismatchedLengthsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic")
+		}
+	}()
+	BuildReport([]string{"a"}, nil, nil)
+}
+
+func TestReportString(t *testing.T) {
+	r := BuildReport([]string{"a", "unknown"}, []string{"a", "unknown"}, map[string]bool{"unknown": true})
+	s := r.String()
+	if s == "" || !strings.Contains(s, "accuracy") || !strings.Contains(s, "–") {
+		t.Fatalf("report string:\n%s", s)
+	}
+}
+
+func TestECDFBasics(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if e.Len() != 4 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+}
+
+func TestECDFQuantile(t *testing.T) {
+	e := NewECDF([]float64{10, 20, 30, 40})
+	if e.Quantile(0) != 10 || e.Quantile(1) != 40 {
+		t.Fatal("extreme quantiles broken")
+	}
+	if q := e.Quantile(0.5); q != 30 {
+		t.Fatalf("median-ish = %v", q)
+	}
+	if !math.IsNaN(NewECDF(nil).Quantile(0.5)) {
+		t.Fatal("empty ECDF quantile must be NaN")
+	}
+}
+
+func TestECDFMonotonicProperty(t *testing.T) {
+	f := func(samples []float64, probes []float64) bool {
+		for _, s := range samples {
+			if math.IsNaN(s) {
+				return true
+			}
+		}
+		e := NewECDF(samples)
+		sort.Float64s(probes)
+		prev := -1.0
+		for _, p := range probes {
+			if math.IsNaN(p) {
+				continue
+			}
+			v := e.At(p)
+			if v < 0 || v > 1 || v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	xs, ys := e.Points(5)
+	if len(xs) != 5 || len(ys) != 5 {
+		t.Fatalf("points: %v %v", xs, ys)
+	}
+	if ys[len(ys)-1] != 1 {
+		t.Fatalf("last y = %v", ys[len(ys)-1])
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] || ys[i] < ys[i-1] {
+			t.Fatal("points must be non-decreasing")
+		}
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	a := map[int]bool{1: true, 2: true, 3: true}
+	b := map[int]bool{2: true, 3: true, 4: true}
+	if got := Jaccard(a, b); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Jaccard = %v", got)
+	}
+	if Jaccard(map[int]bool{}, map[int]bool{}) != 1 {
+		t.Fatal("two empty sets must score 1")
+	}
+	if Jaccard(a, map[int]bool{}) != 0 {
+		t.Fatal("empty vs non-empty must score 0")
+	}
+	if Jaccard(a, a) != 1 {
+		t.Fatal("identical sets must score 1")
+	}
+}
+
+func TestElbow(t *testing.T) {
+	// Sharp elbow at index 2.
+	ys := []float64{1000, 400, 50, 45, 40, 38, 36}
+	if got := Elbow(ys); got != 2 {
+		t.Fatalf("Elbow = %d", got)
+	}
+	if Elbow([]float64{1, 2}) != 0 {
+		t.Fatal("short curve must return 0")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean must be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestAdjustedRandIndex(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	if got := AdjustedRandIndex(a, a); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("ARI(x,x) = %v", got)
+	}
+	// Relabeling must not matter.
+	b := []int{5, 5, 9, 9, 7, 7}
+	if got := AdjustedRandIndex(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("ARI under relabeling = %v", got)
+	}
+	// A partition splitting every pair disagrees strongly.
+	c := []int{0, 1, 0, 1, 0, 1}
+	if got := AdjustedRandIndex(a, c); got > 0.1 {
+		t.Fatalf("ARI of conflicting partitions = %v", got)
+	}
+	// Degenerate: everything in one cluster on both sides.
+	ones := []int{1, 1, 1}
+	if got := AdjustedRandIndex(ones, ones); got != 1 {
+		t.Fatalf("trivial partitions ARI = %v", got)
+	}
+	if AdjustedRandIndex(nil, nil) != 1 {
+		t.Fatal("empty ARI must be 1")
+	}
+}
+
+func TestAdjustedRandIndexRangeProperty(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		if n == 0 {
+			return true
+		}
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := 0; i < n; i++ {
+			a[i] = int(xs[i] % 5)
+			b[i] = int(ys[i] % 5)
+		}
+		v := AdjustedRandIndex(a, b)
+		return v >= -1.0001 && v <= 1.0001 && !math.IsNaN(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdjustedRandIndexMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic")
+		}
+	}()
+	AdjustedRandIndex([]int{1}, []int{1, 2})
+}

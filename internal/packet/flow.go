@@ -1,0 +1,100 @@
+package packet
+
+import (
+	"fmt"
+
+	"github.com/darkvec/darkvec/internal/netutil"
+)
+
+// EndpointType distinguishes the address family of an Endpoint.
+type EndpointType uint8
+
+// Endpoint families.
+const (
+	EndpointIPv4 EndpointType = iota + 1
+	EndpointTCPPort
+	EndpointUDPPort
+)
+
+// Endpoint is a hashable representation of one side of a flow, usable as a
+// map key (gopacket-style). For ports, Raw holds the port number; for IPv4,
+// the address.
+type Endpoint struct {
+	Type EndpointType
+	Raw  uint32
+}
+
+// NewIPv4Endpoint returns the endpoint for an IPv4 address.
+func NewIPv4Endpoint(ip netutil.IPv4) Endpoint {
+	return Endpoint{Type: EndpointIPv4, Raw: uint32(ip)}
+}
+
+// NewTCPPortEndpoint returns the endpoint for a TCP port.
+func NewTCPPortEndpoint(port uint16) Endpoint {
+	return Endpoint{Type: EndpointTCPPort, Raw: uint32(port)}
+}
+
+// NewUDPPortEndpoint returns the endpoint for a UDP port.
+func NewUDPPortEndpoint(port uint16) Endpoint {
+	return Endpoint{Type: EndpointUDPPort, Raw: uint32(port)}
+}
+
+// String implements fmt.Stringer.
+func (e Endpoint) String() string {
+	switch e.Type {
+	case EndpointIPv4:
+		return netutil.IPv4(e.Raw).String()
+	case EndpointTCPPort:
+		return fmt.Sprintf("%d/tcp", e.Raw)
+	case EndpointUDPPort:
+		return fmt.Sprintf("%d/udp", e.Raw)
+	}
+	return "invalid"
+}
+
+// FastHash returns a cheap non-cryptographic hash of the endpoint.
+func (e Endpoint) FastHash() uint64 {
+	h := uint64(e.Raw)<<8 | uint64(e.Type)
+	h *= 0x9e3779b97f4a7c15
+	return h ^ h>>29
+}
+
+// Flow is an ordered (src, dst) endpoint pair. Flows are comparable and
+// usable as map keys.
+type Flow struct {
+	Src, Dst Endpoint
+}
+
+// NewFlow builds a flow from two endpoints of the same family.
+func NewFlow(src, dst Endpoint) Flow { return Flow{Src: src, Dst: dst} }
+
+// Endpoints returns the two endpoints of the flow.
+func (f Flow) Endpoints() (src, dst Endpoint) { return f.Src, f.Dst }
+
+// Reverse returns the flow with endpoints swapped.
+func (f Flow) Reverse() Flow { return Flow{Src: f.Dst, Dst: f.Src} }
+
+// FastHash returns a symmetric hash: f and f.Reverse() hash identically, so
+// bidirectional traffic lands in the same bucket when sharding by flow.
+func (f Flow) FastHash() uint64 {
+	a, b := f.Src.FastHash(), f.Dst.FastHash()
+	return a + b + a*b // symmetric combiner
+}
+
+// String implements fmt.Stringer.
+func (f Flow) String() string { return f.Src.String() + "->" + f.Dst.String() }
+
+// NetworkFlow returns the IP-level flow of a decoded IPv4 layer.
+func (ip *IPv4) NetworkFlow() Flow {
+	return Flow{Src: NewIPv4Endpoint(ip.SrcIP), Dst: NewIPv4Endpoint(ip.DstIP)}
+}
+
+// TransportFlow returns the port-level flow of a decoded TCP layer.
+func (t *TCP) TransportFlow() Flow {
+	return Flow{Src: NewTCPPortEndpoint(t.SrcPort), Dst: NewTCPPortEndpoint(t.DstPort)}
+}
+
+// TransportFlow returns the port-level flow of a decoded UDP layer.
+func (u *UDP) TransportFlow() Flow {
+	return Flow{Src: NewUDPPortEndpoint(u.SrcPort), Dst: NewUDPPortEndpoint(u.DstPort)}
+}

@@ -1,0 +1,93 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/darkvec/darkvec/internal/netutil"
+)
+
+func TestEndpointString(t *testing.T) {
+	cases := []struct {
+		e    Endpoint
+		want string
+	}{
+		{NewIPv4Endpoint(netutil.MustParseIPv4("1.2.3.4")), "1.2.3.4"},
+		{NewTCPPortEndpoint(23), "23/tcp"},
+		{NewUDPPortEndpoint(53), "53/udp"},
+		{Endpoint{}, "invalid"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestFlowReverse(t *testing.T) {
+	f := NewFlow(NewTCPPortEndpoint(1000), NewTCPPortEndpoint(23))
+	r := f.Reverse()
+	if r.Src != f.Dst || r.Dst != f.Src {
+		t.Fatalf("Reverse broken: %v", r)
+	}
+	if r.Reverse() != f {
+		t.Fatal("double reverse must be identity")
+	}
+}
+
+func TestFlowFastHashSymmetry(t *testing.T) {
+	f := func(a, b uint32) bool {
+		fl := NewFlow(NewIPv4Endpoint(netutil.IPv4(a)), NewIPv4Endpoint(netutil.IPv4(b)))
+		return fl.FastHash() == fl.Reverse().FastHash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndpointHashDistinguishesTypes(t *testing.T) {
+	a := NewTCPPortEndpoint(80)
+	b := NewUDPPortEndpoint(80)
+	if a == b {
+		t.Fatal("tcp and udp endpoints must differ")
+	}
+	if a.FastHash() == b.FastHash() {
+		t.Error("hash collision between tcp/udp port endpoints (by construction should differ)")
+	}
+}
+
+func TestFlowsAsMapKeys(t *testing.T) {
+	m := map[Flow]int{}
+	f1 := NewFlow(NewTCPPortEndpoint(1), NewTCPPortEndpoint(2))
+	f2 := NewFlow(NewTCPPortEndpoint(1), NewTCPPortEndpoint(2))
+	m[f1]++
+	m[f2]++
+	if m[f1] != 2 {
+		t.Fatal("equal flows must collide as map keys")
+	}
+}
+
+func TestLayerFlows(t *testing.T) {
+	frame := buildFrame(t, IPProtocolTCP, 40000, 445, 1, nil)
+	var p Parser
+	var decoded []LayerType
+	if err := p.DecodeLayers(frame, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	nf := p.IP.NetworkFlow()
+	if nf.Src.String() != "10.1.2.3" || nf.Dst.String() != "198.18.0.99" {
+		t.Errorf("network flow %v", nf)
+	}
+	tf := p.TCP.TransportFlow()
+	if tf.String() != "40000/tcp->445/tcp" {
+		t.Errorf("transport flow %v", tf)
+	}
+
+	frame = buildFrame(t, IPProtocolUDP, 5000, 53, 0, nil)
+	if err := p.DecodeLayers(frame, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.UDP.TransportFlow().Dst.String(); got != "53/udp" {
+		t.Errorf("udp flow dst = %q", got)
+	}
+}

@@ -1,0 +1,437 @@
+// Package packet implements a small packet decoding and serialization
+// substrate in the style of gopacket: a Layer interface, concrete
+// Ethernet/IPv4/TCP/UDP/ICMPv4 layers, hashable Flow/Endpoint values, and an
+// allocation-free fast decoding path for the known darknet stack
+// (Ethernet → IPv4 → TCP|UDP|ICMPv4).
+//
+// The darknet pipeline only needs a handful of header fields, but the
+// decoder is a full, checksum-aware implementation so that pcap traces
+// written by the generator are valid captures that external tools can read.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/darkvec/darkvec/internal/netutil"
+)
+
+// LayerType identifies a protocol layer.
+type LayerType uint8
+
+// Known layer types.
+const (
+	LayerTypeNone LayerType = iota
+	LayerTypeEthernet
+	LayerTypeIPv4
+	LayerTypeTCP
+	LayerTypeUDP
+	LayerTypeICMPv4
+	LayerTypePayload
+)
+
+// String returns the conventional protocol name.
+func (t LayerType) String() string {
+	switch t {
+	case LayerTypeEthernet:
+		return "Ethernet"
+	case LayerTypeIPv4:
+		return "IPv4"
+	case LayerTypeTCP:
+		return "TCP"
+	case LayerTypeUDP:
+		return "UDP"
+	case LayerTypeICMPv4:
+		return "ICMPv4"
+	case LayerTypePayload:
+		return "Payload"
+	}
+	return "None"
+}
+
+// Layer is one decoded protocol layer. LayerContents is the header bytes,
+// LayerPayload everything the layer carries.
+type Layer interface {
+	LayerType() LayerType
+	LayerContents() []byte
+	LayerPayload() []byte
+}
+
+// IPProtocol is the IPv4 protocol number.
+type IPProtocol uint8
+
+// Protocol numbers used by the darknet stack.
+const (
+	IPProtocolICMPv4 IPProtocol = 1
+	IPProtocolTCP    IPProtocol = 6
+	IPProtocolUDP    IPProtocol = 17
+)
+
+// String returns the conventional lowercase protocol name used in service
+// definitions ("tcp", "udp", "icmp").
+func (p IPProtocol) String() string {
+	switch p {
+	case IPProtocolTCP:
+		return "tcp"
+	case IPProtocolUDP:
+		return "udp"
+	case IPProtocolICMPv4:
+		return "icmp"
+	}
+	return fmt.Sprintf("proto-%d", uint8(p))
+}
+
+// EtherType is the Ethernet payload type.
+type EtherType uint16
+
+// EtherTypeIPv4 is the only ethertype the darknet stack uses.
+const EtherTypeIPv4 EtherType = 0x0800
+
+// Errors returned by decoders.
+var (
+	ErrTruncated   = errors.New("packet: truncated data")
+	ErrUnsupported = errors.New("packet: unsupported protocol")
+)
+
+// Ethernet is a decoded Ethernet II frame header.
+type Ethernet struct {
+	SrcMAC, DstMAC [6]byte
+	EtherType      EtherType
+
+	contents, payload []byte
+}
+
+// LayerType implements Layer.
+func (e *Ethernet) LayerType() LayerType { return LayerTypeEthernet }
+
+// LayerContents implements Layer.
+func (e *Ethernet) LayerContents() []byte { return e.contents }
+
+// LayerPayload implements Layer.
+func (e *Ethernet) LayerPayload() []byte { return e.payload }
+
+// DecodeFromBytes parses an Ethernet II header in place, retaining references
+// into data (no copy).
+func (e *Ethernet) DecodeFromBytes(data []byte) error {
+	if len(data) < 14 {
+		return fmt.Errorf("%w: ethernet needs 14 bytes, have %d", ErrTruncated, len(data))
+	}
+	copy(e.DstMAC[:], data[0:6])
+	copy(e.SrcMAC[:], data[6:12])
+	e.EtherType = EtherType(binary.BigEndian.Uint16(data[12:14]))
+	e.contents, e.payload = data[:14], data[14:]
+	return nil
+}
+
+// SerializeTo appends the wire form of the header followed by payload.
+func (e *Ethernet) SerializeTo(b []byte, payload []byte) []byte {
+	b = append(b, e.DstMAC[:]...)
+	b = append(b, e.SrcMAC[:]...)
+	b = binary.BigEndian.AppendUint16(b, uint16(e.EtherType))
+	return append(b, payload...)
+}
+
+// IPv4 is a decoded IPv4 header. Options are retained verbatim.
+type IPv4 struct {
+	Version    uint8
+	IHL        uint8
+	TOS        uint8
+	Length     uint16
+	ID         uint16
+	Flags      uint8 // 3 bits
+	FragOffset uint16
+	TTL        uint8
+	Protocol   IPProtocol
+	Checksum   uint16
+	SrcIP      netutil.IPv4
+	DstIP      netutil.IPv4
+	Options    []byte
+
+	contents, payload []byte
+}
+
+// LayerType implements Layer.
+func (ip *IPv4) LayerType() LayerType { return LayerTypeIPv4 }
+
+// LayerContents implements Layer.
+func (ip *IPv4) LayerContents() []byte { return ip.contents }
+
+// LayerPayload implements Layer.
+func (ip *IPv4) LayerPayload() []byte { return ip.payload }
+
+// DecodeFromBytes parses an IPv4 header in place.
+func (ip *IPv4) DecodeFromBytes(data []byte) error {
+	if len(data) < 20 {
+		return fmt.Errorf("%w: ipv4 needs 20 bytes, have %d", ErrTruncated, len(data))
+	}
+	ip.Version = data[0] >> 4
+	ip.IHL = data[0] & 0x0f
+	if ip.Version != 4 {
+		return fmt.Errorf("%w: ip version %d", ErrUnsupported, ip.Version)
+	}
+	hlen := int(ip.IHL) * 4
+	if hlen < 20 || len(data) < hlen {
+		return fmt.Errorf("%w: ipv4 header length %d", ErrTruncated, hlen)
+	}
+	ip.TOS = data[1]
+	ip.Length = binary.BigEndian.Uint16(data[2:4])
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	ff := binary.BigEndian.Uint16(data[6:8])
+	ip.Flags = uint8(ff >> 13)
+	ip.FragOffset = ff & 0x1fff
+	ip.TTL = data[8]
+	ip.Protocol = IPProtocol(data[9])
+	ip.Checksum = binary.BigEndian.Uint16(data[10:12])
+	ip.SrcIP = netutil.IPv4(binary.BigEndian.Uint32(data[12:16]))
+	ip.DstIP = netutil.IPv4(binary.BigEndian.Uint32(data[16:20]))
+	ip.Options = data[20:hlen]
+	end := int(ip.Length)
+	if end < hlen || end > len(data) {
+		end = len(data)
+	}
+	ip.contents, ip.payload = data[:hlen], data[hlen:end]
+	return nil
+}
+
+// HeaderChecksum computes the ones-complement checksum over hdr with the
+// checksum field zeroed.
+func HeaderChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 { // checksum field itself
+			continue
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	if len(hdr)%2 == 1 {
+		sum += uint32(hdr[len(hdr)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum>>16 + sum&0xffff
+	}
+	return ^uint16(sum)
+}
+
+// SerializeTo appends the wire form of the header followed by payload,
+// computing Length and Checksum.
+func (ip *IPv4) SerializeTo(b []byte, payload []byte) []byte {
+	hlen := 20 + len(ip.Options)
+	ip.IHL = uint8(hlen / 4)
+	ip.Version = 4
+	ip.Length = uint16(hlen + len(payload))
+	start := len(b)
+	b = append(b, ip.Version<<4|ip.IHL, ip.TOS)
+	b = binary.BigEndian.AppendUint16(b, ip.Length)
+	b = binary.BigEndian.AppendUint16(b, ip.ID)
+	b = binary.BigEndian.AppendUint16(b, uint16(ip.Flags)<<13|ip.FragOffset)
+	b = append(b, ip.TTL, byte(ip.Protocol))
+	b = binary.BigEndian.AppendUint16(b, 0) // checksum placeholder
+	b = binary.BigEndian.AppendUint32(b, uint32(ip.SrcIP))
+	b = binary.BigEndian.AppendUint32(b, uint32(ip.DstIP))
+	b = append(b, ip.Options...)
+	ip.Checksum = HeaderChecksum(b[start:])
+	binary.BigEndian.PutUint16(b[start+10:start+12], ip.Checksum)
+	return append(b, payload...)
+}
+
+// pseudoHeaderSum returns the partial checksum of the IPv4 pseudo-header used
+// by TCP and UDP.
+func pseudoHeaderSum(src, dst netutil.IPv4, proto IPProtocol, length int) uint32 {
+	sum := uint32(src>>16) + uint32(src&0xffff)
+	sum += uint32(dst>>16) + uint32(dst&0xffff)
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}
+
+func finishChecksum(sum uint32, data []byte) uint16 {
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum>>16 + sum&0xffff
+	}
+	return ^uint16(sum)
+}
+
+// TCPFlags is the TCP flag byte (we keep only the low 8 flag bits).
+type TCPFlags uint8
+
+// TCP flag bits.
+const (
+	TCPFin TCPFlags = 1 << iota
+	TCPSyn
+	TCPRst
+	TCPPsh
+	TCPAck
+	TCPUrg
+)
+
+// TCP is a decoded TCP header.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	DataOffset       uint8
+	Flags            TCPFlags
+	Window           uint16
+	Checksum         uint16
+	Urgent           uint16
+	Options          []byte
+
+	contents, payload []byte
+}
+
+// LayerType implements Layer.
+func (t *TCP) LayerType() LayerType { return LayerTypeTCP }
+
+// LayerContents implements Layer.
+func (t *TCP) LayerContents() []byte { return t.contents }
+
+// LayerPayload implements Layer.
+func (t *TCP) LayerPayload() []byte { return t.payload }
+
+// DecodeFromBytes parses a TCP header in place.
+func (t *TCP) DecodeFromBytes(data []byte) error {
+	if len(data) < 20 {
+		return fmt.Errorf("%w: tcp needs 20 bytes, have %d", ErrTruncated, len(data))
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	t.DataOffset = data[12] >> 4
+	hlen := int(t.DataOffset) * 4
+	if hlen < 20 || len(data) < hlen {
+		return fmt.Errorf("%w: tcp header length %d", ErrTruncated, hlen)
+	}
+	t.Flags = TCPFlags(data[13])
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	t.Checksum = binary.BigEndian.Uint16(data[16:18])
+	t.Urgent = binary.BigEndian.Uint16(data[18:20])
+	t.Options = data[20:hlen]
+	t.contents, t.payload = data[:hlen], data[hlen:]
+	return nil
+}
+
+// SerializeTo appends the wire form of the header followed by payload,
+// computing the checksum over the given pseudo-header addresses.
+func (t *TCP) SerializeTo(b []byte, payload []byte, src, dst netutil.IPv4) []byte {
+	hlen := 20 + len(t.Options)
+	if hlen%4 != 0 {
+		panic("packet: tcp options must pad to a 4-byte multiple")
+	}
+	t.DataOffset = uint8(hlen / 4)
+	start := len(b)
+	b = binary.BigEndian.AppendUint16(b, t.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, t.DstPort)
+	b = binary.BigEndian.AppendUint32(b, t.Seq)
+	b = binary.BigEndian.AppendUint32(b, t.Ack)
+	b = append(b, t.DataOffset<<4, byte(t.Flags))
+	b = binary.BigEndian.AppendUint16(b, t.Window)
+	b = binary.BigEndian.AppendUint16(b, 0) // checksum placeholder
+	b = binary.BigEndian.AppendUint16(b, t.Urgent)
+	b = append(b, t.Options...)
+	b = append(b, payload...)
+	seg := b[start:]
+	t.Checksum = finishChecksum(pseudoHeaderSum(src, dst, IPProtocolTCP, len(seg)), seg)
+	binary.BigEndian.PutUint16(b[start+16:start+18], t.Checksum)
+	return b
+}
+
+// UDP is a decoded UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+
+	contents, payload []byte
+}
+
+// LayerType implements Layer.
+func (u *UDP) LayerType() LayerType { return LayerTypeUDP }
+
+// LayerContents implements Layer.
+func (u *UDP) LayerContents() []byte { return u.contents }
+
+// LayerPayload implements Layer.
+func (u *UDP) LayerPayload() []byte { return u.payload }
+
+// DecodeFromBytes parses a UDP header in place.
+func (u *UDP) DecodeFromBytes(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("%w: udp needs 8 bytes, have %d", ErrTruncated, len(data))
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Length = binary.BigEndian.Uint16(data[4:6])
+	u.Checksum = binary.BigEndian.Uint16(data[6:8])
+	u.contents, u.payload = data[:8], data[8:]
+	return nil
+}
+
+// SerializeTo appends the wire form, computing Length and Checksum.
+func (u *UDP) SerializeTo(b []byte, payload []byte, src, dst netutil.IPv4) []byte {
+	u.Length = uint16(8 + len(payload))
+	start := len(b)
+	b = binary.BigEndian.AppendUint16(b, u.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, u.DstPort)
+	b = binary.BigEndian.AppendUint16(b, u.Length)
+	b = binary.BigEndian.AppendUint16(b, 0)
+	b = append(b, payload...)
+	seg := b[start:]
+	u.Checksum = finishChecksum(pseudoHeaderSum(src, dst, IPProtocolUDP, len(seg)), seg)
+	if u.Checksum == 0 {
+		u.Checksum = 0xffff // RFC 768: transmitted zero means "no checksum"
+	}
+	binary.BigEndian.PutUint16(b[start+6:start+8], u.Checksum)
+	return b
+}
+
+// ICMPv4 is a decoded ICMPv4 header.
+type ICMPv4 struct {
+	Type, Code uint8
+	Checksum   uint16
+	ID, Seq    uint16
+
+	contents, payload []byte
+}
+
+// LayerType implements Layer.
+func (ic *ICMPv4) LayerType() LayerType { return LayerTypeICMPv4 }
+
+// LayerContents implements Layer.
+func (ic *ICMPv4) LayerContents() []byte { return ic.contents }
+
+// LayerPayload implements Layer.
+func (ic *ICMPv4) LayerPayload() []byte { return ic.payload }
+
+// DecodeFromBytes parses an ICMPv4 header in place.
+func (ic *ICMPv4) DecodeFromBytes(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("%w: icmpv4 needs 8 bytes, have %d", ErrTruncated, len(data))
+	}
+	ic.Type = data[0]
+	ic.Code = data[1]
+	ic.Checksum = binary.BigEndian.Uint16(data[2:4])
+	ic.ID = binary.BigEndian.Uint16(data[4:6])
+	ic.Seq = binary.BigEndian.Uint16(data[6:8])
+	ic.contents, ic.payload = data[:8], data[8:]
+	return nil
+}
+
+// SerializeTo appends the wire form, computing the checksum.
+func (ic *ICMPv4) SerializeTo(b []byte, payload []byte) []byte {
+	start := len(b)
+	b = append(b, ic.Type, ic.Code)
+	b = binary.BigEndian.AppendUint16(b, 0)
+	b = binary.BigEndian.AppendUint16(b, ic.ID)
+	b = binary.BigEndian.AppendUint16(b, ic.Seq)
+	b = append(b, payload...)
+	ic.Checksum = finishChecksum(0, b[start:])
+	binary.BigEndian.PutUint16(b[start+2:start+4], ic.Checksum)
+	return b
+}

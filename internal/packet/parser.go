@@ -1,0 +1,121 @@
+package packet
+
+import (
+	"fmt"
+)
+
+// Parser decodes the fixed darknet stack (Ethernet → IPv4 → TCP|UDP|ICMPv4)
+// into preallocated layer values, in the style of gopacket's
+// DecodingLayerParser: no allocation on the hot path, each DecodeLayers call
+// overwrites the embedded layer structs.
+type Parser struct {
+	Eth  Ethernet
+	IP   IPv4
+	TCP  TCP
+	UDP  UDP
+	ICMP ICMPv4
+}
+
+// DecodeLayers parses data and appends the decoded layer types to decoded
+// (reset to length zero first). On error it returns the layers successfully
+// decoded so far alongside the error, mirroring gopacket semantics.
+func (p *Parser) DecodeLayers(data []byte, decoded *[]LayerType) error {
+	*decoded = (*decoded)[:0]
+	if err := p.Eth.DecodeFromBytes(data); err != nil {
+		return err
+	}
+	*decoded = append(*decoded, LayerTypeEthernet)
+	if p.Eth.EtherType != EtherTypeIPv4 {
+		return fmt.Errorf("%w: ethertype %#04x", ErrUnsupported, uint16(p.Eth.EtherType))
+	}
+	if err := p.IP.DecodeFromBytes(p.Eth.payload); err != nil {
+		return err
+	}
+	*decoded = append(*decoded, LayerTypeIPv4)
+	switch p.IP.Protocol {
+	case IPProtocolTCP:
+		if err := p.TCP.DecodeFromBytes(p.IP.payload); err != nil {
+			return err
+		}
+		*decoded = append(*decoded, LayerTypeTCP)
+	case IPProtocolUDP:
+		if err := p.UDP.DecodeFromBytes(p.IP.payload); err != nil {
+			return err
+		}
+		*decoded = append(*decoded, LayerTypeUDP)
+	case IPProtocolICMPv4:
+		if err := p.ICMP.DecodeFromBytes(p.IP.payload); err != nil {
+			return err
+		}
+		*decoded = append(*decoded, LayerTypeICMPv4)
+	default:
+		return fmt.Errorf("%w: ip protocol %d", ErrUnsupported, uint8(p.IP.Protocol))
+	}
+	return nil
+}
+
+// Packet is a fully decoded packet: an owned copy of the raw bytes plus the
+// decoded layers. Use Parser directly when decoding in bulk.
+type Packet struct {
+	Data   []byte
+	Layers []Layer
+}
+
+// NewPacket copies data and decodes it eagerly. Unlike Parser, the returned
+// Packet is safe for concurrent reads and owns its bytes.
+func NewPacket(data []byte) (*Packet, error) {
+	owned := make([]byte, len(data))
+	copy(owned, data)
+	pkt := &Packet{Data: owned}
+
+	eth := &Ethernet{}
+	if err := eth.DecodeFromBytes(owned); err != nil {
+		return pkt, err
+	}
+	pkt.Layers = append(pkt.Layers, eth)
+	if eth.EtherType != EtherTypeIPv4 {
+		return pkt, fmt.Errorf("%w: ethertype %#04x", ErrUnsupported, uint16(eth.EtherType))
+	}
+	ip := &IPv4{}
+	if err := ip.DecodeFromBytes(eth.payload); err != nil {
+		return pkt, err
+	}
+	pkt.Layers = append(pkt.Layers, ip)
+	var l interface {
+		Layer
+		DecodeFromBytes([]byte) error
+	}
+	switch ip.Protocol {
+	case IPProtocolTCP:
+		l = &TCP{}
+	case IPProtocolUDP:
+		l = &UDP{}
+	case IPProtocolICMPv4:
+		l = &ICMPv4{}
+	default:
+		return pkt, fmt.Errorf("%w: ip protocol %d", ErrUnsupported, uint8(ip.Protocol))
+	}
+	if err := l.DecodeFromBytes(ip.payload); err != nil {
+		return pkt, err
+	}
+	pkt.Layers = append(pkt.Layers, l)
+	return pkt, nil
+}
+
+// Layer returns the first layer of the given type, or nil.
+func (p *Packet) Layer(t LayerType) Layer {
+	for _, l := range p.Layers {
+		if l.LayerType() == t {
+			return l
+		}
+	}
+	return nil
+}
+
+// NetworkLayer returns the IPv4 layer, or nil.
+func (p *Packet) NetworkLayer() *IPv4 {
+	if l := p.Layer(LayerTypeIPv4); l != nil {
+		return l.(*IPv4)
+	}
+	return nil
+}

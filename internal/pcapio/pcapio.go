@@ -1,0 +1,199 @@
+// Package pcapio reads and writes the classic libpcap capture file format
+// (https://wiki.wireshark.org/Development/LibpcapFileFormat) from scratch
+// with encoding/binary. It supports both byte orders and both microsecond
+// and nanosecond timestamp resolutions, and streams packets without holding
+// the capture in memory.
+package pcapio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Magic numbers identifying byte order and timestamp resolution.
+const (
+	MagicMicroseconds = 0xa1b2c3d4
+	MagicNanoseconds  = 0xa1b23c4d
+)
+
+// LinkType is the pcap link-layer header type.
+type LinkType uint32
+
+// LinkTypeEthernet is DLT_EN10MB, the only link type the darknet uses.
+const LinkTypeEthernet LinkType = 1
+
+// ErrBadMagic is returned when the global header magic is unrecognised.
+var ErrBadMagic = errors.New("pcapio: unrecognised magic number")
+
+// Header is the pcap per-packet record header, decoded.
+type Header struct {
+	Ts      time.Time
+	CapLen  uint32 // bytes saved in file
+	OrigLen uint32 // bytes on the wire
+}
+
+// Writer emits a pcap stream. Create with NewWriter, then call WriteHeader
+// once followed by WritePacket per packet.
+type Writer struct {
+	w       *bufio.Writer
+	nanos   bool
+	snaplen uint32
+	wrote   bool
+}
+
+// NewWriter wraps w. Timestamps are written at microsecond resolution unless
+// WithNanos is applied.
+func NewWriter(w io.Writer, opts ...WriterOption) *Writer {
+	pw := &Writer{w: bufio.NewWriter(w), snaplen: 65535}
+	for _, o := range opts {
+		o(pw)
+	}
+	return pw
+}
+
+// WriterOption configures a Writer.
+type WriterOption func(*Writer)
+
+// WithNanos selects nanosecond timestamp resolution.
+func WithNanos() WriterOption { return func(w *Writer) { w.nanos = true } }
+
+// WithSnaplen sets the advertised snapshot length.
+func WithSnaplen(n uint32) WriterOption { return func(w *Writer) { w.snaplen = n } }
+
+// WriteHeader writes the global file header for the given link type.
+func (w *Writer) WriteHeader(link LinkType) error {
+	if w.wrote {
+		return errors.New("pcapio: header already written")
+	}
+	w.wrote = true
+	var hdr [24]byte
+	magic := uint32(MagicMicroseconds)
+	if w.nanos {
+		magic = MagicNanoseconds
+	}
+	binary.LittleEndian.PutUint32(hdr[0:4], magic)
+	binary.LittleEndian.PutUint16(hdr[4:6], 2)  // version major
+	binary.LittleEndian.PutUint16(hdr[6:8], 4)  // version minor
+	binary.LittleEndian.PutUint32(hdr[8:12], 0) // thiszone
+	binary.LittleEndian.PutUint32(hdr[12:16], 0)
+	binary.LittleEndian.PutUint32(hdr[16:20], w.snaplen)
+	binary.LittleEndian.PutUint32(hdr[20:24], uint32(link))
+	_, err := w.w.Write(hdr[:])
+	return err
+}
+
+// WritePacket writes one packet record. data longer than the snaplen is
+// truncated in the file but the original length is preserved in the header.
+func (w *Writer) WritePacket(ts time.Time, data []byte) error {
+	if !w.wrote {
+		return errors.New("pcapio: WriteHeader not called")
+	}
+	capLen := uint32(len(data))
+	if capLen > w.snaplen {
+		capLen = w.snaplen
+	}
+	var hdr [16]byte
+	sec := uint32(ts.Unix())
+	var frac uint32
+	if w.nanos {
+		frac = uint32(ts.Nanosecond())
+	} else {
+		frac = uint32(ts.Nanosecond() / 1000)
+	}
+	binary.LittleEndian.PutUint32(hdr[0:4], sec)
+	binary.LittleEndian.PutUint32(hdr[4:8], frac)
+	binary.LittleEndian.PutUint32(hdr[8:12], capLen)
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(data)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.w.Write(data[:capLen])
+	return err
+}
+
+// Flush flushes buffered output to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader consumes a pcap stream. It detects byte order and timestamp
+// resolution from the magic number.
+type Reader struct {
+	r       *bufio.Reader
+	order   binary.ByteOrder
+	nanos   bool
+	link    LinkType
+	snaplen uint32
+	buf     []byte
+}
+
+// NewReader parses the global header of r and returns a packet reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcapio: reading global header: %w", err)
+	}
+	pr := &Reader{r: br}
+	magicLE := binary.LittleEndian.Uint32(hdr[0:4])
+	magicBE := binary.BigEndian.Uint32(hdr[0:4])
+	switch {
+	case magicLE == MagicMicroseconds:
+		pr.order = binary.LittleEndian
+	case magicLE == MagicNanoseconds:
+		pr.order, pr.nanos = binary.LittleEndian, true
+	case magicBE == MagicMicroseconds:
+		pr.order = binary.BigEndian
+	case magicBE == MagicNanoseconds:
+		pr.order, pr.nanos = binary.BigEndian, true
+	default:
+		return nil, fmt.Errorf("%w: %#08x", ErrBadMagic, magicLE)
+	}
+	pr.snaplen = pr.order.Uint32(hdr[16:20])
+	pr.link = LinkType(pr.order.Uint32(hdr[20:24]))
+	return pr, nil
+}
+
+// LinkType returns the capture's link-layer type.
+func (r *Reader) LinkType() LinkType { return r.link }
+
+// Snaplen returns the capture's snapshot length.
+func (r *Reader) Snaplen() uint32 { return r.snaplen }
+
+// ReadPacket returns the next packet. The returned data slice is reused on
+// the next call; copy it to retain. io.EOF marks a clean end of stream.
+func (r *Reader) ReadPacket() (Header, []byte, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Header{}, nil, err
+	}
+	sec := r.order.Uint32(hdr[0:4])
+	frac := r.order.Uint32(hdr[4:8])
+	capLen := r.order.Uint32(hdr[8:12])
+	origLen := r.order.Uint32(hdr[12:16])
+	if capLen > r.snaplen && capLen > 1<<20 {
+		return Header{}, nil, fmt.Errorf("pcapio: implausible capture length %d", capLen)
+	}
+	nanos := int64(frac)
+	if !r.nanos {
+		nanos *= 1000
+	}
+	h := Header{
+		Ts:      time.Unix(int64(sec), nanos).UTC(),
+		CapLen:  capLen,
+		OrigLen: origLen,
+	}
+	if cap(r.buf) < int(capLen) {
+		r.buf = make([]byte, capLen)
+	}
+	r.buf = r.buf[:capLen]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		return Header{}, nil, fmt.Errorf("pcapio: truncated packet record: %w", err)
+	}
+	return h, r.buf, nil
+}

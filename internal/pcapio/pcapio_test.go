@@ -1,0 +1,285 @@
+package pcapio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteHeader(LinkTypeEthernet); err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2021, 3, 2, 10, 0, 0, 123456000, time.UTC)
+	pkts := [][]byte{{1, 2, 3}, {4, 5, 6, 7}, {8}}
+	for i, p := range pkts {
+		if err := w.WritePacket(base.Add(time.Duration(i)*time.Second), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType() != LinkTypeEthernet {
+		t.Fatalf("link type = %d", r.LinkType())
+	}
+	for i, want := range pkts {
+		hdr, data, err := r.ReadPacket()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, want) {
+			t.Errorf("packet %d = %v, want %v", i, data, want)
+		}
+		wantTs := base.Add(time.Duration(i) * time.Second)
+		if hdr.Ts.Unix() != wantTs.Unix() {
+			t.Errorf("packet %d ts = %v, want %v", i, hdr.Ts, wantTs)
+		}
+		// Microsecond resolution: fraction preserved to the microsecond.
+		if hdr.Ts.Nanosecond() != 123456000 {
+			t.Errorf("packet %d frac = %d", i, hdr.Ts.Nanosecond())
+		}
+		if hdr.CapLen != uint32(len(want)) || hdr.OrigLen != uint32(len(want)) {
+			t.Errorf("packet %d lens = %d/%d", i, hdr.CapLen, hdr.OrigLen)
+		}
+	}
+	if _, _, err := r.ReadPacket(); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestNanosecondResolution(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, WithNanos())
+	if err := w.WriteHeader(LinkTypeEthernet); err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Date(2021, 3, 2, 0, 0, 0, 987654321, time.UTC)
+	if err := w.WritePacket(ts, []byte{0xff}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, _, err := r.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Ts.Nanosecond() != 987654321 {
+		t.Fatalf("nanos = %d", hdr.Ts.Nanosecond())
+	}
+}
+
+func TestSnaplenTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, WithSnaplen(4))
+	if err := w.WriteHeader(LinkTypeEthernet); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(time.Unix(0, 0), []byte{1, 2, 3, 4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, data, err := r.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.CapLen != 4 || hdr.OrigLen != 6 || len(data) != 4 {
+		t.Fatalf("caplen=%d origlen=%d len=%d", hdr.CapLen, hdr.OrigLen, len(data))
+	}
+}
+
+func TestBigEndianReading(t *testing.T) {
+	// Hand-craft a big-endian capture.
+	var buf bytes.Buffer
+	hdr := make([]byte, 24)
+	binary.BigEndian.PutUint32(hdr[0:4], MagicMicroseconds)
+	binary.BigEndian.PutUint16(hdr[4:6], 2)
+	binary.BigEndian.PutUint16(hdr[6:8], 4)
+	binary.BigEndian.PutUint32(hdr[16:20], 65535)
+	binary.BigEndian.PutUint32(hdr[20:24], uint32(LinkTypeEthernet))
+	buf.Write(hdr)
+	rec := make([]byte, 16)
+	binary.BigEndian.PutUint32(rec[0:4], 1000)
+	binary.BigEndian.PutUint32(rec[4:8], 500000)
+	binary.BigEndian.PutUint32(rec[8:12], 2)
+	binary.BigEndian.PutUint32(rec[12:16], 2)
+	buf.Write(rec)
+	buf.Write([]byte{0xaa, 0xbb})
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, data, err := r.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Ts.Unix() != 1000 || h.Ts.Nanosecond() != 500000000 {
+		t.Fatalf("ts = %v", h.Ts)
+	}
+	if !bytes.Equal(data, []byte{0xaa, 0xbb}) {
+		t.Fatalf("data = %v", data)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	_, err := NewReader(bytes.NewReader(make([]byte, 24)))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("error = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestShortHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("short header must fail")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteHeader(LinkTypeEthernet)
+	w.WritePacket(time.Unix(1, 0), []byte{1, 2, 3, 4})
+	w.Flush()
+	trunc := buf.Bytes()[:buf.Len()-2]
+	r, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.ReadPacket(); err == nil {
+		t.Fatal("truncated record must fail")
+	}
+}
+
+func TestWriterUsageErrors(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WritePacket(time.Unix(0, 0), []byte{1}); err == nil {
+		t.Fatal("WritePacket before WriteHeader must fail")
+	}
+	if err := w.WriteHeader(LinkTypeEthernet); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteHeader(LinkTypeEthernet); err == nil {
+		t.Fatal("double WriteHeader must fail")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(payloads [][]byte, secs []uint32) bool {
+		if len(payloads) > 20 {
+			payloads = payloads[:20]
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteHeader(LinkTypeEthernet); err != nil {
+			return false
+		}
+		for i, p := range payloads {
+			var sec uint32
+			if len(secs) > 0 {
+				sec = secs[i%len(secs)]
+			}
+			if err := w.WritePacket(time.Unix(int64(sec), 0), p); err != nil {
+				return false
+			}
+		}
+		w.Flush()
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for _, want := range payloads {
+			_, data, err := r.ReadPacket()
+			if err != nil {
+				return false
+			}
+			if !bytes.Equal(data, want) {
+				return false
+			}
+		}
+		_, _, err = r.ReadPacket()
+		return errors.Is(err, io.EOF)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReaderNeverPanics feeds random bytes to the pcap reader; malformed
+// captures must fail cleanly.
+func TestReaderNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %d bytes: %v", len(data), r)
+			}
+		}()
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return true
+		}
+		for i := 0; i < 100; i++ {
+			if _, _, err := r.ReadPacket(); err != nil {
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReaderWithValidHeaderGarbageBody prepends a valid global header to
+// random bytes: packet records must be rejected without panicking and
+// without unbounded allocation.
+func TestReaderWithValidHeaderGarbageBody(t *testing.T) {
+	f := func(body []byte) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteHeader(LinkTypeEthernet); err != nil {
+			return false
+		}
+		w.Flush()
+		buf.Write(body)
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		defer func() {
+			if rec := recover(); rec != nil {
+				t.Fatalf("panic: %v", rec)
+			}
+		}()
+		for i := 0; i < 100; i++ {
+			if _, _, err := r.ReadPacket(); err != nil {
+				return true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

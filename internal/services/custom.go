@@ -1,0 +1,124 @@
+package services
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/darkvec/darkvec/internal/packet"
+	"github.com/darkvec/darkvec/internal/trace"
+)
+
+// Custom is a user-supplied service definition, loaded from a JSON map of
+// service name → port list ("23/tcp", "53/udp", "icmp"). It lets operators
+// replace Table 7 with their own domain knowledge — the paper's guidance is
+// that the grouping, not the exact table, is what matters.
+type Custom struct {
+	name  string
+	byKey map[trace.PortKey]string
+	names []string
+}
+
+// ParseCustom reads the JSON definition. Duplicate port assignments are an
+// error: a port must map to exactly one service. Ports not listed fall into
+// the same range catch-alls the Table 7 definition uses.
+//
+// Example document:
+//
+//	{
+//	  "scada":  ["502/tcp", "20000/tcp", "44818/tcp"],
+//	  "video":  ["554/tcp", "8554/tcp"],
+//	  "ping":   ["icmp"]
+//	}
+func ParseCustom(name string, r io.Reader) (*Custom, error) {
+	var doc map[string][]string
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("services: parsing custom definition: %w", err)
+	}
+	if len(doc) == 0 {
+		return nil, fmt.Errorf("services: custom definition is empty")
+	}
+	c := &Custom{name: name, byKey: map[trace.PortKey]string{}}
+	svcNames := make([]string, 0, len(doc))
+	for svc := range doc {
+		svcNames = append(svcNames, svc)
+	}
+	sort.Strings(svcNames)
+	for _, svc := range svcNames {
+		if svc == "" {
+			return nil, fmt.Errorf("services: empty service name")
+		}
+		for _, spec := range doc[svc] {
+			key, err := ParsePortKey(spec)
+			if err != nil {
+				return nil, fmt.Errorf("services: service %q: %w", svc, err)
+			}
+			if prev, dup := c.byKey[key]; dup {
+				return nil, fmt.Errorf("services: port %s assigned to both %q and %q", spec, prev, svc)
+			}
+			c.byKey[key] = svc
+		}
+	}
+	c.names = append(svcNames, ICMPService, UnknownSystem, UnknownUser, UnknownEphemeral)
+	return c, nil
+}
+
+// ParsePortKey parses "23/tcp", "53/udp" or "icmp" into a port key.
+func ParsePortKey(s string) (trace.PortKey, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "icmp" {
+		return trace.PortKey{Proto: packet.IPProtocolICMPv4}, nil
+	}
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return trace.PortKey{}, fmt.Errorf("invalid port %q: want \"<port>/tcp\", \"<port>/udp\" or \"icmp\"", s)
+	}
+	port, err := strconv.ParseUint(s[:slash], 10, 16)
+	if err != nil {
+		return trace.PortKey{}, fmt.Errorf("invalid port number %q", s[:slash])
+	}
+	switch s[slash+1:] {
+	case "tcp":
+		return trace.PortKey{Port: uint16(port), Proto: packet.IPProtocolTCP}, nil
+	case "udp":
+		return trace.PortKey{Port: uint16(port), Proto: packet.IPProtocolUDP}, nil
+	}
+	return trace.PortKey{}, fmt.Errorf("invalid protocol %q", s[slash+1:])
+}
+
+// Service implements Definition.
+func (c *Custom) Service(k trace.PortKey) string {
+	if k.Proto == packet.IPProtocolICMPv4 {
+		if s, ok := c.byKey[trace.PortKey{Proto: packet.IPProtocolICMPv4}]; ok {
+			return s
+		}
+		return ICMPService
+	}
+	if s, ok := c.byKey[k]; ok {
+		return s
+	}
+	switch {
+	case k.Port <= 1023:
+		return UnknownSystem
+	case k.Port <= 49151:
+		return UnknownUser
+	default:
+		return UnknownEphemeral
+	}
+}
+
+// Names implements Definition.
+func (c *Custom) Names() []string { return c.names }
+
+// Kind implements Definition.
+func (c *Custom) Kind() string {
+	if c.name != "" {
+		return c.name
+	}
+	return "custom"
+}

@@ -1,0 +1,97 @@
+package services
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/darkvec/darkvec/internal/packet"
+	"github.com/darkvec/darkvec/internal/trace"
+)
+
+const customDoc = `{
+  "scada": ["502/tcp", "20000/tcp", "44818/tcp"],
+  "video": ["554/tcp", "8554/tcp"],
+  "ping":  ["icmp"]
+}`
+
+func TestParseCustom(t *testing.T) {
+	c, err := ParseCustom("plant", strings.NewReader(customDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kind() != "plant" {
+		t.Fatalf("kind = %q", c.Kind())
+	}
+	cases := map[trace.PortKey]string{
+		key(502, packet.IPProtocolTCP):   "scada",
+		key(20000, packet.IPProtocolTCP): "scada",
+		key(554, packet.IPProtocolTCP):   "video",
+		key(0, packet.IPProtocolICMPv4):  "ping",
+		key(80, packet.IPProtocolTCP):    UnknownSystem,
+		key(2000, packet.IPProtocolTCP):  UnknownUser,
+		key(60000, packet.IPProtocolUDP): UnknownEphemeral,
+		// Protocol matters: only tcp 502 was declared.
+		key(502, packet.IPProtocolUDP): UnknownSystem,
+	}
+	for k, want := range cases {
+		if got := c.Service(k); got != want {
+			t.Errorf("Service(%v) = %q, want %q", k, got, want)
+		}
+	}
+	names := c.Names()
+	if names[0] != "ping" || names[len(names)-1] != UnknownEphemeral {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestParseCustomErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`{}`,
+		`{"a": ["notaport"]}`,
+		`{"a": ["23"]}`,
+		`{"a": ["23/gre"]}`,
+		`{"a": ["99999/tcp"]}`,
+		`{"a": ["23/tcp"], "b": ["23/tcp"]}`, // duplicate assignment
+		`{"": ["23/tcp"]}`,                   // empty service name
+	}
+	for i, doc := range cases {
+		if _, err := ParseCustom("x", strings.NewReader(doc)); err == nil {
+			t.Errorf("case %d should fail: %s", i, doc)
+		}
+	}
+}
+
+func TestParsePortKey(t *testing.T) {
+	good := map[string]trace.PortKey{
+		"23/tcp":    key(23, packet.IPProtocolTCP),
+		"53/UDP":    key(53, packet.IPProtocolUDP),
+		" icmp ":    key(0, packet.IPProtocolICMPv4),
+		"0/tcp":     key(0, packet.IPProtocolTCP),
+		"65535/udp": key(65535, packet.IPProtocolUDP),
+	}
+	for in, want := range good {
+		got, err := ParsePortKey(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePortKey(%q) = %v, %v", in, got, err)
+		}
+	}
+	for _, in := range []string{"", "tcp", "-1/tcp", "1/2/3", "22/sctp"} {
+		if _, err := ParsePortKey(in); err == nil {
+			t.Errorf("ParsePortKey(%q) should fail", in)
+		}
+	}
+}
+
+func TestCustomDefaultICMPFallback(t *testing.T) {
+	c, err := ParseCustom("", strings.NewReader(`{"web": ["80/tcp"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Service(key(0, packet.IPProtocolICMPv4)); got != ICMPService {
+		t.Fatalf("icmp fallback = %q", got)
+	}
+	if c.Kind() != "custom" {
+		t.Fatalf("default kind = %q", c.Kind())
+	}
+}

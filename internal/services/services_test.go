@@ -1,0 +1,163 @@
+package services
+
+import (
+	"testing"
+
+	"github.com/darkvec/darkvec/internal/packet"
+	"github.com/darkvec/darkvec/internal/trace"
+)
+
+func key(port uint16, proto packet.IPProtocol) trace.PortKey {
+	return trace.PortKey{Port: port, Proto: proto}
+}
+
+func TestSingle(t *testing.T) {
+	var s Single
+	if s.Service(key(23, packet.IPProtocolTCP)) != "all" ||
+		s.Service(key(9999, packet.IPProtocolUDP)) != "all" {
+		t.Fatal("single must map everything to one service")
+	}
+	if len(s.Names()) != 1 || s.Kind() != "single" {
+		t.Fatalf("names=%v kind=%s", s.Names(), s.Kind())
+	}
+}
+
+func makeTrace(portCounts map[trace.PortKey]int) *trace.Trace {
+	var events []trace.Event
+	ts := int64(0)
+	for k, n := range portCounts {
+		for i := 0; i < n; i++ {
+			events = append(events, trace.Event{Ts: ts, Port: k.Port, Proto: k.Proto})
+			ts++
+		}
+	}
+	return trace.New(events)
+}
+
+func TestAutoTopN(t *testing.T) {
+	tr := makeTrace(map[trace.PortKey]int{
+		key(23, packet.IPProtocolTCP):  100,
+		key(445, packet.IPProtocolTCP): 80,
+		key(53, packet.IPProtocolUDP):  60,
+		key(80, packet.IPProtocolTCP):  1,
+	})
+	a := NewAuto(tr, 3)
+	if got := a.Service(key(23, packet.IPProtocolTCP)); got != "23/tcp" {
+		t.Fatalf("23/tcp → %q", got)
+	}
+	if got := a.Service(key(80, packet.IPProtocolTCP)); got != "other" {
+		t.Fatalf("80/tcp → %q", got)
+	}
+	if got := a.Service(key(9999, packet.IPProtocolUDP)); got != "other" {
+		t.Fatalf("unseen port → %q", got)
+	}
+	names := a.Names()
+	if len(names) != 4 || names[len(names)-1] != "other" {
+		t.Fatalf("names = %v", names)
+	}
+	if a.Kind() != "auto" {
+		t.Fatalf("kind = %q", a.Kind())
+	}
+}
+
+func TestDomainNamedServices(t *testing.T) {
+	d := NewDomain()
+	cases := map[trace.PortKey]string{
+		key(23, packet.IPProtocolTCP):    "telnet",
+		key(992, packet.IPProtocolTCP):   "telnet",
+		key(22, packet.IPProtocolTCP):    "ssh",
+		key(88, packet.IPProtocolUDP):    "kerberos",
+		key(80, packet.IPProtocolTCP):    "http",
+		key(8080, packet.IPProtocolTCP):  "http",
+		key(1080, packet.IPProtocolTCP):  "proxy",
+		key(25, packet.IPProtocolTCP):    "mail",
+		key(1433, packet.IPProtocolUDP):  "database",
+		key(27017, packet.IPProtocolTCP): "database",
+		key(53, packet.IPProtocolUDP):    "dns",
+		key(853, packet.IPProtocolTCP):   "dns",
+		key(137, packet.IPProtocolUDP):   "netbios",
+		key(445, packet.IPProtocolTCP):   "netbios-smb",
+		key(6881, packet.IPProtocolUDP):  "p2p",
+		key(21, packet.IPProtocolTCP):    "ftp",
+		key(69, packet.IPProtocolUDP):    "ftp",
+	}
+	for k, want := range cases {
+		if got := d.Service(k); got != want {
+			t.Errorf("Service(%v) = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestDomainCatchAlls(t *testing.T) {
+	d := NewDomain()
+	cases := map[trace.PortKey]string{
+		key(7, packet.IPProtocolTCP):     UnknownSystem,
+		key(1023, packet.IPProtocolUDP):  UnknownSystem,
+		key(1024, packet.IPProtocolTCP):  UnknownUser,
+		key(49151, packet.IPProtocolTCP): UnknownUser,
+		key(49152, packet.IPProtocolTCP): UnknownEphemeral,
+		key(65535, packet.IPProtocolUDP): UnknownEphemeral,
+		key(0, packet.IPProtocolICMPv4):  ICMPService,
+	}
+	for k, want := range cases {
+		if got := d.Service(k); got != want {
+			t.Errorf("Service(%v) = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestDomainProtocolMatters(t *testing.T) {
+	d := NewDomain()
+	// 445/tcp is SMB, but 445/udp is not in Table 7 → catch-all.
+	if got := d.Service(key(445, packet.IPProtocolUDP)); got != UnknownSystem {
+		t.Fatalf("445/udp → %q", got)
+	}
+	// 53/tcp and 53/udp are both DNS.
+	if d.Service(key(53, packet.IPProtocolTCP)) != "dns" {
+		t.Fatal("53/tcp must be dns")
+	}
+}
+
+func TestDomainNames(t *testing.T) {
+	d := NewDomain()
+	names := d.Names()
+	// Table 7's 12 named services + 3 range catch-alls (the paper's "15
+	// services") + our explicit icmp bucket.
+	if len(names) != 12+4 {
+		t.Fatalf("names (%d) = %v", len(names), names)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+	if d.Kind() != "domain" {
+		t.Fatalf("kind = %q", d.Kind())
+	}
+}
+
+func TestTable7Disjoint(t *testing.T) {
+	seen := map[trace.PortKey]string{}
+	for name, keys := range Table7() {
+		for _, k := range keys {
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("port %v in both %s and %s", k, prev, name)
+			}
+			seen[k] = name
+		}
+	}
+	if len(seen) < 100 {
+		t.Fatalf("Table 7 too small: %d ports", len(seen))
+	}
+}
+
+func TestTable7CopyIsolation(t *testing.T) {
+	a := Table7()
+	a["telnet"][0] = key(9999, packet.IPProtocolTCP)
+	b := Table7()
+	if b["telnet"][0] == key(9999, packet.IPProtocolTCP) {
+		t.Fatal("Table7 must return a copy")
+	}
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/darkvec/darkvec/internal/netutil"
+	"github.com/darkvec/darkvec/internal/packet"
+)
+
+// csvHeader is the column layout of the on-disk trace format, mirroring the
+// anonymised dataset released with the paper (timestamp, source, darknet
+// destination, destination port, protocol) plus the Mirai fingerprint bit so
+// labeled experiments don't need the raw payloads.
+var csvHeader = []string{"ts", "src_ip", "dst_ip", "dst_port", "proto", "mirai"}
+
+// WriteCSV writes the trace in the repository's CSV interchange format.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	rec := make([]string, 6)
+	for _, e := range t.Events {
+		rec[0] = strconv.FormatInt(e.Ts, 10)
+		rec[1] = e.Src.String()
+		rec[2] = e.Dst.String()
+		rec[3] = strconv.Itoa(int(e.Port))
+		rec[4] = e.Proto.String()
+		if e.Mirai {
+			rec[5] = "1"
+		} else {
+			rec[5] = "0"
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV. Events are re-sorted by
+// timestamp on load.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	var events []Event
+	if err := StreamCSV(r, func(e Event) error {
+		events = append(events, e)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return New(events), nil
+}
+
+// ErrStop lets a StreamCSV callback end iteration early without an error.
+var ErrStop = errors.New("trace: stop streaming")
+
+// StreamCSV feeds each CSV event to fn without materialising the trace —
+// the path for month-scale captures that do not fit in memory (statistics
+// passes, filters, format conversion). fn returning ErrStop ends the scan
+// cleanly; any other error aborts and is returned.
+func StreamCSV(r io.Reader, fn func(Event) error) error {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	hdr, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("trace: reading csv header: %w", err)
+	}
+	if len(hdr) != len(csvHeader) || hdr[0] != "ts" {
+		return fmt.Errorf("trace: unexpected csv header %v", hdr)
+	}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		e, err := parseCSVRecord(rec)
+		if err != nil {
+			return fmt.Errorf("trace: csv line %d: %w", line, err)
+		}
+		if err := fn(e); err != nil {
+			if errors.Is(err, ErrStop) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+func parseCSVRecord(rec []string) (Event, error) {
+	var e Event
+	ts, err := strconv.ParseInt(rec[0], 10, 64)
+	if err != nil {
+		return e, fmt.Errorf("bad ts %q", rec[0])
+	}
+	src, err := netutil.ParseIPv4(rec[1])
+	if err != nil {
+		return e, err
+	}
+	dst, err := netutil.ParseIPv4(rec[2])
+	if err != nil {
+		return e, err
+	}
+	port, err := strconv.ParseUint(rec[3], 10, 16)
+	if err != nil {
+		return e, fmt.Errorf("bad port %q", rec[3])
+	}
+	var proto packet.IPProtocol
+	switch rec[4] {
+	case "tcp":
+		proto = packet.IPProtocolTCP
+	case "udp":
+		proto = packet.IPProtocolUDP
+	case "icmp":
+		proto = packet.IPProtocolICMPv4
+	default:
+		return e, fmt.Errorf("bad proto %q", rec[4])
+	}
+	return Event{
+		Ts:    ts,
+		Src:   src,
+		Dst:   dst,
+		Port:  uint16(port),
+		Proto: proto,
+		Mirai: rec[5] == "1",
+	}, nil
+}

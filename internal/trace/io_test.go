@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/darkvec/darkvec/internal/netutil"
+	"github.com/darkvec/darkvec/internal/packet"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	tr.Events[0].Mirai = true
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("len = %d, want %d", back.Len(), tr.Len())
+	}
+	for i := range tr.Events {
+		if tr.Events[i] != back.Events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, tr.Events[i], back.Events[i])
+		}
+	}
+}
+
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(tss []uint32, srcs []uint32, ports []uint16, protoSel []uint8) bool {
+		n := min(len(tss), len(srcs), len(ports), len(protoSel))
+		if n > 50 {
+			n = 50
+		}
+		events := make([]Event, n)
+		protos := []packet.IPProtocol{packet.IPProtocolTCP, packet.IPProtocolUDP, packet.IPProtocolICMPv4}
+		for i := 0; i < n; i++ {
+			events[i] = Event{
+				Ts:    int64(tss[i]),
+				Src:   netutil.IPv4(srcs[i]),
+				Dst:   netutil.MustParseIPv4("198.18.0.7"),
+				Port:  ports[i],
+				Proto: protos[protoSel[i]%3],
+				Mirai: protoSel[i]%2 == 0,
+			}
+			if events[i].Proto == packet.IPProtocolICMPv4 {
+				events[i].Port = 0
+				events[i].Mirai = false
+			}
+			if events[i].Proto != packet.IPProtocolTCP {
+				events[i].Mirai = false
+			}
+		}
+		tr := New(events)
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if back.Len() != tr.Len() {
+			return false
+		}
+		for i := range tr.Events {
+			if tr.Events[i] != back.Events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",        // no header
+		"a,b,c\n", // wrong header
+		"ts,src_ip,dst_ip,dst_port,proto,mirai\nx,1.1.1.1,2.2.2.2,80,tcp,0\n",    // bad ts
+		"ts,src_ip,dst_ip,dst_port,proto,mirai\n1,bogus,2.2.2.2,80,tcp,0\n",      // bad ip
+		"ts,src_ip,dst_ip,dst_port,proto,mirai\n1,1.1.1.1,2.2.2.2,99999,tcp,0\n", // bad port
+		"ts,src_ip,dst_ip,dst_port,proto,mirai\n1,1.1.1.1,2.2.2.2,80,gre,0\n",    // bad proto
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestPCAPRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	tr.Events[1].Mirai = true // a TCP event gets the fingerprint
+	var buf bytes.Buffer
+	if err := tr.WritePCAP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, skipped, err := ReadPCAP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("skipped = %d", skipped)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("len = %d, want %d", back.Len(), tr.Len())
+	}
+	for i := range tr.Events {
+		a, b := tr.Events[i], back.Events[i]
+		if a.Ts != b.Ts || a.Src != b.Src || a.Dst != b.Dst || a.Port != b.Port || a.Proto != b.Proto {
+			t.Fatalf("event %d: %+v != %+v", i, a, b)
+		}
+		if a.Proto == packet.IPProtocolTCP && a.Mirai != b.Mirai {
+			t.Fatalf("event %d: mirai fingerprint lost (%v != %v)", i, a.Mirai, b.Mirai)
+		}
+	}
+}
+
+func TestPCAPMiraiFingerprintDerivation(t *testing.T) {
+	// The fingerprint must be re-derived from TCP seq == dst IP on read,
+	// not carried out-of-band.
+	events := []Event{
+		{Ts: day0, Src: ip("1.2.3.4"), Dst: ip("198.18.0.50"), Port: 23, Proto: packet.IPProtocolTCP, Mirai: true},
+		{Ts: day0 + 1, Src: ip("1.2.3.5"), Dst: ip("198.18.0.51"), Port: 23, Proto: packet.IPProtocolTCP, Mirai: false},
+	}
+	var buf bytes.Buffer
+	if err := New(events).WritePCAP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := ReadPCAP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Events[0].Mirai || back.Events[1].Mirai {
+		t.Fatalf("fingerprints = %v,%v", back.Events[0].Mirai, back.Events[1].Mirai)
+	}
+}
+
+func TestReadPCAPGarbage(t *testing.T) {
+	if _, _, err := ReadPCAP(bytes.NewReader(make([]byte, 40))); err == nil {
+		t.Fatal("garbage capture must fail")
+	}
+}
+
+func TestStreamCSV(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var count int
+	if err := StreamCSV(bytes.NewReader(buf.Bytes()), func(e Event) error {
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != tr.Len() {
+		t.Fatalf("streamed %d events, want %d", count, tr.Len())
+	}
+	// Early stop via ErrStop.
+	count = 0
+	if err := StreamCSV(bytes.NewReader(buf.Bytes()), func(e Event) error {
+		count++
+		if count == 2 {
+			return ErrStop
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("early stop at %d, want 2", count)
+	}
+	// Callback errors propagate.
+	wantErr := errBoom{}
+	err := StreamCSV(bytes.NewReader(buf.Bytes()), func(Event) error { return wantErr })
+	if err != wantErr {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+type errBoom struct{}
+
+func (errBoom) Error() string { return "boom" }

@@ -1,0 +1,242 @@
+// Package trace holds the logical darknet trace model: one Event per packet
+// that reached the darknet, plus the aggregations the DarkVec pipeline and
+// the paper's dataset characterisation (Table 1, Figures 1–2) need —
+// per-sender and per-port counts, active-sender filtering, ECDFs, cumulative
+// sender growth and activity rasters.
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"github.com/darkvec/darkvec/internal/netutil"
+	"github.com/darkvec/darkvec/internal/packet"
+)
+
+// Event is one unsolicited packet observed by the darknet, reduced to the
+// fields the methodology consumes. Ts is Unix seconds: darknet analysis in
+// the paper works at ΔT = 1 hour granularity, so sub-second precision buys
+// nothing and the compact form keeps month-long traces in memory.
+type Event struct {
+	Ts    int64             // Unix seconds
+	Src   netutil.IPv4      // sender (the "word")
+	Dst   netutil.IPv4      // darknet address hit
+	Port  uint16            // destination port (0 for ICMP)
+	Proto packet.IPProtocol // tcp/udp/icmp
+	Mirai bool              // packet carries the Mirai fingerprint (TCP seq == dst IP)
+}
+
+// PortKey identifies a transport port including its protocol, e.g. 23/tcp.
+// ICMP traffic maps to PortKey{0, icmp}.
+type PortKey struct {
+	Port  uint16
+	Proto packet.IPProtocol
+}
+
+// String returns e.g. "23/tcp" or "icmp".
+func (p PortKey) String() string { return portString(p) }
+
+func portString(p PortKey) string {
+	e := packet.Endpoint{Raw: uint32(p.Port)}
+	switch p.Proto {
+	case packet.IPProtocolTCP:
+		e.Type = packet.EndpointTCPPort
+	case packet.IPProtocolUDP:
+		e.Type = packet.EndpointUDPPort
+	default:
+		return "icmp"
+	}
+	return e.String()
+}
+
+// Key returns the event's PortKey.
+func (e Event) Key() PortKey {
+	if e.Proto == packet.IPProtocolICMPv4 {
+		return PortKey{0, packet.IPProtocolICMPv4}
+	}
+	return PortKey{e.Port, e.Proto}
+}
+
+// Trace is an ordered collection of events. Events must be sorted by Ts;
+// Sort establishes the invariant and the constructors maintain it.
+type Trace struct {
+	Events []Event
+}
+
+// New wraps events in a Trace and sorts them by timestamp (stable, so equal
+// timestamps preserve generation order).
+func New(events []Event) *Trace {
+	t := &Trace{Events: events}
+	t.Sort()
+	return t
+}
+
+// Sort re-establishes timestamp order.
+func (t *Trace) Sort() {
+	sort.SliceStable(t.Events, func(i, j int) bool { return t.Events[i].Ts < t.Events[j].Ts })
+}
+
+// Len returns the number of events.
+func (t *Trace) Len() int { return len(t.Events) }
+
+// Span returns the first and last timestamp. Zero trace spans (0,0).
+func (t *Trace) Span() (first, last int64) {
+	if len(t.Events) == 0 {
+		return 0, 0
+	}
+	return t.Events[0].Ts, t.Events[len(t.Events)-1].Ts
+}
+
+// Window returns the sub-trace with Ts in [from, to). The events slice is
+// shared with the parent (no copy).
+func (t *Trace) Window(from, to int64) *Trace {
+	lo := sort.Search(len(t.Events), func(i int) bool { return t.Events[i].Ts >= from })
+	hi := sort.Search(len(t.Events), func(i int) bool { return t.Events[i].Ts >= to })
+	return &Trace{Events: t.Events[lo:hi]}
+}
+
+// LastDays returns the sub-trace covering the final n whole days (aligned to
+// the trace's final day boundary in UTC).
+func (t *Trace) LastDays(n int) *Trace {
+	if len(t.Events) == 0 {
+		return &Trace{}
+	}
+	_, last := t.Span()
+	end := dayStart(last) + 86400
+	return t.Window(end-int64(n)*86400, end)
+}
+
+// FirstDays returns the sub-trace covering the first n whole days.
+func (t *Trace) FirstDays(n int) *Trace {
+	if len(t.Events) == 0 {
+		return &Trace{}
+	}
+	first, _ := t.Span()
+	start := dayStart(first)
+	return t.Window(start, start+int64(n)*86400)
+}
+
+func dayStart(ts int64) int64 { return ts - ts%86400 }
+
+// Day returns the zero-based day index of ts relative to the trace start.
+func (t *Trace) Day(ts int64) int {
+	first, _ := t.Span()
+	return int((ts - dayStart(first)) / 86400)
+}
+
+// Days returns the number of whole days the trace spans (at least 1 for a
+// non-empty trace).
+func (t *Trace) Days() int {
+	if len(t.Events) == 0 {
+		return 0
+	}
+	first, last := t.Span()
+	return int(dayStart(last)-dayStart(first))/86400 + 1
+}
+
+// SenderCounts returns packets observed per sender.
+func (t *Trace) SenderCounts() map[netutil.IPv4]int {
+	m := make(map[netutil.IPv4]int)
+	for _, e := range t.Events {
+		m[e.Src]++
+	}
+	return m
+}
+
+// ActiveSenders returns the set of senders with at least minPackets events,
+// the paper's "active sender" filter (≥ 10 packets, §3.1).
+func (t *Trace) ActiveSenders(minPackets int) map[netutil.IPv4]bool {
+	active := make(map[netutil.IPv4]bool)
+	for src, n := range t.SenderCounts() {
+		if n >= minPackets {
+			active[src] = true
+		}
+	}
+	return active
+}
+
+// FilterSenders returns a new trace containing only events whose sender is
+// in keep.
+func (t *Trace) FilterSenders(keep map[netutil.IPv4]bool) *Trace {
+	out := make([]Event, 0, len(t.Events))
+	for _, e := range t.Events {
+		if keep[e.Src] {
+			out = append(out, e)
+		}
+	}
+	return &Trace{Events: out}
+}
+
+// Merge combines traces into one time-ordered trace — e.g. joining the
+// views of several darknet blocks before training a shared embedding.
+// Events are copied; the inputs are left untouched.
+func Merge(traces ...*Trace) *Trace {
+	total := 0
+	for _, t := range traces {
+		if t != nil {
+			total += len(t.Events)
+		}
+	}
+	events := make([]Event, 0, total)
+	for _, t := range traces {
+		if t != nil {
+			events = append(events, t.Events...)
+		}
+	}
+	return New(events)
+}
+
+// FilterDst returns the sub-trace of packets destined to the given block —
+// the view of a smaller darknet carved out of the monitored range (used by
+// the cross-darknet transfer experiment).
+func (t *Trace) FilterDst(block netutil.Subnet) *Trace {
+	out := make([]Event, 0, len(t.Events))
+	for _, e := range t.Events {
+		if block.Contains(e.Dst) {
+			out = append(out, e)
+		}
+	}
+	return &Trace{Events: out}
+}
+
+// Senders returns the distinct senders in first-appearance order.
+func (t *Trace) Senders() []netutil.IPv4 {
+	seen := make(map[netutil.IPv4]bool)
+	var out []netutil.IPv4
+	for _, e := range t.Events {
+		if !seen[e.Src] {
+			seen[e.Src] = true
+			out = append(out, e.Src)
+		}
+	}
+	return out
+}
+
+// PortCounts returns packets observed per destination port key.
+func (t *Trace) PortCounts() map[PortKey]int {
+	m := make(map[PortKey]int)
+	for _, e := range t.Events {
+		m[e.Key()]++
+	}
+	return m
+}
+
+// PortSenders returns the number of distinct senders per port key.
+func (t *Trace) PortSenders() map[PortKey]int {
+	seen := make(map[PortKey]map[netutil.IPv4]bool)
+	for _, e := range t.Events {
+		k := e.Key()
+		if seen[k] == nil {
+			seen[k] = make(map[netutil.IPv4]bool)
+		}
+		seen[k][e.Src] = true
+	}
+	out := make(map[PortKey]int, len(seen))
+	for k, s := range seen {
+		out[k] = len(s)
+	}
+	return out
+}
+
+// TimeOf converts a Unix-seconds timestamp to time.Time in UTC.
+func TimeOf(ts int64) time.Time { return time.Unix(ts, 0).UTC() }

@@ -1,0 +1,109 @@
+package w2v
+
+import (
+	"container/heap"
+)
+
+// huffman is the binary Huffman coding over vocabulary frequencies used by
+// hierarchical softmax: frequent words get short codes, so their updates
+// touch few inner nodes. codes[w] holds word w's bit path from the root,
+// points[w] the inner-node index at each step.
+type huffman struct {
+	codes  [][]byte
+	points [][]int32
+}
+
+type huffNode struct {
+	count       int64
+	left, right int32 // children indices; -1 for leaves
+}
+
+type huffHeap struct {
+	idx   []int32
+	nodes []huffNode
+}
+
+func (h huffHeap) Len() int { return len(h.idx) }
+func (h huffHeap) Less(i, j int) bool {
+	a, b := h.nodes[h.idx[i]], h.nodes[h.idx[j]]
+	if a.count != b.count {
+		return a.count < b.count
+	}
+	return h.idx[i] < h.idx[j] // deterministic ties
+}
+func (h huffHeap) Swap(i, j int) { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *huffHeap) Push(x interface{}) {
+	h.idx = append(h.idx, x.(int32))
+}
+func (h *huffHeap) Pop() interface{} {
+	old := h.idx
+	n := len(old)
+	x := old[n-1]
+	h.idx = old[:n-1]
+	return x
+}
+
+// buildHuffman constructs the coding for the vocabulary. A zero count is
+// treated as one so every word (e.g. the pad token) gets a code.
+func buildHuffman(counts []int64) *huffman {
+	n := len(counts)
+	h := &huffman{codes: make([][]byte, n), points: make([][]int32, n)}
+	if n == 0 {
+		return h
+	}
+	if n == 1 {
+		// Degenerate tree: a single word gets an empty code; hierarchical
+		// softmax has nothing to predict.
+		h.codes[0] = []byte{}
+		h.points[0] = []int32{}
+		return h
+	}
+	nodes := make([]huffNode, 0, 2*n-1)
+	for _, c := range counts {
+		if c <= 0 {
+			c = 1
+		}
+		nodes = append(nodes, huffNode{count: c, left: -1, right: -1})
+	}
+	hp := &huffHeap{nodes: nodes}
+	for i := int32(0); i < int32(n); i++ {
+		hp.idx = append(hp.idx, i)
+	}
+	heap.Init(hp)
+	for hp.Len() > 1 {
+		a := heap.Pop(hp).(int32)
+		b := heap.Pop(hp).(int32)
+		hp.nodes = append(hp.nodes, huffNode{
+			count: hp.nodes[a].count + hp.nodes[b].count,
+			left:  a, right: b,
+		})
+		heap.Push(hp, int32(len(hp.nodes)-1))
+	}
+	nodes = hp.nodes
+	root := hp.idx[0]
+
+	// Walk down from the root, assigning codes. Inner node i (i >= n) maps
+	// to hierarchical-softmax row i-n.
+	type frame struct {
+		node  int32
+		code  []byte
+		point []int32
+	}
+	stack := []frame{{node: root}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := nodes[f.node]
+		if nd.left == -1 { // leaf
+			h.codes[f.node] = append([]byte(nil), f.code...)
+			h.points[f.node] = append([]int32(nil), f.point...)
+			continue
+		}
+		point := append(append([]int32(nil), f.point...), f.node-int32(n))
+		stack = append(stack,
+			frame{node: nd.left, code: append(append([]byte(nil), f.code...), 0), point: point},
+			frame{node: nd.right, code: append(append([]byte(nil), f.code...), 1), point: point},
+		)
+	}
+	return h
+}

@@ -1,0 +1,117 @@
+package w2v
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// File format: a small binary container ("DV2V" magic) carrying the
+// vocabulary and the input-vector matrix. The output weights are training
+// state and are not persisted, matching Gensim's KeyedVectors export.
+var fileMagic = [4]byte{'D', 'V', '2', 'V'}
+
+const fileVersion = uint32(1)
+
+// Save writes the model's vocabulary and vectors.
+func (m *Model) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(fileMagic[:]); err != nil {
+		return err
+	}
+	hdr := make([]byte, 0, 16)
+	hdr = binary.LittleEndian.AppendUint32(hdr, fileVersion)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(m.Vocab.Size()))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(m.Cfg.Dim))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	for i := 0; i < m.Vocab.Size(); i++ {
+		word := m.Vocab.Word(int32(i))
+		if len(word) > math.MaxUint16 {
+			return fmt.Errorf("w2v: word too long (%d bytes)", len(word))
+		}
+		var l [2]byte
+		binary.LittleEndian.PutUint16(l[:], uint16(len(word)))
+		if _, err := bw.Write(l[:]); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(word); err != nil {
+			return err
+		}
+		var c [8]byte
+		binary.LittleEndian.PutUint64(c[:], uint64(m.Vocab.Count(int32(i))))
+		if _, err := bw.Write(c[:]); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 4)
+	for _, f := range m.Syn0 {
+		binary.LittleEndian.PutUint32(buf, math.Float32bits(f))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a model written by Save. The returned model can serve vectors
+// but not resume training.
+func Load(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("w2v: reading magic: %w", err)
+	}
+	if magic != fileMagic {
+		return nil, fmt.Errorf("w2v: bad magic %q", magic[:])
+	}
+	hdr := make([]byte, 12)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, err
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != fileVersion {
+		return nil, fmt.Errorf("w2v: unsupported version %d", v)
+	}
+	size := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	dim := int(binary.LittleEndian.Uint32(hdr[8:12]))
+	if size < 0 || dim <= 0 || dim > 1<<16 {
+		return nil, fmt.Errorf("w2v: implausible header size=%d dim=%d", size, dim)
+	}
+	v := &Vocabulary{
+		ids:    make(map[string]int32, size),
+		words:  make([]string, size),
+		counts: make([]int64, size),
+	}
+	var l [2]byte
+	var c [8]byte
+	for i := 0; i < size; i++ {
+		if _, err := io.ReadFull(br, l[:]); err != nil {
+			return nil, err
+		}
+		wb := make([]byte, binary.LittleEndian.Uint16(l[:]))
+		if _, err := io.ReadFull(br, wb); err != nil {
+			return nil, err
+		}
+		if _, err := io.ReadFull(br, c[:]); err != nil {
+			return nil, err
+		}
+		word := string(wb)
+		v.ids[word] = int32(i)
+		v.words[i] = word
+		v.counts[i] = int64(binary.LittleEndian.Uint64(c[:]))
+		v.total += v.counts[i]
+	}
+	m := &Model{Vocab: v, Cfg: Config{Dim: dim}}
+	m.Syn0 = make([]float32, size*dim)
+	buf := make([]byte, 4)
+	for i := range m.Syn0 {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		m.Syn0[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf))
+	}
+	return m, nil
+}

@@ -1,0 +1,455 @@
+package w2v
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/darkvec/darkvec/internal/netutil"
+)
+
+// Config are the training hyper-parameters. Zero values select the defaults
+// the paper uses via Gensim.
+type Config struct {
+	Dim          int     // embedding dimension V (default 50)
+	Window       int     // context half-width c (default 25)
+	Negative     int     // negative samples per positive pair (default 5)
+	Epochs       int     // full passes over the corpus (default 10)
+	Alpha        float64 // initial learning rate (default 0.025)
+	MinAlpha     float64 // final learning rate (default 0.0001)
+	MinCount     int     // vocabulary frequency cutoff (default 1)
+	Workers      int     // concurrent trainers (default GOMAXPROCS)
+	Seed         uint64  // PRNG seed (default 1)
+	ShrinkWindow bool    // sample effective window uniformly in [1, c] per token (Gensim behaviour)
+	PadToken     string  // NULL padding word (§5.3); "" disables padding
+	Subsample    float64 // frequent-word subsample threshold t; 0 disables
+	CBOW         bool    // train CBOW instead of skip-gram
+	// HS selects hierarchical softmax (Huffman-coded output tree) instead
+	// of negative sampling. Negative is ignored when set.
+	HS bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dim == 0 {
+		c.Dim = 50
+	}
+	if c.Window == 0 {
+		c.Window = 25
+	}
+	if c.Negative == 0 {
+		c.Negative = 5
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 10
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.025
+	}
+	if c.MinAlpha == 0 {
+		c.MinAlpha = 0.0001
+	}
+	if c.MinCount == 0 {
+		c.MinCount = 1
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Model is a trained embedding. Syn0 is the input-vector matrix, row per
+// vocabulary id; Vector slices into it.
+type Model struct {
+	Vocab *Vocabulary
+	Syn0  []float32 // N x Dim input embeddings (the published vectors)
+	syn1  []float32 // N x Dim output weights for negative sampling
+	synHS []float32 // (N-1) x Dim inner-node weights for hierarchical softmax
+	huff  *huffman  // Huffman coding when Cfg.HS is set
+	Cfg   Config
+
+	// Pairs is the number of (center, context) positive pairs the final
+	// training pass processed per epoch; Table 3 reports its total.
+	Pairs int64
+}
+
+// Train builds the vocabulary from sentences and trains a model. Sentences
+// are slices of words; out-of-vocabulary handling follows MinCount.
+func Train(sentences [][]string, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	vocab := BuildVocabulary(sentences, cfg.MinCount, cfg.PadToken)
+	if vocab.Size() == 0 {
+		return nil, errors.New("w2v: empty vocabulary")
+	}
+	if cfg.Dim <= 0 || cfg.Window <= 0 {
+		return nil, fmt.Errorf("w2v: invalid dim %d / window %d", cfg.Dim, cfg.Window)
+	}
+	m := &Model{Vocab: vocab, Cfg: cfg}
+	n := vocab.Size() * cfg.Dim
+	m.Syn0 = make([]float32, n)
+	if cfg.HS {
+		m.huff = buildHuffman(vocab.counts)
+		if vocab.Size() > 1 {
+			m.synHS = make([]float32, (vocab.Size()-1)*cfg.Dim)
+		}
+	} else {
+		m.syn1 = make([]float32, n)
+	}
+	r := netutil.NewRand(cfg.Seed)
+	for i := range m.Syn0 {
+		m.Syn0[i] = (float32(r.Float64()) - 0.5) / float32(cfg.Dim)
+	}
+
+	// Pre-encode sentences to id slices once.
+	enc := make([][]int32, 0, len(sentences))
+	var totalTokens int64
+	for _, s := range sentences {
+		ids := vocab.Encode(nil, s)
+		if len(ids) == 0 {
+			continue
+		}
+		totalTokens += int64(len(ids))
+		enc = append(enc, ids)
+	}
+	if totalTokens == 0 {
+		return nil, errors.New("w2v: no in-vocabulary tokens")
+	}
+
+	sampler := newAliasSampler(vocab.counts, 0.75)
+	padID := int32(-1)
+	if cfg.PadToken != "" {
+		if id, ok := vocab.ID(cfg.PadToken); ok {
+			padID = id
+		}
+	}
+	// Subsampling keep probabilities (word2vec formula).
+	var keep []float32
+	if cfg.Subsample > 0 {
+		keep = make([]float32, vocab.Size())
+		for i, c := range vocab.counts {
+			if c == 0 {
+				keep[i] = 1
+				continue
+			}
+			f := float64(c) / float64(vocab.total)
+			p := (math.Sqrt(f/cfg.Subsample) + 1) * (cfg.Subsample / f)
+			if p > 1 {
+				p = 1
+			}
+			keep[i] = float32(p)
+		}
+	}
+
+	t := &trainer{
+		m:       m,
+		sampler: sampler,
+		padID:   padID,
+		keep:    keep,
+		total:   totalTokens * int64(cfg.Epochs),
+	}
+	t.alpha.Store(floatBits(cfg.Alpha))
+
+	workers := cfg.Workers
+	if workers > len(enc) {
+		workers = len(enc)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if workers == 1 {
+			t.run(enc, netutil.NewRand(cfg.Seed+uint64(epoch)*0x9e37+1))
+		} else {
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				shard := make([][]int32, 0, len(enc)/workers+1)
+				for i := w; i < len(enc); i += workers {
+					shard = append(shard, enc[i])
+				}
+				wg.Add(1)
+				go func(shard [][]int32, seed uint64) {
+					defer wg.Done()
+					t.run(shard, netutil.NewRand(seed))
+				}(shard, cfg.Seed+uint64(epoch)*0x9e37+uint64(w)+1)
+			}
+			wg.Wait()
+		}
+	}
+	m.Pairs = t.pairs.Load() / int64(cfg.Epochs)
+	return m, nil
+}
+
+// floatBits/bitsFloat pack the learning rate into an atomic word as a fixed
+// point value; the LR range (1e-4..2.5e-2) is far inside the representable
+// band.
+func floatBits(f float64) uint64 { return uint64(int64(f * 1e12)) }
+func bitsFloat(b uint64) float64 { return float64(int64(b)) / 1e12 }
+
+// trainer carries shared training state. Weight updates are lock-free
+// (Hogwild); the learning rate and progress counters are atomics.
+type trainer struct {
+	m       *Model
+	sampler *aliasSampler
+	padID   int32
+	keep    []float32
+	total   int64 // tokens across all epochs, for LR decay
+
+	processed atomic.Int64
+	pairs     atomic.Int64
+	alpha     atomic.Uint64
+}
+
+// run trains over one shard of sentences with a private RNG.
+func (t *trainer) run(sentences [][]int32, r *netutil.Rand) {
+	cfg := t.m.Cfg
+	dim := cfg.Dim
+	neu1e := make([]float32, dim)
+	neu1 := make([]float32, dim)
+	var localTokens int64
+	var localPairs int64
+	alpha := float32(bitsFloat(t.alpha.Load()))
+	buf := make([]int32, 0, 256)
+
+	for _, sent := range sentences {
+		// Subsample frequent words for this pass.
+		words := sent
+		if t.keep != nil {
+			buf = buf[:0]
+			for _, id := range sent {
+				if t.keep[id] >= 1 || float32(r.Float64()) < t.keep[id] {
+					buf = append(buf, id)
+				}
+			}
+			words = buf
+		}
+		for i := range words {
+			localTokens++
+			if localTokens%10000 == 0 {
+				done := t.processed.Add(10000)
+				frac := float64(done) / float64(t.total)
+				if frac > 1 {
+					frac = 1
+				}
+				a := cfg.Alpha*(1-frac) + cfg.MinAlpha*frac
+				t.alpha.Store(floatBits(a))
+				alpha = float32(a)
+			}
+			window := cfg.Window
+			if cfg.ShrinkWindow {
+				window = 1 + r.Intn(cfg.Window)
+			}
+			if cfg.CBOW {
+				localPairs += t.trainCBOW(words, i, window, alpha, neu1, neu1e, r)
+			} else {
+				localPairs += t.trainSkipGram(words, i, window, alpha, neu1e, r)
+			}
+		}
+	}
+	t.processed.Add(localTokens % 10000)
+	t.pairs.Add(localPairs)
+}
+
+// contextAt resolves position j of the sentence, honouring NULL padding:
+// out-of-range positions return the pad id when padding is enabled, else -1.
+func (t *trainer) contextAt(words []int32, j int) int32 {
+	if j < 0 || j >= len(words) {
+		return t.padID // -1 when padding is off
+	}
+	return words[j]
+}
+
+// trainSkipGram applies one center word's window of SGNS updates and
+// returns the number of positive pairs trained.
+func (t *trainer) trainSkipGram(words []int32, i, window int, alpha float32, neu1e []float32, r *netutil.Rand) int64 {
+	center := words[i]
+	dim := t.m.Cfg.Dim
+	var pairs int64
+	for j := i - window; j <= i+window; j++ {
+		if j == i {
+			continue
+		}
+		ctx := t.contextAt(words, j)
+		if ctx < 0 {
+			continue
+		}
+		// Following word2vec.c / Gensim: the *context* word's input vector
+		// is updated against the *center* word's output weights.
+		if t.m.Cfg.HS {
+			t.hsPair(ctx, center, alpha, neu1e[:dim])
+		} else {
+			t.sgnsPair(ctx, center, alpha, neu1e[:dim], r)
+		}
+		pairs++
+	}
+	return pairs
+}
+
+// sgnsPair performs one positive update plus Negative sampled negatives for
+// input word a predicting output word b.
+func (t *trainer) sgnsPair(a, b int32, alpha float32, neu1e []float32, r *netutil.Rand) {
+	dim := t.m.Cfg.Dim
+	syn0 := t.m.Syn0[int(a)*dim : int(a)*dim+dim]
+	for k := range neu1e {
+		neu1e[k] = 0
+	}
+	for d := 0; d <= t.m.Cfg.Negative; d++ {
+		var target int32
+		var label float32
+		if d == 0 {
+			target, label = b, 1
+		} else {
+			target = t.sampler.sample(r)
+			if target == b {
+				continue
+			}
+			label = 0
+		}
+		syn1 := t.m.syn1[int(target)*dim : int(target)*dim+dim]
+		var f float32
+		for k := 0; k < dim; k++ {
+			f += syn0[k] * syn1[k]
+		}
+		g := (label - sigmoid(f)) * alpha
+		for k := 0; k < dim; k++ {
+			neu1e[k] += g * syn1[k]
+			syn1[k] += g * syn0[k]
+		}
+	}
+	for k := 0; k < dim; k++ {
+		syn0[k] += neu1e[k]
+	}
+}
+
+// hsPair performs one hierarchical-softmax update for input word a
+// predicting output word b: walk b's Huffman path, training each inner
+// node as a binary classifier for the code bit.
+func (t *trainer) hsPair(a, b int32, alpha float32, neu1e []float32) {
+	dim := t.m.Cfg.Dim
+	syn0 := t.m.Syn0[int(a)*dim : int(a)*dim+dim]
+	for k := range neu1e {
+		neu1e[k] = 0
+	}
+	code := t.m.huff.codes[b]
+	points := t.m.huff.points[b]
+	for i := range code {
+		l2 := t.m.synHS[int(points[i])*dim : int(points[i])*dim+dim]
+		var f float32
+		for k := 0; k < dim; k++ {
+			f += syn0[k] * l2[k]
+		}
+		g := (1 - float32(code[i]) - sigmoid(f)) * alpha
+		for k := 0; k < dim; k++ {
+			neu1e[k] += g * l2[k]
+			l2[k] += g * syn0[k]
+		}
+	}
+	for k := 0; k < dim; k++ {
+		syn0[k] += neu1e[k]
+	}
+}
+
+// trainCBOW averages the context vectors to predict the center word.
+func (t *trainer) trainCBOW(words []int32, i, window int, alpha float32, neu1, neu1e []float32, r *netutil.Rand) int64 {
+	dim := t.m.Cfg.Dim
+	for k := 0; k < dim; k++ {
+		neu1[k], neu1e[k] = 0, 0
+	}
+	cw := 0
+	for j := i - window; j <= i+window; j++ {
+		if j == i {
+			continue
+		}
+		ctx := t.contextAt(words, j)
+		if ctx < 0 {
+			continue
+		}
+		v := t.m.Syn0[int(ctx)*dim : int(ctx)*dim+dim]
+		for k := 0; k < dim; k++ {
+			neu1[k] += v[k]
+		}
+		cw++
+	}
+	if cw == 0 {
+		return 0
+	}
+	inv := 1 / float32(cw)
+	for k := 0; k < dim; k++ {
+		neu1[k] *= inv
+	}
+	center := words[i]
+	if t.m.Cfg.HS {
+		code := t.m.huff.codes[center]
+		points := t.m.huff.points[center]
+		for ci := range code {
+			l2 := t.m.synHS[int(points[ci])*dim : int(points[ci])*dim+dim]
+			var f float32
+			for k := 0; k < dim; k++ {
+				f += neu1[k] * l2[k]
+			}
+			g := (1 - float32(code[ci]) - sigmoid(f)) * alpha
+			for k := 0; k < dim; k++ {
+				neu1e[k] += g * l2[k]
+				l2[k] += g * neu1[k]
+			}
+		}
+	} else {
+		for d := 0; d <= t.m.Cfg.Negative; d++ {
+			var target int32
+			var label float32
+			if d == 0 {
+				target, label = center, 1
+			} else {
+				target = t.sampler.sample(r)
+				if target == center {
+					continue
+				}
+				label = 0
+			}
+			syn1 := t.m.syn1[int(target)*dim : int(target)*dim+dim]
+			var f float32
+			for k := 0; k < dim; k++ {
+				f += neu1[k] * syn1[k]
+			}
+			g := (label - sigmoid(f)) * alpha
+			for k := 0; k < dim; k++ {
+				neu1e[k] += g * syn1[k]
+				syn1[k] += g * neu1[k]
+			}
+		}
+	}
+	for j := i - window; j <= i+window; j++ {
+		if j == i {
+			continue
+		}
+		ctx := t.contextAt(words, j)
+		if ctx < 0 {
+			continue
+		}
+		v := t.m.Syn0[int(ctx)*dim : int(ctx)*dim+dim]
+		for k := 0; k < dim; k++ {
+			v[k] += neu1e[k]
+		}
+	}
+	return int64(cw)
+}
+
+// Dim returns the embedding dimension.
+func (m *Model) Dim() int { return m.Cfg.Dim }
+
+// Vector returns the embedding of word. The slice aliases the model matrix.
+func (m *Model) Vector(word string) ([]float32, bool) {
+	id, ok := m.Vocab.ID(word)
+	if !ok {
+		return nil, false
+	}
+	dim := m.Cfg.Dim
+	return m.Syn0[int(id)*dim : int(id)*dim+dim], true
+}
+
+// Words returns the vocabulary in id order.
+func (m *Model) Words() []string { return m.Vocab.Words() }

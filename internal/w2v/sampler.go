@@ -1,0 +1,111 @@
+package w2v
+
+import (
+	"math"
+
+	"github.com/darkvec/darkvec/internal/netutil"
+)
+
+// sigmoidTable is the classic word2vec exp-table trick: sigmoid values
+// precomputed over [-maxExp, maxExp]. Outside the range the gradient is
+// saturated to 0/1 exactly like the original C implementation.
+const (
+	maxExp       = 6.0
+	sigTableSize = 1 << 12
+)
+
+var sigTable [sigTableSize]float32
+
+func init() {
+	for i := range sigTable {
+		x := (float64(i)/sigTableSize*2 - 1) * maxExp
+		sigTable[i] = float32(1 / (1 + math.Exp(-x)))
+	}
+}
+
+// sigmoid returns σ(x) via table lookup; exact 0/1 outside ±maxExp.
+func sigmoid(x float32) float32 {
+	if x >= maxExp {
+		return 1
+	}
+	if x <= -maxExp {
+		return 0
+	}
+	i := int((x + maxExp) / (2 * maxExp) * sigTableSize)
+	if i >= sigTableSize {
+		i = sigTableSize - 1
+	}
+	return sigTable[i]
+}
+
+// aliasSampler draws vocabulary ids from the unigram^power distribution in
+// O(1) per sample using Vose's alias method. It replaces the original C
+// implementation's 100M-entry table with an exact, memory-proportional
+// structure.
+type aliasSampler struct {
+	prob  []float64
+	alias []int32
+}
+
+// newAliasSampler builds the sampler over counts raised to power (word2vec
+// uses 0.75). Zero-count entries (e.g. the pad token) get zero probability
+// unless everything is zero, in which case the distribution is uniform.
+func newAliasSampler(counts []int64, power float64) *aliasSampler {
+	n := len(counts)
+	weights := make([]float64, n)
+	var total float64
+	for i, c := range counts {
+		if c > 0 {
+			weights[i] = math.Pow(float64(c), power)
+			total += weights[i]
+		}
+	}
+	if total == 0 {
+		for i := range weights {
+			weights[i] = 1
+		}
+		total = float64(n)
+	}
+	s := &aliasSampler{prob: make([]float64, n), alias: make([]int32, n)}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		large = large[:len(large)-1]
+		s.prob[l] = scaled[l]
+		s.alias[l] = g
+		scaled[g] = scaled[g] + scaled[l] - 1
+		if scaled[g] < 1 {
+			small = append(small, g)
+		} else {
+			large = append(large, g)
+		}
+	}
+	for _, i := range large {
+		s.prob[i] = 1
+	}
+	for _, i := range small {
+		s.prob[i] = 1
+	}
+	return s
+}
+
+// sample draws one id.
+func (s *aliasSampler) sample(r *netutil.Rand) int32 {
+	i := r.Intn(len(s.prob))
+	if r.Float64() < s.prob[i] {
+		return int32(i)
+	}
+	return s.alias[i]
+}

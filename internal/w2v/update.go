@@ -1,0 +1,107 @@
+package w2v
+
+import (
+	"errors"
+
+	"github.com/darkvec/darkvec/internal/netutil"
+)
+
+// ErrNoTrainingState is returned by Update on a model that was loaded from
+// disk: Save intentionally drops the output weights, so continued training
+// is only possible on a model still holding them.
+var ErrNoTrainingState = errors.New("w2v: model has no training state (loaded from disk?)")
+
+// Update continues training on new sentences — the incremental-retraining
+// regime the paper's discussion calls for (darknet populations drift, so
+// embeddings must be refreshed as new days arrive). Words unseen so far are
+// added to the vocabulary with freshly initialised vectors; existing words
+// keep their vectors and are fine-tuned. epochs <= 0 uses the original
+// epoch count; the learning rate restarts at half the original peak so new
+// words converge without tearing up the existing geometry.
+func (m *Model) Update(sentences [][]string, epochs int) error {
+	if m.Cfg.HS {
+		// The Huffman tree would have to be rebuilt as counts change,
+		// invalidating inner-node weights; stick to negative sampling for
+		// the incremental regime.
+		return errors.New("w2v: incremental update supports negative-sampling models only")
+	}
+	if m.syn1 == nil {
+		return ErrNoTrainingState
+	}
+	if epochs <= 0 {
+		epochs = m.Cfg.Epochs
+	}
+	// Count the update corpus and extend the vocabulary.
+	freq := make(map[string]int64)
+	for _, s := range sentences {
+		for _, w := range s {
+			freq[w]++
+		}
+	}
+	if len(freq) == 0 {
+		return errors.New("w2v: empty update corpus")
+	}
+	dim := m.Cfg.Dim
+	r := netutil.NewRand(m.Cfg.Seed*0x5deece66d + 17)
+	for w, c := range freq {
+		if id, ok := m.Vocab.ids[w]; ok {
+			m.Vocab.counts[id] += c
+			m.Vocab.total += c
+			continue
+		}
+		if c < int64(m.Cfg.MinCount) && w != m.Cfg.PadToken {
+			continue
+		}
+		id := int32(len(m.Vocab.words))
+		m.Vocab.ids[w] = id
+		m.Vocab.words = append(m.Vocab.words, w)
+		m.Vocab.counts = append(m.Vocab.counts, c)
+		m.Vocab.total += c
+		row := make([]float32, dim)
+		for d := range row {
+			row[d] = (float32(r.Float64()) - 0.5) / float32(dim)
+		}
+		m.Syn0 = append(m.Syn0, row...)
+		m.syn1 = append(m.syn1, make([]float32, dim)...)
+	}
+
+	enc := make([][]int32, 0, len(sentences))
+	var tokens int64
+	for _, s := range sentences {
+		ids := m.Vocab.Encode(nil, s)
+		if len(ids) == 0 {
+			continue
+		}
+		tokens += int64(len(ids))
+		enc = append(enc, ids)
+	}
+	if tokens == 0 {
+		return errors.New("w2v: no in-vocabulary tokens in update corpus")
+	}
+
+	padID := int32(-1)
+	if m.Cfg.PadToken != "" {
+		if id, ok := m.Vocab.ID(m.Cfg.PadToken); ok {
+			padID = id
+		}
+	}
+	cfg := m.Cfg
+	cfg.Alpha = m.Cfg.Alpha / 2
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.0125
+	}
+	mm := *m
+	mm.Cfg = cfg
+	t := &trainer{
+		m:       &mm,
+		sampler: newAliasSampler(m.Vocab.counts, 0.75),
+		padID:   padID,
+		total:   tokens * int64(epochs),
+	}
+	t.alpha.Store(floatBits(cfg.Alpha))
+	for epoch := 0; epoch < epochs; epoch++ {
+		t.run(enc, netutil.NewRand(cfg.Seed+0xfeed+uint64(epoch)))
+	}
+	m.Pairs = t.pairs.Load() / int64(epochs)
+	return nil
+}

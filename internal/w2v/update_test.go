@@ -1,0 +1,127 @@
+package w2v
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/darkvec/darkvec/internal/netutil"
+)
+
+func TestUpdateAddsNewWords(t *testing.T) {
+	m, err := Train([][]string{{"a", "b", "a", "b"}}, Config{
+		Dim: 8, Window: 2, Epochs: 3, Workers: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Vocab.Size()
+	if err := m.Update([][]string{{"c", "d", "c", "d"}}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if m.Vocab.Size() != before+2 {
+		t.Fatalf("vocab = %d, want %d", m.Vocab.Size(), before+2)
+	}
+	for _, w := range []string{"c", "d"} {
+		v, ok := m.Vector(w)
+		if !ok {
+			t.Fatalf("new word %q missing", w)
+		}
+		if len(v) != 8 {
+			t.Fatalf("vector dim = %d", len(v))
+		}
+	}
+	if len(m.Syn0) != m.Vocab.Size()*8 || len(m.syn1) != m.Vocab.Size()*8 {
+		t.Fatal("weight matrices not extended consistently")
+	}
+}
+
+func TestUpdateRefinesCounts(t *testing.T) {
+	m, err := Train([][]string{{"a", "b"}}, Config{Dim: 4, Window: 1, Epochs: 1, Workers: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := m.Vocab.ID("a")
+	before := m.Vocab.Count(id)
+	if err := m.Update([][]string{{"a", "a", "a"}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Vocab.Count(id) != before+3 {
+		t.Fatalf("count = %d, want %d", m.Vocab.Count(id), before+3)
+	}
+}
+
+func TestUpdateLearnsNewTopic(t *testing.T) {
+	// Train on topics A and B, then update with a brand-new topic C; C's
+	// words must end up closer to each other than to A's, and A's original
+	// cohesion must survive (A words never appear in the update corpus, so
+	// their input vectors are untouched).
+	m, err := Train(twoTopicCorpus(400), Config{Dim: 16, Window: 3, Epochs: 8, Workers: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := m.Vector("a1")
+	a2, _ := m.Vector("a2")
+	cohesionBefore := cosine(a1, a2)
+
+	wordsC := []string{"c1", "c2", "c3", "c4"}
+	r := netutil.NewRand(123)
+	var topicC [][]string
+	for i := 0; i < 400; i++ {
+		sent := make([]string, 8)
+		for j := range sent {
+			sent[j] = wordsC[r.Intn(len(wordsC))]
+		}
+		topicC = append(topicC, sent)
+	}
+	if err := m.Update(topicC, 8); err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := m.Vector("c1")
+	c2, _ := m.Vector("c2")
+	a1, _ = m.Vector("a1")
+	if cosine(c1, c2) <= cosine(c1, a1) {
+		t.Fatalf("update failed to learn the new topic: within %.3f vs across %.3f",
+			cosine(c1, c2), cosine(c1, a1))
+	}
+	a2, _ = m.Vector("a2")
+	if got := cosine(a1, a2); got < cohesionBefore-1e-6 {
+		t.Fatalf("update mutated untouched vectors: cohesion %.3f -> %.3f", cohesionBefore, got)
+	}
+}
+
+func TestUpdateErrors(t *testing.T) {
+	m, err := Train([][]string{{"a", "b"}}, Config{Dim: 4, Window: 1, Epochs: 1, Workers: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(nil, 1); err == nil {
+		t.Fatal("empty update must fail")
+	}
+	// A model loaded from disk has no output weights.
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Update([][]string{{"a"}}, 1); err != ErrNoTrainingState {
+		t.Fatalf("error = %v, want ErrNoTrainingState", err)
+	}
+}
+
+func TestUpdateRespectsMinCount(t *testing.T) {
+	m, err := Train([][]string{{"a", "a", "b", "b"}}, Config{
+		Dim: 4, Window: 1, Epochs: 1, Workers: 1, Seed: 1, MinCount: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update([][]string{{"a", "rare", "a", "a"}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Vocab.ID("rare"); ok {
+		t.Fatal("below-min-count word must not enter the vocabulary")
+	}
+}

@@ -1,0 +1,98 @@
+// Package w2v is a from-scratch Word2Vec implementation: skip-gram and CBOW
+// architectures with negative sampling, frequency subsampling, a sigmoid
+// lookup table and linear learning-rate decay — the feature set DarkVec
+// needs from Gensim, reimplemented on the standard library. Vectors are
+// float32 and training can run Hogwild-style across goroutines.
+package w2v
+
+import (
+	"sort"
+)
+
+// Vocabulary interns corpus words to dense ids sorted by decreasing
+// frequency (id 0 is the most frequent word), the layout the negative
+// sampler and subsampler expect.
+type Vocabulary struct {
+	ids    map[string]int32
+	words  []string
+	counts []int64
+	total  int64
+}
+
+// BuildVocabulary scans sentences and keeps words with count >= minCount
+// (minCount <= 1 keeps everything). The pad token, when non-empty, is always
+// included even if it never appears in the corpus.
+func BuildVocabulary(sentences [][]string, minCount int, padToken string) *Vocabulary {
+	freq := make(map[string]int64)
+	for _, s := range sentences {
+		for _, w := range s {
+			freq[w]++
+		}
+	}
+	if padToken != "" {
+		if _, ok := freq[padToken]; !ok {
+			freq[padToken] = 0
+		}
+	}
+	type wc struct {
+		w string
+		c int64
+	}
+	all := make([]wc, 0, len(freq))
+	for w, c := range freq {
+		if c >= int64(minCount) || w == padToken {
+			all = append(all, wc{w, c})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].w < all[j].w
+	})
+	v := &Vocabulary{
+		ids:    make(map[string]int32, len(all)),
+		words:  make([]string, len(all)),
+		counts: make([]int64, len(all)),
+	}
+	for i, e := range all {
+		v.ids[e.w] = int32(i)
+		v.words[i] = e.w
+		v.counts[i] = e.c
+		v.total += e.c
+	}
+	return v
+}
+
+// Size returns the number of vocabulary entries.
+func (v *Vocabulary) Size() int { return len(v.words) }
+
+// ID returns the id of word, if present.
+func (v *Vocabulary) ID(word string) (int32, bool) {
+	id, ok := v.ids[word]
+	return id, ok
+}
+
+// Word returns the word of an id.
+func (v *Vocabulary) Word(id int32) string { return v.words[id] }
+
+// Count returns the corpus frequency of an id.
+func (v *Vocabulary) Count(id int32) int64 { return v.counts[id] }
+
+// Total returns the summed frequency of all kept words.
+func (v *Vocabulary) Total() int64 { return v.total }
+
+// Words returns all words in id order (most frequent first). The slice is
+// shared; do not mutate.
+func (v *Vocabulary) Words() []string { return v.words }
+
+// Encode converts a sentence to ids, dropping out-of-vocabulary words, and
+// appends to dst.
+func (v *Vocabulary) Encode(dst []int32, sentence []string) []int32 {
+	for _, w := range sentence {
+		if id, ok := v.ids[w]; ok {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
