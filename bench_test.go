@@ -275,6 +275,42 @@ func BenchmarkPCAPRoundTrip(b *testing.B) {
 	}
 }
 
+// BenchmarkReadCSVStrict / BenchmarkReadCSVBudgeted quantify the cost of
+// the error-budget bookkeeping on a clean trace — the common case, where
+// tolerant ingestion should be nearly free.
+func benchCSVIngest(b *testing.B, budgeted bool) {
+	env := benchEnv(b)
+	sub := &darkvec.Trace{Events: env.Full.Events[:10000]}
+	var buf bytes.Buffer
+	if err := darkvec.WriteTraceCSV(&buf, sub); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var (
+			tr  *darkvec.Trace
+			err error
+		)
+		if budgeted {
+			tr, _, err = darkvec.ReadTraceCSVTolerant(bytes.NewReader(raw), darkvec.DefaultBudget())
+		} else {
+			tr, err = darkvec.ReadTraceCSV(bytes.NewReader(raw))
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tr.Len() != sub.Len() {
+			b.Fatalf("lost events: %d != %d", tr.Len(), sub.Len())
+		}
+	}
+}
+
+func BenchmarkReadCSVStrict(b *testing.B)   { benchCSVIngest(b, false) }
+func BenchmarkReadCSVBudgeted(b *testing.B) { benchCSVIngest(b, true) }
+
 // BenchmarkHoneypotVerify replays the SSH cluster against a live loopback
 // honeypot (§7.3.3's verification step).
 func BenchmarkHoneypotVerify(b *testing.B) { benchExperiment(b, "honeypot") }

@@ -5,55 +5,46 @@
 // Usage:
 //
 //	darkstats -in trace.csv [-top 14]
-//	darkstats -in capture.pcap
+//	darkstats -in capture.pcap [-maxerr 100]
+//
+// -maxerr N ingests dirty inputs in skip-and-count mode, tolerating up to
+// N malformed records; the ingest report is printed either way.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"github.com/darkvec/darkvec/internal/trace"
 )
 
 func main() {
 	var (
-		in  = flag.String("in", "", "input trace (.csv or .pcap)")
-		top = flag.Int("top", 14, "top ports to list")
+		in     = flag.String("in", "", "input trace (.csv or .pcap)")
+		top    = flag.Int("top", 14, "top ports to list")
+		maxErr = flag.Int64("maxerr", 0, "tolerate up to N malformed input records (0 = strict)")
 	)
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*in, *top); err != nil {
+	if err := run(*in, *top, *maxErr); err != nil {
 		fmt.Fprintln(os.Stderr, "darkstats:", err)
 		os.Exit(1)
 	}
 }
 
-func loadTrace(path string) (*trace.Trace, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
+func run(in string, top int, maxErr int64) error {
+	if maxErr < 0 {
+		return fmt.Errorf("invalid -maxerr %d: must be >= 0", maxErr)
 	}
-	defer f.Close()
-	if strings.HasSuffix(path, ".pcap") {
-		tr, skipped, err := trace.ReadPCAP(f)
-		if skipped > 0 {
-			fmt.Fprintf(os.Stderr, "warning: %d packets failed to decode\n", skipped)
-		}
-		return tr, err
-	}
-	return trace.ReadCSV(f)
-}
-
-func run(in string, top int) error {
-	tr, err := loadTrace(in)
+	tr, rep, err := trace.ReadFile(in, maxErr)
 	if err != nil {
 		return err
 	}
+	fmt.Println(rep.String())
 	s := tr.Summary(3)
 	fmt.Printf("trace      %s .. %s (%d days)\n", s.FirstDay, s.LastDay, tr.Days())
 	fmt.Printf("sources    %d\n", s.Sources)

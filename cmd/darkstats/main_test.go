@@ -26,7 +26,7 @@ func writeTestTrace(t *testing.T) string {
 
 func TestRunOnCSV(t *testing.T) {
 	path := writeTestTrace(t)
-	if err := run(path, 5); err != nil {
+	if err := run(path, 5, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -42,13 +42,13 @@ func TestRunOnPCAP(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run(path, 3); err != nil {
+	if err := run(path, 3, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMissingFile(t *testing.T) {
-	if err := run("/does/not/exist.csv", 5); err == nil {
+	if err := run("/does/not/exist.csv", 5, 0); err == nil {
 		t.Fatal("missing input must fail")
 	}
 }
@@ -58,7 +58,36 @@ func TestLoadTraceBadFormat(t *testing.T) {
 	if err := os.WriteFile(path, []byte("not,a,trace\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadTrace(path); err == nil {
+	if err := run(path, 5, 0); err == nil {
 		t.Fatal("junk csv must fail")
+	}
+}
+
+// TestRunTruncatedPCAP: a capture cut mid-record is rejected strictly but
+// summarised from its intact prefix under -maxerr.
+func TestRunTruncatedPCAP(t *testing.T) {
+	out := darksim.Generate(darksim.Config{Seed: 2, Days: 2, Scale: 0.005, Rate: 0.05})
+	full := filepath.Join(t.TempDir(), "full.pcap")
+	f, err := os.Create(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Trace.WritePCAP(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	raw, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(t.TempDir(), "cut.pcap")
+	if err := os.WriteFile(cut, raw[:len(raw)-30], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(cut, 3, 0); err == nil {
+		t.Fatal("strict ingest of truncated capture must fail")
+	}
+	if err := run(cut, 3, 1); err != nil {
+		t.Fatalf("tolerant ingest of truncated capture: %v", err)
 	}
 }

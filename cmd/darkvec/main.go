@@ -11,14 +11,24 @@
 //
 // Feeds are per-class IP lists (<class>.txt, one address per line); the
 // Mirai-like class is derived from the packet fingerprint automatically.
+//
+// Dirty captures can be ingested with -maxerr N, which skips up to N
+// malformed records and prints the ingest report. Long runs checkpoint
+// after every epoch with -checkpoint; an interrupted run (Ctrl-C leaves a
+// resumable checkpoint behind) continues with -resume, producing
+// byte-identical results to an uninterrupted one.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"github.com/darkvec/darkvec/internal/cluster"
 	"github.com/darkvec/darkvec/internal/core"
@@ -28,44 +38,55 @@ import (
 	"github.com/darkvec/darkvec/internal/trace"
 )
 
+// options carries every flag of a pipeline run.
+type options struct {
+	in         string
+	feedsDir   string
+	mode       string
+	servKind   string
+	servFile   string
+	dim        int
+	window     int
+	epochs     int
+	k          int
+	kPrime     int
+	seed       uint64
+	modelOut   string
+	evalDays   int
+	maxErr     int64
+	checkpoint string
+	resume     bool
+}
+
 func main() {
-	var (
-		in       = flag.String("in", "", "input trace (.csv or .pcap)")
-		feedsDir = flag.String("feeds", "", "directory of <class>.txt IP feeds")
-		mode     = flag.String("mode", "both", "classify | cluster | both")
-		servKind = flag.String("services", "domain", "service definition: single | auto | domain")
-		servFile = flag.String("services-file", "", "JSON port→service map overriding -services")
-		dim      = flag.Int("dim", 50, "embedding dimension V")
-		window   = flag.Int("window", 25, "context window c")
-		epochs   = flag.Int("epochs", 10, "training epochs")
-		k        = flag.Int("k", 7, "k-NN classifier neighbours")
-		kPrime   = flag.Int("kprime", 3, "clustering graph out-degree k'")
-		seed     = flag.Uint64("seed", 1, "training seed")
-		modelOut = flag.String("model", "", "optional path to save the trained model")
-		evalDays = flag.Int("evaldays", 1, "evaluate on the final N days of the trace")
-	)
+	var o options
+	flag.StringVar(&o.in, "in", "", "input trace (.csv or .pcap)")
+	flag.StringVar(&o.feedsDir, "feeds", "", "directory of <class>.txt IP feeds")
+	flag.StringVar(&o.mode, "mode", "both", "classify | cluster | both")
+	flag.StringVar(&o.servKind, "services", "domain", "service definition: single | auto | domain")
+	flag.StringVar(&o.servFile, "services-file", "", "JSON port→service map overriding -services")
+	flag.IntVar(&o.dim, "dim", 50, "embedding dimension V")
+	flag.IntVar(&o.window, "window", 25, "context window c")
+	flag.IntVar(&o.epochs, "epochs", 10, "training epochs")
+	flag.IntVar(&o.k, "k", 7, "k-NN classifier neighbours")
+	flag.IntVar(&o.kPrime, "kprime", 3, "clustering graph out-degree k'")
+	flag.Uint64Var(&o.seed, "seed", 1, "training seed")
+	flag.StringVar(&o.modelOut, "model", "", "optional path to save the trained model")
+	flag.IntVar(&o.evalDays, "evaldays", 1, "evaluate on the final N days of the trace")
+	flag.Int64Var(&o.maxErr, "maxerr", 0, "tolerate up to N malformed input records (0 = strict)")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint file written after every training epoch")
+	flag.BoolVar(&o.resume, "resume", false, "resume training from -checkpoint if it exists")
 	flag.Parse()
-	if *in == "" {
+	if o.in == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*in, *feedsDir, *mode, *servKind, *servFile, *dim, *window, *epochs, *k, *kPrime, *seed, *modelOut, *evalDays); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, o); err != nil {
 		fmt.Fprintln(os.Stderr, "darkvec:", err)
 		os.Exit(1)
 	}
-}
-
-func loadTrace(path string) (*trace.Trace, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	if strings.HasSuffix(path, ".pcap") {
-		tr, _, err := trace.ReadPCAP(f)
-		return tr, err
-	}
-	return trace.ReadCSV(f)
 }
 
 func loadFeeds(dir string) (map[string][]netutil.IPv4, error) {
@@ -95,12 +116,19 @@ func loadFeeds(dir string) (map[string][]netutil.IPv4, error) {
 	return feeds, nil
 }
 
-func run(in, feedsDir, mode, servKind, servFile string, dim, window, epochs, k, kPrime int, seed uint64, modelOut string, evalDays int) error {
-	tr, err := loadTrace(in)
+func run(ctx context.Context, o options) error {
+	if o.resume && o.checkpoint == "" {
+		return errors.New("-resume requires -checkpoint")
+	}
+	if o.maxErr < 0 {
+		return fmt.Errorf("invalid -maxerr %d: must be >= 0", o.maxErr)
+	}
+	tr, rep, err := trace.ReadFile(o.in, o.maxErr)
 	if err != nil {
 		return err
 	}
-	feeds, err := loadFeeds(feedsDir)
+	fmt.Println(rep.String())
+	feeds, err := loadFeeds(o.feedsDir)
 	if err != nil {
 		return err
 	}
@@ -109,35 +137,42 @@ func run(in, feedsDir, mode, servKind, servFile string, dim, window, epochs, k, 
 		tr.Len(), tr.Days(), gt.Labeled(), len(gt.Classes()))
 
 	cfg := core.DefaultConfig()
-	cfg.Services = core.ServiceKind(servKind)
-	if servFile != "" {
-		f, err := os.Open(servFile)
+	cfg.Services = core.ServiceKind(o.servKind)
+	if o.servFile != "" {
+		f, err := os.Open(o.servFile)
 		if err != nil {
 			return err
 		}
-		custom, err := services.ParseCustom(strings.TrimSuffix(filepath.Base(servFile), ".json"), f)
+		custom, err := services.ParseCustom(strings.TrimSuffix(filepath.Base(o.servFile), ".json"), f)
 		f.Close()
 		if err != nil {
 			return err
 		}
 		cfg.Custom = custom
 	}
-	cfg.K = k
-	cfg.KPrime = kPrime
-	cfg.W2V.Dim = dim
-	cfg.W2V.Window = window
-	cfg.W2V.Epochs = epochs
-	cfg.W2V.Seed = seed
+	cfg.K = o.k
+	cfg.KPrime = o.kPrime
+	cfg.W2V.Dim = o.dim
+	cfg.W2V.Window = o.window
+	cfg.W2V.Epochs = o.epochs
+	cfg.W2V.Seed = o.seed
 
-	emb, err := core.TrainEmbedding(tr, cfg)
+	emb, err := core.TrainEmbeddingOpts(tr, cfg, core.TrainOpts{
+		Context:        ctx,
+		CheckpointPath: o.checkpoint,
+		Resume:         o.resume,
+	})
 	if err != nil {
+		if errors.Is(err, context.Canceled) && o.checkpoint != "" {
+			fmt.Printf("interrupted; resume with -resume -checkpoint %s\n", o.checkpoint)
+		}
 		return err
 	}
 	fmt.Printf("trained: vocab %d, %d skip-grams, %s\n",
 		emb.Model.Vocab.Size(), emb.SkipGrams, emb.TrainTime.Round(1e6))
 
-	if modelOut != "" {
-		f, err := os.Create(modelOut)
+	if o.modelOut != "" {
+		f, err := os.Create(o.modelOut)
 		if err != nil {
 			return err
 		}
@@ -148,21 +183,21 @@ func run(in, feedsDir, mode, servKind, servFile string, dim, window, epochs, k, 
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("saved model to %s\n", modelOut)
+		fmt.Printf("saved model to %s\n", o.modelOut)
 	}
 
-	eval := tr.LastDays(evalDays)
+	eval := tr.LastDays(o.evalDays)
 	space, cov := emb.EvalSpace(eval, nil)
 	fmt.Printf("evaluation window: final %d day(s), %d senders in space, coverage %.1f%%\n",
-		evalDays, space.Len(), cov*100)
+		o.evalDays, space.Len(), cov*100)
 
-	if mode == "classify" || mode == "both" {
-		rep := core.Evaluate(space, gt, k)
-		fmt.Printf("\n-- semi-supervised %d-NN (Leave-One-Out) --\n%s", k, rep)
+	if o.mode == "classify" || o.mode == "both" {
+		rep := core.Evaluate(space, gt, o.k)
+		fmt.Printf("\n-- semi-supervised %d-NN (Leave-One-Out) --\n%s", o.k, rep)
 	}
-	if mode == "cluster" || mode == "both" {
-		cl := core.Cluster(space, kPrime, seed)
-		fmt.Printf("\n-- unsupervised clustering (k'=%d + Louvain) --\n", kPrime)
+	if o.mode == "cluster" || o.mode == "both" {
+		cl := core.Cluster(space, o.kPrime, o.seed)
+		fmt.Printf("\n-- unsupervised clustering (k'=%d + Louvain) --\n", o.kPrime)
 		fmt.Printf("clusters: %d, modularity: %.3f\n", cl.Clusters, cl.Modularity)
 		sil := cluster.Silhouette(space, cl.Assign)
 		lbl := map[string]string{}

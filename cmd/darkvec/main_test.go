@@ -1,14 +1,24 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/darkvec/darkvec/internal/darksim"
 	"github.com/darkvec/darkvec/internal/labels"
 	"github.com/darkvec/darkvec/internal/w2v"
 )
+
+// baseOpts is a fast, valid configuration for tests.
+func baseOpts(in, feeds string) options {
+	return options{
+		in: in, feedsDir: feeds, mode: "both", servKind: "domain",
+		dim: 16, window: 8, epochs: 2, k: 7, kPrime: 3, seed: 1, evalDays: 1,
+	}
+}
 
 // writeDataset materialises a small trace + feeds directory on disk.
 func writeDataset(t *testing.T) (tracePath, feedsDir string) {
@@ -44,9 +54,9 @@ func writeDataset(t *testing.T) (tracePath, feedsDir string) {
 func TestRunBothModes(t *testing.T) {
 	tracePath, feedsDir := writeDataset(t)
 	modelPath := filepath.Join(t.TempDir(), "model.bin")
-	err := run(tracePath, feedsDir, "both", "domain", "",
-		16, 8, 2, 7, 3, 1, modelPath, 1)
-	if err != nil {
+	o := baseOpts(tracePath, feedsDir)
+	o.modelOut = modelPath
+	if err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 	// The model file must be loadable.
@@ -67,21 +77,31 @@ func TestRunBothModes(t *testing.T) {
 func TestRunClassifyOnlyWithoutFeeds(t *testing.T) {
 	tracePath, _ := writeDataset(t)
 	// Without feeds, the Mirai fingerprint still provides one GT class.
-	if err := run(tracePath, "", "classify", "auto", "", 16, 8, 1, 7, 3, 1, "", 1); err != nil {
+	o := baseOpts(tracePath, "")
+	o.mode, o.servKind, o.epochs = "classify", "auto", 1
+	if err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("/missing.csv", "", "both", "domain", "", 16, 8, 1, 7, 3, 1, "", 1); err == nil {
+	ctx := context.Background()
+	if err := run(ctx, baseOpts("/missing.csv", "")); err == nil {
 		t.Fatal("missing trace must fail")
 	}
 	tracePath, _ := writeDataset(t)
-	if err := run(tracePath, "/missing-feeds", "both", "domain", "", 16, 8, 1, 7, 3, 1, "", 1); err == nil {
+	if err := run(ctx, baseOpts(tracePath, "/missing-feeds")); err == nil {
 		t.Fatal("missing feeds dir must fail")
 	}
-	if err := run(tracePath, "", "both", "bogus-services", "", 16, 8, 1, 7, 3, 1, "", 1); err == nil {
+	o := baseOpts(tracePath, "")
+	o.servKind = "bogus-services"
+	if err := run(ctx, o); err == nil {
 		t.Fatal("bad service kind must fail")
+	}
+	o = baseOpts(tracePath, "")
+	o.resume = true
+	if err := run(ctx, o); err == nil {
+		t.Fatal("-resume without -checkpoint must fail")
 	}
 }
 
@@ -103,13 +123,16 @@ func TestLoadFeedsSkipsNonTxt(t *testing.T) {
 }
 
 func TestRunWithCustomServiceFile(t *testing.T) {
+	ctx := context.Background()
 	tracePath, _ := writeDataset(t)
 	svcPath := filepath.Join(t.TempDir(), "plant.json")
 	doc := `{"telnetish": ["23/tcp", "2323/tcp"], "adb": ["5555/tcp"]}`
 	if err := os.WriteFile(svcPath, []byte(doc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(tracePath, "", "classify", "domain", svcPath, 16, 8, 1, 7, 3, 1, "", 1); err != nil {
+	o := baseOpts(tracePath, "")
+	o.mode, o.servFile, o.epochs = "classify", svcPath, 1
+	if err := run(ctx, o); err != nil {
 		t.Fatal(err)
 	}
 	// Malformed map must fail.
@@ -117,7 +140,50 @@ func TestRunWithCustomServiceFile(t *testing.T) {
 	if err := os.WriteFile(bad, []byte(`{"x": ["nope"]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(tracePath, "", "classify", "domain", bad, 16, 8, 1, 7, 3, 1, "", 1); err == nil {
+	o.servFile = bad
+	if err := run(ctx, o); err == nil {
 		t.Fatal("bad service file must fail")
+	}
+}
+
+// TestRunTolerantIngest: garbage rows abort a strict run but are skipped
+// under -maxerr.
+func TestRunTolerantIngest(t *testing.T) {
+	ctx := context.Background()
+	tracePath, _ := writeDataset(t)
+	clean, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(clean), "\n")
+	mid := len(lines) / 2
+	dirtyPath := filepath.Join(t.TempDir(), "dirty.csv")
+	dirty := strings.Join(lines[:mid], "") + "garbage,row\n" + strings.Join(lines[mid:], "")
+	if err := os.WriteFile(dirtyPath, []byte(dirty), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := baseOpts(dirtyPath, "")
+	o.mode, o.epochs = "classify", 1
+	if err := run(ctx, o); err == nil {
+		t.Fatal("strict ingest of a dirty trace must fail")
+	}
+	o.maxErr = 5
+	if err := run(ctx, o); err != nil {
+		t.Fatalf("tolerant ingest failed: %v", err)
+	}
+}
+
+// TestRunCheckpointConsumed: a completed run removes its checkpoint file.
+func TestRunCheckpointConsumed(t *testing.T) {
+	tracePath, _ := writeDataset(t)
+	o := baseOpts(tracePath, "")
+	o.mode, o.epochs = "classify", 1
+	o.checkpoint = filepath.Join(t.TempDir(), "train.ck")
+	o.resume = true // missing checkpoint: trains from scratch
+	if err := run(context.Background(), o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(o.checkpoint); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint not consumed: %v", err)
 	}
 }

@@ -6,9 +6,23 @@
 //
 //	darkvecd -in trace.csv -feeds feeds/ -listen 127.0.0.1:8080
 //
+// The daemon is built for unattended operation. The listener is bound
+// before training starts, so liveness probes answer immediately while the
+// readiness probe flips only once the model is servable. Dirty inputs can
+// be tolerated with -maxerr (skip-and-count under an error budget; the
+// ingest report is printed). Long training runs checkpoint after every
+// epoch with -checkpoint, and -resume continues an interrupted run from
+// the last completed epoch with byte-identical results. SIGINT/SIGTERM
+// trigger a graceful shutdown: training is cancelled (leaving a resumable
+// checkpoint) or in-flight requests are drained before exit. Every request
+// runs behind panic recovery, a per-request timeout (-timeout) and an
+// in-flight concurrency cap (-maxinflight).
+//
 // Endpoints:
 //
-//	GET /healthz
+//	GET /healthz/live   — process is up (200 even while training)
+//	GET /healthz/ready  — model trained and serving (503 until then)
+//	GET /healthz        — legacy readiness alias
 //	GET /v1/stats
 //	GET /v1/similar?ip=1.2.3.4&k=10
 //	GET /v1/classify?ip=1.2.3.4&k=7
@@ -17,63 +31,143 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/darkvec/darkvec/internal/apiserver"
 	"github.com/darkvec/darkvec/internal/core"
 	"github.com/darkvec/darkvec/internal/labels"
 	"github.com/darkvec/darkvec/internal/netutil"
+	"github.com/darkvec/darkvec/internal/robust"
 	"github.com/darkvec/darkvec/internal/trace"
 )
 
+// options carries every knob of a daemon run; main fills it from flags,
+// tests construct it directly.
+type options struct {
+	in          string
+	feedsDir    string
+	listen      string
+	dim         int
+	window      int
+	epochs      int
+	kPrime      int
+	evalDays    int
+	seed        uint64
+	maxErr      int64
+	checkpoint  string
+	resume      bool
+	reqTimeout  time.Duration
+	maxInFlight int
+	drain       time.Duration
+
+	logf     func(format string, args ...any) // nil: stdout
+	onListen func(addr string)                // test hook: listener bound
+	onReady  func(addr string)                // test hook: model serving
+}
+
 func main() {
-	var (
-		in       = flag.String("in", "", "input trace (.csv or .pcap)")
-		feedsDir = flag.String("feeds", "", "directory of <class>.txt IP feeds")
-		listen   = flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
-		dim      = flag.Int("dim", 50, "embedding dimension V")
-		window   = flag.Int("window", 25, "context window c")
-		epochs   = flag.Int("epochs", 10, "training epochs")
-		kPrime   = flag.Int("kprime", 3, "clustering graph out-degree")
-		evalDays = flag.Int("evaldays", 1, "serve the senders of the final N days")
-		seed     = flag.Uint64("seed", 1, "training seed")
-	)
+	var o options
+	flag.StringVar(&o.in, "in", "", "input trace (.csv or .pcap)")
+	flag.StringVar(&o.feedsDir, "feeds", "", "directory of <class>.txt IP feeds")
+	flag.StringVar(&o.listen, "listen", "127.0.0.1:8080", "HTTP listen address")
+	flag.IntVar(&o.dim, "dim", 50, "embedding dimension V")
+	flag.IntVar(&o.window, "window", 25, "context window c")
+	flag.IntVar(&o.epochs, "epochs", 10, "training epochs")
+	flag.IntVar(&o.kPrime, "kprime", 3, "clustering graph out-degree")
+	flag.IntVar(&o.evalDays, "evaldays", 1, "serve the senders of the final N days")
+	flag.Uint64Var(&o.seed, "seed", 1, "training seed")
+	flag.Int64Var(&o.maxErr, "maxerr", 0, "tolerate up to N malformed input records (0 = strict)")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint file written after every training epoch")
+	flag.BoolVar(&o.resume, "resume", false, "resume training from -checkpoint if it exists")
+	flag.DurationVar(&o.reqTimeout, "timeout", apiserver.DefaultRequestTimeout, "per-request timeout (0 = none)")
+	flag.IntVar(&o.maxInFlight, "maxinflight", apiserver.DefaultMaxInFlight, "max concurrent requests before shedding (0 = unlimited)")
+	flag.DurationVar(&o.drain, "drain", 10*time.Second, "graceful shutdown drain timeout")
 	flag.Parse()
-	if *in == "" {
+	if o.in == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*in, *feedsDir, *listen, *dim, *window, *epochs, *kPrime, *evalDays, *seed); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, o); err != nil {
 		fmt.Fprintln(os.Stderr, "darkvecd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, feedsDir, listen string, dim, window, epochs, kPrime, evalDays int, seed uint64) error {
-	f, err := os.Open(in)
-	if err != nil {
-		return err
+// validate rejects nonsensical flags before any expensive work: training
+// parameters must be positive and the listen address well-formed, so a
+// typo fails in milliseconds rather than after a long training run.
+func (o *options) validate() error {
+	if o.in == "" {
+		return errors.New("missing -in trace")
 	}
-	var tr *trace.Trace
-	if strings.HasSuffix(in, ".pcap") {
-		tr, _, err = trace.ReadPCAP(f)
-	} else {
-		tr, err = trace.ReadCSV(f)
+	if o.dim <= 0 {
+		return fmt.Errorf("invalid -dim %d: must be > 0", o.dim)
 	}
-	f.Close()
+	if o.window <= 0 {
+		return fmt.Errorf("invalid -window %d: must be > 0", o.window)
+	}
+	if o.epochs <= 0 {
+		return fmt.Errorf("invalid -epochs %d: must be > 0", o.epochs)
+	}
+	if o.kPrime <= 0 {
+		return fmt.Errorf("invalid -kprime %d: must be > 0", o.kPrime)
+	}
+	if o.evalDays <= 0 {
+		return fmt.Errorf("invalid -evaldays %d: must be > 0", o.evalDays)
+	}
+	if o.maxErr < 0 {
+		return fmt.Errorf("invalid -maxerr %d: must be >= 0", o.maxErr)
+	}
+	if o.resume && o.checkpoint == "" {
+		return errors.New("-resume requires -checkpoint")
+	}
+	host, port, err := net.SplitHostPort(o.listen)
 	if err != nil {
+		return fmt.Errorf("invalid -listen %q: %v", o.listen, err)
+	}
+	if p, err := strconv.Atoi(port); err != nil || p < 0 || p > 65535 {
+		return fmt.Errorf("invalid -listen %q: bad port %q", o.listen, port)
+	}
+	if host != "" && host != "localhost" && net.ParseIP(host) == nil {
+		return fmt.Errorf("invalid -listen %q: host must be an IP or localhost", o.listen)
+	}
+	return nil
+}
+
+func run(ctx context.Context, o options) error {
+	if o.logf == nil {
+		o.logf = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := o.validate(); err != nil {
 		return err
 	}
 
+	tr, rep, err := trace.ReadFile(o.in, o.maxErr)
+	if err != nil {
+		return err
+	}
+	o.logf("%s", rep.String())
+
 	feeds := map[string][]netutil.IPv4{}
-	if feedsDir != "" {
-		entries, err := os.ReadDir(feedsDir)
+	if o.feedsDir != "" {
+		entries, err := os.ReadDir(o.feedsDir)
 		if err != nil {
 			return err
 		}
@@ -81,7 +175,7 @@ func run(in, feedsDir, listen string, dim, window, epochs, kPrime, evalDays int,
 			if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".txt") {
 				continue
 			}
-			ff, err := os.Open(filepath.Join(feedsDir, ent.Name()))
+			ff, err := os.Open(filepath.Join(o.feedsDir, ent.Name()))
 			if err != nil {
 				return err
 			}
@@ -95,28 +189,100 @@ func run(in, feedsDir, listen string, dim, window, epochs, kPrime, evalDays int,
 	}
 	gt := labels.Build(tr, feeds)
 
-	cfg := core.DefaultConfig()
-	cfg.W2V.Dim = dim
-	cfg.W2V.Window = window
-	cfg.W2V.Epochs = epochs
-	cfg.W2V.Seed = seed
-	fmt.Printf("training on %d events (%d days)...\n", tr.Len(), tr.Days())
-	emb, err := core.TrainEmbedding(tr, cfg)
+	// Bind before the long training run: liveness probes and fast 503s for
+	// not-yet-ready traffic beat a connection-refused black hole.
+	ln, err := net.Listen("tcp", o.listen)
 	if err != nil {
 		return err
 	}
-	space, cov := emb.EvalSpace(tr.LastDays(evalDays), nil)
-	fmt.Printf("trained in %s; serving %d senders (coverage %.0f%%)\n",
+	gate := robust.NewGate()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz/live", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"live"}`)
+	})
+	mux.HandleFunc("GET /healthz/ready", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if !gate.Ready() {
+			w.Header().Set("Retry-After", "5")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"status":"training"}`)
+			return
+		}
+		fmt.Fprintln(w, `{"status":"ready"}`)
+	})
+	mux.Handle("/", gate)
+
+	writeTimeout := 30 * time.Second
+	if o.reqTimeout > 0 {
+		// Leave headroom past the per-request timeout so the 503 body from
+		// the timeout middleware still reaches the client.
+		writeTimeout = o.reqTimeout + 5*time.Second
+	}
+	httpSrv := &http.Server{
+		Handler:           mux,
+		ReadTimeout:       10 * time.Second,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      writeTimeout,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	o.logf("listening on http://%s (training; readiness pending)", ln.Addr())
+	if o.onListen != nil {
+		o.onListen(ln.Addr().String())
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.W2V.Dim = o.dim
+	cfg.W2V.Window = o.window
+	cfg.W2V.Epochs = o.epochs
+	cfg.W2V.Seed = o.seed
+	o.logf("training on %d events (%d days)...", tr.Len(), tr.Days())
+	emb, err := core.TrainEmbeddingOpts(tr, cfg, core.TrainOpts{
+		Context:        ctx,
+		CheckpointPath: o.checkpoint,
+		Resume:         o.resume,
+	})
+	if err != nil {
+		httpSrv.Close()
+		<-serveErr
+		if errors.Is(err, context.Canceled) {
+			// Interrupted by SIGINT/SIGTERM: a graceful exit. With
+			// -checkpoint set, the last completed epoch is on disk and
+			// -resume picks it up next start.
+			if o.checkpoint != "" {
+				o.logf("training interrupted; resumable checkpoint at %s", o.checkpoint)
+			} else {
+				o.logf("training interrupted")
+			}
+			return nil
+		}
+		return err
+	}
+	space, cov := emb.EvalSpace(tr.LastDays(o.evalDays), nil)
+	o.logf("trained in %s; serving %d senders (coverage %.0f%%)",
 		emb.TrainTime.Round(time.Millisecond), space.Len(), cov*100)
 
-	srv := apiserver.New(apiserver.Config{
-		Space: space, GT: gt, Trace: tr, KPrime: kPrime, Seed: seed,
-	})
-	httpSrv := &http.Server{
-		Addr:              listen,
-		Handler:           srv,
-		ReadHeaderTimeout: 5 * time.Second,
+	gate.Set(apiserver.New(apiserver.Config{
+		Space: space, GT: gt, Trace: tr, KPrime: o.kPrime, Seed: o.seed,
+		RequestTimeout: o.reqTimeout, MaxInFlight: o.maxInFlight, Logf: o.logf,
+	}))
+	o.logf("ready")
+	if o.onReady != nil {
+		o.onReady(ln.Addr().String())
 	}
-	fmt.Printf("listening on http://%s\n", listen)
-	return httpSrv.ListenAndServe()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+		o.logf("shutting down (draining up to %s)...", o.drain)
+		sctx, cancel := context.WithTimeout(context.Background(), o.drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			return fmt.Errorf("drain incomplete: %w", err)
+		}
+		<-serveErr // http.ErrServerClosed
+		return nil
+	}
 }

@@ -1,15 +1,89 @@
 package main
 
 import (
+	"context"
+	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/darkvec/darkvec/internal/darksim"
+	"github.com/darkvec/darkvec/internal/trace"
 )
 
+// baseOpts is a fast, valid configuration for tests.
+func baseOpts(in string) options {
+	return options{
+		in:       in,
+		listen:   "127.0.0.1:0",
+		dim:      8,
+		window:   4,
+		epochs:   1,
+		kPrime:   3,
+		evalDays: 1,
+		seed:     1,
+		drain:    5 * time.Second,
+		logf:     func(string, ...any) {},
+	}
+}
+
+// writeTestTrace materialises a small simulated trace CSV.
+func writeTestTrace(t *testing.T, dir string) (string, *trace.Trace) {
+	t.Helper()
+	out := darksim.Generate(darksim.Config{Seed: 3, Days: 2, Scale: 0.005, Rate: 0.05})
+	path := filepath.Join(dir, "t.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Trace.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, out.Trace
+}
+
+func TestValidateFlags(t *testing.T) {
+	good := baseOpts("trace.csv")
+	if err := good.validate(); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*options)
+	}{
+		{"missing in", func(o *options) { o.in = "" }},
+		{"zero dim", func(o *options) { o.dim = 0 }},
+		{"negative dim", func(o *options) { o.dim = -8 }},
+		{"zero window", func(o *options) { o.window = 0 }},
+		{"zero epochs", func(o *options) { o.epochs = 0 }},
+		{"zero kprime", func(o *options) { o.kPrime = 0 }},
+		{"zero evaldays", func(o *options) { o.evalDays = 0 }},
+		{"negative maxerr", func(o *options) { o.maxErr = -1 }},
+		{"resume without checkpoint", func(o *options) { o.resume = true }},
+		{"listen no port", func(o *options) { o.listen = "127.0.0.1" }},
+		{"listen bad port", func(o *options) { o.listen = "127.0.0.1:99999" }},
+		{"listen bad host", func(o *options) { o.listen = "256.0.0.1:8080" }},
+	}
+	for _, tc := range cases {
+		o := baseOpts("trace.csv")
+		tc.mutate(&o)
+		if err := o.validate(); err == nil {
+			t.Errorf("%s: validate() accepted %+v", tc.name, o)
+		}
+	}
+}
+
 func TestRunBadInputs(t *testing.T) {
-	if err := run("/missing.csv", "", "127.0.0.1:0", 8, 4, 1, 3, 1, 1); err == nil {
+	ctx := context.Background()
+	if err := run(ctx, baseOpts("/missing.csv")); err == nil {
 		t.Fatal("missing trace must fail")
 	}
 	dir := t.TempDir()
@@ -17,25 +91,244 @@ func TestRunBadInputs(t *testing.T) {
 	if err := os.WriteFile(junk, []byte("nope\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(junk, "", "127.0.0.1:0", 8, 4, 1, 3, 1, 1); err == nil {
+	if err := run(ctx, baseOpts(junk)); err == nil {
 		t.Fatal("junk trace must fail")
 	}
-	// Valid trace but missing feeds directory.
-	out := darksim.Generate(darksim.Config{Seed: 3, Days: 2, Scale: 0.005, Rate: 0.05})
-	tracePath := filepath.Join(dir, "t.csv")
-	f, err := os.Create(tracePath)
+	tracePath, _ := writeTestTrace(t, dir)
+	o := baseOpts(tracePath)
+	o.feedsDir = "/missing-feeds"
+	if err := run(ctx, o); err == nil {
+		t.Fatal("missing feeds dir must fail")
+	}
+	// A bogus listen address fails validation before any training happens.
+	o = baseOpts(tracePath)
+	o.listen = "256.0.0.1:99999"
+	start := time.Now()
+	if err := run(ctx, o); err == nil {
+		t.Fatal("bad listen address must fail")
+	} else if !strings.Contains(err.Error(), "-listen") {
+		t.Fatalf("bad listen error = %v, want flag validation", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("bad listen address must fail fast, not after training")
+	}
+}
+
+// TestServeLifecycle exercises the whole daemon under -race: liveness
+// before readiness, the readiness flip once training lands, a storm of
+// concurrent requests, and a SIGTERM-equivalent graceful drain where every
+// accepted request completes.
+func TestServeLifecycle(t *testing.T) {
+	tracePath, _ := writeTestTrace(t, t.TempDir())
+	o := baseOpts(tracePath)
+	listenCh := make(chan string, 1)
+	readyCh := make(chan string, 1)
+
+	get := func(url string) (int, error) {
+		resp, err := http.Get(url)
+		if err != nil {
+			return 0, err
+		}
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+
+	// onListen runs after the bind but before training starts, so these
+	// probes deterministically see the warming-up state: live, not ready,
+	// API gated with 503.
+	o.onListen = func(addr string) {
+		base := "http://" + addr
+		if code, err := get(base + "/healthz/live"); err != nil || code != http.StatusOK {
+			t.Errorf("liveness during training = %d, %v", code, err)
+		}
+		if code, err := get(base + "/healthz/ready"); err != nil || code != http.StatusServiceUnavailable {
+			t.Errorf("readiness during training = %d, %v (want 503)", code, err)
+		}
+		if code, err := get(base + "/v1/stats"); err != nil || code != http.StatusServiceUnavailable {
+			t.Errorf("gated API during training = %d, %v (want 503)", code, err)
+		}
+		listenCh <- addr
+	}
+	o.onReady = func(addr string) { readyCh <- addr }
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runErr := make(chan error, 1)
+	go func() { runErr <- run(ctx, o) }()
+
+	base := "http://" + <-listenCh
+
+	select {
+	case <-readyCh:
+	case err := <-runErr:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(2 * time.Minute):
+		t.Fatal("daemon never became ready")
+	}
+	if code, err := get(base + "/healthz/ready"); err != nil || code != http.StatusOK {
+		t.Fatalf("readiness after training = %d, %v", code, err)
+	}
+	if code, err := get(base + "/v1/stats"); err != nil || code != http.StatusOK {
+		t.Fatalf("API after ready = %d, %v", code, err)
+	}
+
+	// Storm the API concurrently, then pull the plug mid-storm. Completed
+	// responses must all be 200; transport errors are legal only once
+	// shutdown has begun (new connections refused), never as a dropped
+	// in-flight request before it.
+	var cancelled atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				code, err := get(base + "/v1/stats")
+				if err != nil {
+					if !cancelled.Load() {
+						errs <- fmt.Errorf("request failed before shutdown: %v", err)
+					}
+					return
+				}
+				if code != http.StatusOK {
+					errs <- fmt.Errorf("mid-storm status %d", code)
+					return
+				}
+				if cancelled.Load() && j > 2 {
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	cancelled.Store(true)
+	cancel()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain and exit")
+	}
+}
+
+// TestSigtermDuringTraining: cancellation mid-train exits gracefully and
+// leaves a resumable checkpoint; a rerun with -resume serves successfully.
+func TestSigtermDuringTraining(t *testing.T) {
+	dir := t.TempDir()
+	tracePath, _ := writeTestTrace(t, dir)
+	o := baseOpts(tracePath)
+	o.epochs = 500 // long enough that the cancel lands mid-run
+	o.checkpoint = filepath.Join(dir, "train.ck")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		for {
+			if _, err := os.Stat(o.checkpoint); err == nil {
+				cancel()
+				return
+			}
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	if err := run(ctx, o); err != nil {
+		t.Fatalf("interrupted run = %v, want graceful nil", err)
+	}
+	if _, err := os.Stat(o.checkpoint); err != nil {
+		t.Fatalf("no resumable checkpoint after interrupt: %v", err)
+	}
+
+	// Resume with a short horizon: must finish, become ready, and consume
+	// the checkpoint.
+	o2 := baseOpts(tracePath)
+	o2.epochs = 500
+	o2.checkpoint = o.checkpoint
+	o2.resume = true
+	readyCh := make(chan string, 1)
+	o2.onReady = func(addr string) { readyCh <- addr }
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	runErr := make(chan error, 1)
+	go func() { runErr <- run(ctx2, o2) }()
+	select {
+	case <-readyCh:
+	case err := <-runErr:
+		t.Fatalf("resumed daemon exited early: %v", err)
+	case <-time.After(5 * time.Minute):
+		t.Fatal("resumed daemon never became ready")
+	}
+	cancel2()
+	if err := <-runErr; err != nil {
+		t.Fatalf("resumed daemon shutdown = %v", err)
+	}
+	if _, err := os.Stat(o.checkpoint); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint not consumed after successful training: %v", err)
+	}
+}
+
+// TestRunTolerantIngest: a trace with injected garbage rows is rejected in
+// strict mode but served under a -maxerr budget.
+func TestRunTolerantIngest(t *testing.T) {
+	dir := t.TempDir()
+	cleanPath, tr := writeTestTrace(t, dir)
+	clean, err := os.ReadFile(cleanPath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := out.Trace.WriteCSV(f); err != nil {
+	lines := strings.SplitAfter(string(clean), "\n")
+	mid := len(lines) / 2
+	dirty := strings.Join(lines[:mid], "") +
+		"garbage,row\nnot,even,close,to,a,record,at,all\n" +
+		strings.Join(lines[mid:], "")
+	dirtyPath := filepath.Join(dir, "dirty.csv")
+	if err := os.WriteFile(dirtyPath, []byte(dirty), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	f.Close()
-	if err := run(tracePath, "/missing-feeds", "127.0.0.1:0", 8, 4, 1, 3, 1, 1); err == nil {
-		t.Fatal("missing feeds dir must fail")
+
+	if err := run(context.Background(), baseOpts(dirtyPath)); err == nil {
+		t.Fatal("strict mode must reject the dirty trace")
 	}
-	// A bogus listen address must fail after training rather than hang.
-	if err := run(tracePath, "", "256.0.0.1:99999", 8, 4, 1, 3, 1, 1); err == nil {
-		t.Fatal("bad listen address must fail")
+
+	o := baseOpts(dirtyPath)
+	o.maxErr = 10
+	var report string
+	o.logf = func(format string, args ...any) {
+		s := fmt.Sprintf(format, args...)
+		if strings.Contains(s, "skipped") {
+			report = s
+		}
+	}
+	readyCh := make(chan string, 1)
+	o.onReady = func(addr string) { readyCh <- addr }
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runErr := make(chan error, 1)
+	go func() { runErr <- run(ctx, o) }()
+	select {
+	case <-readyCh:
+	case err := <-runErr:
+		t.Fatalf("tolerant daemon exited early: %v", err)
+	case <-time.After(2 * time.Minute):
+		t.Fatal("tolerant daemon never became ready")
+	}
+	cancel()
+	if err := <-runErr; err != nil {
+		t.Fatalf("tolerant daemon shutdown = %v", err)
+	}
+	if !strings.Contains(report, "2 skipped") {
+		t.Fatalf("ingest report not printed or wrong: %q (trace len %d)", report, tr.Len())
 	}
 }

@@ -43,6 +43,8 @@ import (
 	"github.com/darkvec/darkvec/internal/labels"
 	"github.com/darkvec/darkvec/internal/metrics"
 	"github.com/darkvec/darkvec/internal/netutil"
+	"github.com/darkvec/darkvec/internal/pcapio"
+	"github.com/darkvec/darkvec/internal/robust"
 	"github.com/darkvec/darkvec/internal/services"
 	"github.com/darkvec/darkvec/internal/trace"
 	"github.com/darkvec/darkvec/internal/w2v"
@@ -114,9 +116,42 @@ const UnknownClass = labels.Unknown
 // services, ΔT = 1 h, V = 50, c = 25, 10 epochs, k = 7, k′ = 3.
 func DefaultConfig() Config { return core.DefaultConfig() }
 
+// Resilience types (tolerant ingestion, checkpointed training).
+type (
+	// Budget is an ingestion error budget; the zero value is strict (the
+	// first malformed record aborts).
+	Budget = robust.Budget
+	// IngestReport summarises what an ingestion run saw: records read,
+	// skipped, truncation and sampled error messages.
+	IngestReport = robust.IngestReport
+	// TrainOpts adds cancellation and checkpoint/resume to training.
+	TrainOpts = core.TrainOpts
+)
+
+// Resilience sentinels.
+var (
+	// ErrBudgetExceeded wraps ingestion failures caused by a blown error
+	// budget (test with errors.Is).
+	ErrBudgetExceeded = robust.ErrBudgetExceeded
+	// ErrTruncated wraps pcap reads that end mid-record (test with
+	// errors.Is); tolerant readers convert it into IngestReport.Truncated.
+	ErrTruncated = pcapio.ErrTruncated
+)
+
+// DefaultBudget tolerates up to 1% malformed records once at least 100
+// have been seen — a sane operating point for dirty real-world captures.
+func DefaultBudget() Budget { return robust.DefaultBudget() }
+
 // Train filters active senders, builds the per-service corpus and trains a
 // single Word2Vec embedding over the trace.
 func Train(tr *Trace, cfg Config) (*Embedding, error) { return core.TrainEmbedding(tr, cfg) }
+
+// TrainWithOpts is Train with a cancellation context and per-epoch
+// checkpoint/resume support; an interrupted run resumed from its
+// checkpoint yields byte-identical embeddings (single-worker training).
+func TrainWithOpts(tr *Trace, cfg Config, opts TrainOpts) (*Embedding, error) {
+	return core.TrainEmbeddingOpts(tr, cfg, opts)
+}
 
 // Evaluate runs the Leave-One-Out k-NN classification protocol over a space
 // under the given ground truth.
@@ -196,6 +231,26 @@ func ReadTracePCAP(r io.Reader) (*Trace, int, error) { return trace.ReadPCAP(r) 
 // WriteTracePCAP serialises the trace as a valid libpcap capture with
 // fully-formed Ethernet/IPv4/TCP|UDP|ICMP packets.
 func WriteTracePCAP(w io.Writer, tr *Trace) error { return tr.WritePCAP(w) }
+
+// ReadTraceCSVTolerant loads a CSV trace under an error budget: malformed
+// rows are skipped and counted until the budget blows, and the report says
+// exactly what was dropped.
+func ReadTraceCSVTolerant(r io.Reader, budget Budget) (*Trace, IngestReport, error) {
+	return trace.ReadCSVTolerant(r, budget)
+}
+
+// ReadTracePCAPTolerant decodes a capture under an error budget; a capture
+// cut off mid-record yields its intact prefix with the report's Truncated
+// flag set instead of failing.
+func ReadTracePCAPTolerant(r io.Reader, budget Budget) (*Trace, IngestReport, error) {
+	return trace.ReadPCAPTolerant(r, budget)
+}
+
+// ReadTraceFile loads a .csv or .pcap trace from disk, strictly when
+// maxErr is 0 or tolerating up to maxErr malformed records otherwise.
+func ReadTraceFile(path string, maxErr int64) (*Trace, IngestReport, error) {
+	return trace.ReadFile(path, maxErr)
+}
 
 // ParseServiceMap reads a user-supplied JSON port→service map (an
 // operator's own Table 7) usable via Config.Custom. See services.ParseCustom

@@ -2,7 +2,9 @@
 // embedding can back dashboards and SOC tooling: nearest-neighbour pivots,
 // on-demand classification, cluster summaries and dataset statistics. The
 // handlers are plain net/http with JSON responses and are safe for
-// concurrent use (the underlying model is immutable once served).
+// concurrent use (the underlying model is immutable once served). Every
+// server is hardened by default: panics become 500s, requests are bounded
+// by a per-request timeout, and excess concurrency is shed with 503s.
 package apiserver
 
 import (
@@ -11,6 +13,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"time"
 
 	"github.com/darkvec/darkvec/internal/cluster"
 	"github.com/darkvec/darkvec/internal/core"
@@ -18,7 +21,14 @@ import (
 	"github.com/darkvec/darkvec/internal/knn"
 	"github.com/darkvec/darkvec/internal/labels"
 	"github.com/darkvec/darkvec/internal/netutil"
+	"github.com/darkvec/darkvec/internal/robust"
 	"github.com/darkvec/darkvec/internal/trace"
+)
+
+// Serving-hardening defaults; override via Config.
+const (
+	DefaultRequestTimeout = 10 * time.Second
+	DefaultMaxInFlight    = 256
 )
 
 // Server wires a trained model and its context into an http.Handler.
@@ -29,6 +39,7 @@ type Server struct {
 	assign   []int
 	stats    trace.Stats
 	mux      *http.ServeMux
+	handler  http.Handler // mux wrapped in the hardening middleware
 }
 
 // Config assembles a Server.
@@ -40,6 +51,28 @@ type Config struct {
 	KPrime int
 	// Seed for the clustering pass.
 	Seed uint64
+	// RequestTimeout bounds each request (default DefaultRequestTimeout;
+	// negative disables).
+	RequestTimeout time.Duration
+	// MaxInFlight caps concurrent requests, shedding the excess with 503
+	// (default DefaultMaxInFlight; negative disables).
+	MaxInFlight int
+	// Logf, when non-nil, receives recovered handler panics.
+	Logf func(format string, args ...any)
+}
+
+// Harden wraps h in the serving middleware stack: panic recovery
+// outermost, then load shedding, then the per-request timeout. New applies
+// it to every Server; exposed so daemons and tests can harden auxiliary
+// handlers with the exact same chain.
+func Harden(h http.Handler, timeout time.Duration, maxInFlight int, logf func(format string, args ...any)) http.Handler {
+	h = robust.Timeout(h, timeout)
+	h = robust.LimitInFlight(h, maxInFlight)
+	var onPanic func(v any)
+	if logf != nil {
+		onPanic = func(v any) { logf("panic in handler: %v", v) }
+	}
+	return robust.Recover(h, onPanic)
 }
 
 // New builds the server, running one clustering pass up front so /clusters
@@ -68,6 +101,15 @@ func New(cfg Config) *Server {
 		s.profiles = cluster.Inspect(cfg.Trace, cfg.Space.Words, cl.Assign, sil, lbl, labels.Unknown)
 	}
 	s.routes()
+	timeout := cfg.RequestTimeout
+	if timeout == 0 {
+		timeout = DefaultRequestTimeout
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight == 0 {
+		maxInFlight = DefaultMaxInFlight
+	}
+	s.handler = Harden(s.mux, timeout, maxInFlight, cfg.Logf)
 	return s
 }
 
@@ -80,8 +122,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/sender", s.handleSender)
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler, routing through the hardening chain.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")

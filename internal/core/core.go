@@ -5,7 +5,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"os"
 	"sort"
 	"time"
 
@@ -101,9 +103,29 @@ type Embedding struct {
 	Epochs    int
 }
 
+// TrainOpts controls the resilience features of a training run: context
+// cancellation, per-epoch checkpoint files and resume.
+type TrainOpts struct {
+	// Context cancels training (e.g. on SIGTERM); nil means background.
+	Context context.Context
+	// CheckpointPath, when non-empty, receives the full training state
+	// after every completed epoch (written atomically via rename). The
+	// file is removed once training finishes.
+	CheckpointPath string
+	// Resume restarts from CheckpointPath if the file exists; a missing
+	// file trains from scratch. Requires CheckpointPath.
+	Resume bool
+}
+
 // TrainEmbedding runs the §5 pipeline on a training trace: filter active
 // senders, build the per-service ΔT corpus, train one Word2Vec model.
 func TrainEmbedding(tr *trace.Trace, cfg Config) (*Embedding, error) {
+	return TrainEmbeddingOpts(tr, cfg, TrainOpts{})
+}
+
+// TrainEmbeddingOpts is TrainEmbedding with cancellation and
+// checkpoint/resume support for long daily-retraining runs.
+func TrainEmbeddingOpts(tr *trace.Trace, cfg Config, opts TrainOpts) (*Embedding, error) {
 	if cfg.MinPackets == 0 {
 		cfg.MinPackets = 10
 	}
@@ -117,10 +139,28 @@ func TrainEmbedding(tr *trace.Trace, cfg Config) (*Embedding, error) {
 		return nil, err
 	}
 	corp := corpus.Build(filtered, def, cfg.DeltaT)
+	wopts := w2v.TrainOptions{Context: opts.Context}
+	if opts.CheckpointPath != "" {
+		wopts.Checkpoint = func(ck *w2v.Checkpoint) error {
+			return writeCheckpointFile(opts.CheckpointPath, ck)
+		}
+		if opts.Resume {
+			ck, err := readCheckpointFile(opts.CheckpointPath)
+			if err != nil {
+				return nil, err
+			}
+			wopts.Resume = ck // nil when no checkpoint file exists yet
+		}
+	}
 	start := time.Now()
-	model, err := w2v.Train(corp.Sentences(), cfg.W2V)
+	model, err := w2v.TrainWithOptions(corp.Sentences(), cfg.W2V, wopts)
 	if err != nil {
 		return nil, err
+	}
+	if opts.CheckpointPath != "" {
+		// Training completed; the checkpoint has served its purpose and a
+		// stale one must not shadow the next run.
+		_ = os.Remove(opts.CheckpointPath)
 	}
 	epochs := cfg.W2V.Epochs
 	if epochs == 0 {
@@ -138,6 +178,45 @@ func TrainEmbedding(tr *trace.Trace, cfg Config) (*Embedding, error) {
 		SkipGrams: corp.SkipGrams(window, cfg.W2V.PadToken != "") * int64(epochs),
 		Epochs:    epochs,
 	}, nil
+}
+
+// writeCheckpointFile persists a checkpoint atomically: write to a
+// temporary sibling, fsync-free rename into place, so a crash mid-write
+// never leaves a torn checkpoint where a resumable one used to be.
+func writeCheckpointFile(path string, ck *w2v.Checkpoint) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := w2v.SaveCheckpoint(f, ck); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// readCheckpointFile loads a checkpoint; a missing file returns (nil, nil)
+// so resume degrades to training from scratch.
+func readCheckpointFile(path string) (*w2v.Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	ck, err := w2v.LoadCheckpoint(f)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading checkpoint %s: %w", path, err)
+	}
+	return ck, nil
 }
 
 // EvalSpace projects the evaluation population into a query space and

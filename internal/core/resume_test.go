@@ -1,0 +1,92 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTrainEmbeddingKillResume drives the checkpoint-file path end to end:
+// a run killed mid-training leaves a checkpoint on disk; resuming with the
+// same trace and config produces byte-identical embeddings to an
+// uninterrupted run, and the checkpoint is consumed on success.
+func TestTrainEmbeddingKillResume(t *testing.T) {
+	sim := smallSim(t)
+	cfg := fastCfg()
+	ckPath := filepath.Join(t.TempDir(), "train.ck")
+
+	full, err := TrainEmbedding(sim.Trace, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Kill" the run: cancel the context once the first checkpoint lands.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		for {
+			if _, err := os.Stat(ckPath); err == nil {
+				cancel()
+				return
+			}
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+		}
+	}()
+	_, err = TrainEmbeddingOpts(sim.Trace, cfg, TrainOpts{
+		Context:        ctx,
+		CheckpointPath: ckPath,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run error = %v, want context.Canceled", err)
+	}
+	if _, err := os.Stat(ckPath); err != nil {
+		t.Fatalf("no checkpoint left behind: %v", err)
+	}
+
+	resumed, err := TrainEmbeddingOpts(sim.Trace, cfg, TrainOpts{
+		CheckpointPath: ckPath,
+		Resume:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed.Model.Syn0) != len(full.Model.Syn0) {
+		t.Fatalf("matrix sizes differ: %d != %d", len(resumed.Model.Syn0), len(full.Model.Syn0))
+	}
+	for i := range full.Model.Syn0 {
+		if resumed.Model.Syn0[i] != full.Model.Syn0[i] {
+			t.Fatalf("Syn0[%d] diverges after kill/resume", i)
+		}
+	}
+	if _, err := os.Stat(ckPath); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint not consumed after successful training: %v", err)
+	}
+}
+
+// TestTrainEmbeddingResumeMissingCheckpoint degrades to a fresh run.
+func TestTrainEmbeddingResumeMissingCheckpoint(t *testing.T) {
+	sim := smallSim(t)
+	cfg := fastCfg()
+	emb, err := TrainEmbeddingOpts(sim.Trace, cfg, TrainOpts{
+		CheckpointPath: filepath.Join(t.TempDir(), "absent.ck"),
+		Resume:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := TrainEmbedding(sim.Trace, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full.Model.Syn0 {
+		if emb.Model.Syn0[i] != full.Model.Syn0[i] {
+			t.Fatalf("fresh-resume Syn0[%d] diverges from plain training", i)
+		}
+	}
+}

@@ -29,6 +29,12 @@ const LinkTypeEthernet LinkType = 1
 // ErrBadMagic is returned when the global header magic is unrecognised.
 var ErrBadMagic = errors.New("pcapio: unrecognised magic number")
 
+// ErrTruncated marks a capture that ends inside a packet record — the
+// routine outcome of a collector crash or full disk. Errors wrapping it
+// distinguish a cut-off tail from a clean io.EOF, so tolerant callers can
+// keep the intact prefix instead of failing the whole ingest.
+var ErrTruncated = errors.New("pcapio: truncated record")
+
 // Header is the pcap per-packet record header, decoded.
 type Header struct {
 	Ts      time.Time
@@ -163,12 +169,14 @@ func (r *Reader) LinkType() LinkType { return r.link }
 func (r *Reader) Snaplen() uint32 { return r.snaplen }
 
 // ReadPacket returns the next packet. The returned data slice is reused on
-// the next call; copy it to retain. io.EOF marks a clean end of stream.
+// the next call; copy it to retain. io.EOF marks a clean end of stream; a
+// stream that ends inside a record header or body yields an error wrapping
+// ErrTruncated instead.
 func (r *Reader) ReadPacket() (Header, []byte, error) {
 	var hdr [16]byte
 	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
-			err = io.ErrUnexpectedEOF
+			return Header{}, nil, fmt.Errorf("pcapio: record header cut short: %w", ErrTruncated)
 		}
 		return Header{}, nil, err
 	}
@@ -192,8 +200,12 @@ func (r *Reader) ReadPacket() (Header, []byte, error) {
 		r.buf = make([]byte, capLen)
 	}
 	r.buf = r.buf[:capLen]
-	if _, err := io.ReadFull(r.r, r.buf); err != nil {
-		return Header{}, nil, fmt.Errorf("pcapio: truncated packet record: %w", err)
+	if n, err := io.ReadFull(r.r, r.buf); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return Header{}, nil, fmt.Errorf("pcapio: packet body cut short at %d of %d bytes: %w",
+				n, capLen, ErrTruncated)
+		}
+		return Header{}, nil, fmt.Errorf("pcapio: reading packet body: %w", err)
 	}
 	return h, r.buf, nil
 }

@@ -166,8 +166,49 @@ func TestTruncatedRecord(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := r.ReadPacket(); err == nil {
-		t.Fatal("truncated record must fail")
+	if _, _, err := r.ReadPacket(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated body error = %v, want ErrTruncated", err)
+	}
+}
+
+func TestTruncatedRecordHeader(t *testing.T) {
+	// A capture cut inside the 16-byte record header must report
+	// ErrTruncated, distinguishable from the clean io.EOF of an intact tail.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteHeader(LinkTypeEthernet)
+	w.WritePacket(time.Unix(1, 0), []byte{1, 2, 3, 4})
+	w.Flush()
+	full := buf.Bytes()
+	cut := full[:len(full)-16-4+7] // global hdr + 7 bytes of the record header
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = r.ReadPacket()
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated header error = %v, want ErrTruncated", err)
+	}
+	if errors.Is(err, io.EOF) {
+		t.Fatal("truncation must not look like clean EOF")
+	}
+	// The intact prefix of a two-packet capture reads fine before the cut.
+	var two bytes.Buffer
+	w2 := NewWriter(&two)
+	w2.WriteHeader(LinkTypeEthernet)
+	w2.WritePacket(time.Unix(1, 0), []byte{1, 2, 3, 4})
+	w2.WritePacket(time.Unix(2, 0), []byte{5, 6, 7, 8})
+	w2.Flush()
+	cut2 := two.Bytes()[:two.Len()-5]
+	r2, err := NewReader(bytes.NewReader(cut2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, data, err := r2.ReadPacket(); err != nil || !bytes.Equal(data, []byte{1, 2, 3, 4}) {
+		t.Fatalf("intact first packet: %v %v", data, err)
+	}
+	if _, _, err := r2.ReadPacket(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("second packet error = %v, want ErrTruncated", err)
 	}
 }
 

@@ -1,0 +1,85 @@
+// Package faultio wraps io.Readers with injected faults — corruption,
+// truncation, stalls — so tests can prove each pipeline layer degrades
+// gracefully on the dirty inputs darknet collection actually produces,
+// instead of crashing.
+package faultio
+
+import (
+	"io"
+	"time"
+)
+
+// Truncate yields exactly the first n bytes of r and then a clean EOF,
+// simulating a capture cut off mid-record (disk full, collector crash).
+func Truncate(r io.Reader, n int64) io.Reader { return io.LimitReader(r, n) }
+
+// Corrupt XORs mask into every every-th byte of the stream starting at
+// byte offset first, simulating bit rot or a damaged transfer. every <= 0
+// corrupts nothing.
+func Corrupt(r io.Reader, first, every int64, mask byte) io.Reader {
+	return &corruptReader{r: r, next: first, every: every, mask: mask}
+}
+
+type corruptReader struct {
+	r     io.Reader
+	off   int64
+	next  int64 // absolute offset of the next byte to damage
+	every int64
+	mask  byte
+}
+
+func (c *corruptReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if c.every > 0 {
+		for c.next < c.off+int64(n) {
+			if c.next >= c.off {
+				p[c.next-c.off] ^= c.mask
+			}
+			c.next += c.every
+		}
+	}
+	c.off += int64(n)
+	return n, err
+}
+
+// Stall sleeps delay before every Read once after bytes have been
+// delivered, simulating a source that goes slow mid-stream (an NFS mount
+// hiccuping, a collector under pressure). The data itself is unchanged.
+func Stall(r io.Reader, after int64, delay time.Duration) io.Reader {
+	return &stallReader{r: r, after: after, delay: delay}
+}
+
+type stallReader struct {
+	r     io.Reader
+	off   int64
+	after int64
+	delay time.Duration
+}
+
+func (s *stallReader) Read(p []byte) (int, error) {
+	if s.off >= s.after {
+		time.Sleep(s.delay)
+	}
+	n, err := s.r.Read(p)
+	s.off += int64(n)
+	return n, err
+}
+
+// ErrAfter yields the first n bytes of r, then fails with err — the
+// generic "source went away" fault (connection reset, I/O error).
+func ErrAfter(r io.Reader, n int64, err error) io.Reader {
+	return &errReader{r: io.LimitReader(r, n), err: err}
+}
+
+type errReader struct {
+	r   io.Reader
+	err error
+}
+
+func (e *errReader) Read(p []byte) (int, error) {
+	n, err := e.r.Read(p)
+	if err == io.EOF {
+		err = e.err
+	}
+	return n, err
+}

@@ -1,0 +1,72 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTruncate(t *testing.T) {
+	got, err := io.ReadAll(Truncate(strings.NewReader("hello world"), 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	in := bytes.Repeat([]byte{0}, 10)
+	got, err := io.ReadAll(Corrupt(bytes.NewReader(in), 2, 3, 0xff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0, 0, 0xff, 0, 0, 0xff, 0, 0, 0xff, 0}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestCorruptAcrossSmallReads(t *testing.T) {
+	in := bytes.Repeat([]byte{0}, 8)
+	r := Corrupt(bytes.NewReader(in), 1, 4, 0xaa)
+	var out []byte
+	buf := make([]byte, 3) // force damage offsets to straddle read boundaries
+	for {
+		n, err := r.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []byte{0, 0xaa, 0, 0, 0, 0xaa, 0, 0}
+	if !bytes.Equal(out, want) {
+		t.Fatalf("got %v, want %v", out, want)
+	}
+}
+
+func TestStallDelivers(t *testing.T) {
+	r := Stall(strings.NewReader("slow but intact"), 4, time.Millisecond)
+	got, err := io.ReadAll(r)
+	if err != nil || string(got) != "slow but intact" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestErrAfter(t *testing.T) {
+	boom := errors.New("source died")
+	got, err := io.ReadAll(ErrAfter(strings.NewReader("abcdef"), 3, boom))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if string(got) != "abc" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -1,0 +1,114 @@
+package robust
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Recover converts a handler panic into a 500 response instead of killing
+// the connection's goroutine state machine mid-stream. http.ErrAbortHandler
+// is re-panicked, as net/http uses it as the sanctioned abort signal. If
+// onPanic is non-nil it receives the recovered value (for logging).
+func Recover(next http.Handler, onPanic func(v any)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			if onPanic != nil {
+				onPanic(v)
+			}
+			if !sw.wrote {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusInternalServerError)
+				fmt.Fprintf(w, `{"error":"internal server error"}`+"\n")
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// statusWriter tracks whether a response has started, so the recovery path
+// knows if a 500 can still be written.
+type statusWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// Timeout bounds each request's handler time, answering 503 with a JSON
+// body when exceeded. It builds on http.TimeoutHandler, which is safe
+// against the handler writing concurrently with the timeout firing.
+func Timeout(next http.Handler, d time.Duration) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	return http.TimeoutHandler(next, d, `{"error":"request timed out"}`)
+}
+
+// LimitInFlight sheds load: at most n requests run concurrently, the rest
+// are answered 503 immediately so a traffic spike degrades into fast
+// rejections instead of an unbounded goroutine pile-up.
+func LimitInFlight(next http.Handler, n int) http.Handler {
+	if n <= 0 {
+		return next
+	}
+	sem := make(chan struct{}, n)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+			next.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, `{"error":"server at capacity"}`+"\n")
+		}
+	})
+}
+
+// Gate is a swap-in readiness gate: it serves 503 "warming up" until a real
+// handler is installed with Set, at which point Ready flips true. It lets a
+// daemon bind its listener (and answer liveness probes) immediately while
+// training runs, becoming ready only once the model is servable.
+type Gate struct {
+	h atomic.Pointer[http.Handler]
+}
+
+// NewGate returns a gate with no handler installed.
+func NewGate() *Gate { return &Gate{} }
+
+// Set installs the real handler and marks the gate ready.
+func (g *Gate) Set(h http.Handler) { g.h.Store(&h) }
+
+// Ready reports whether a handler has been installed.
+func (g *Gate) Ready() bool { return g.h.Load() != nil }
+
+// ServeHTTP forwards to the installed handler, or answers 503 before Set.
+func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h := g.h.Load(); h != nil {
+		(*h).ServeHTTP(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", "5")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintf(w, `{"error":"not ready: model still training"}`+"\n")
+}

@@ -1,0 +1,153 @@
+package robust
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRecoverTurnsPanicInto500(t *testing.T) {
+	var caught atomic.Value
+	h := Recover(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	}), func(v any) { caught.Store(v) })
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	if caught.Load() != "kaboom" {
+		t.Fatalf("onPanic got %v", caught.Load())
+	}
+}
+
+func TestRecoverPassesThroughAbortHandler(t *testing.T) {
+	h := Recover(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	}), nil)
+	defer func() {
+		if recover() != http.ErrAbortHandler {
+			t.Fatal("ErrAbortHandler must propagate")
+		}
+	}()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+}
+
+func TestRecoverConcurrentPanics(t *testing.T) {
+	// Hammer a panicking handler alongside a healthy one; run under -race.
+	panicky := Recover(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/boom" {
+			panic("boom")
+		}
+		w.WriteHeader(http.StatusOK)
+	}), nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		path := "/ok"
+		if i%2 == 0 {
+			path = "/boom"
+		}
+		go func(path string) {
+			defer wg.Done()
+			rr := httptest.NewRecorder()
+			panicky.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+			want := http.StatusOK
+			if path == "/boom" {
+				want = http.StatusInternalServerError
+			}
+			if rr.Code != want {
+				t.Errorf("%s: status %d, want %d", path, rr.Code, want)
+			}
+		}(path)
+	}
+	wg.Wait()
+}
+
+func TestTimeout(t *testing.T) {
+	slow := Timeout(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(5 * time.Second):
+		case <-r.Context().Done():
+		}
+	}), 20*time.Millisecond)
+	rr := httptest.NewRecorder()
+	slow.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d", rr.Code)
+	}
+}
+
+func TestLimitInFlight(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 2)
+	h := LimitInFlight(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+	}), 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+		}()
+	}
+	<-entered
+	<-entered
+	// Third concurrent request must be shed, not queued.
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", rr.Code)
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestGate(t *testing.T) {
+	g := NewGate()
+	if g.Ready() {
+		t.Fatal("gate ready before Set")
+	}
+	rr := httptest.NewRecorder()
+	g.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/stats", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("pre-ready status = %d", rr.Code)
+	}
+	g.Set(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	if !g.Ready() {
+		t.Fatal("gate not ready after Set")
+	}
+	rr = httptest.NewRecorder()
+	g.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/stats", nil))
+	if rr.Code != http.StatusTeapot {
+		t.Fatalf("post-ready status = %d", rr.Code)
+	}
+}
+
+func TestGateConcurrentSet(t *testing.T) {
+	// Readers racing Set must always get a coherent answer; run under -race.
+	g := NewGate()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rr := httptest.NewRecorder()
+			g.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+			if rr.Code != http.StatusServiceUnavailable && rr.Code != http.StatusOK {
+				t.Errorf("status = %d", rr.Code)
+			}
+		}()
+	}
+	g.Set(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	wg.Wait()
+}

@@ -1,0 +1,128 @@
+// Package robust is the pipeline-wide resilience layer: error budgets and
+// structured ingest reports for tolerant trace ingestion, and HTTP
+// middleware (panic recovery, per-request timeouts, load shedding, a
+// readiness gate) for the serving path. Real darknet captures routinely
+// contain truncated or garbage records; the ingest side of this package
+// lets readers skip and count malformed input instead of aborting a
+// month-long run, while still failing fast when corruption is pervasive
+// enough to make the data untrustworthy.
+package robust
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrBudgetExceeded marks an ingest run aborted because malformed records
+// outnumbered the configured tolerance. Use errors.Is to detect it.
+var ErrBudgetExceeded = errors.New("robust: error budget exceeded")
+
+// Budget caps how much malformed input an ingest run tolerates. The zero
+// value is strict: the first malformed record aborts. A non-strict budget
+// skips and counts bad records, aborting only when MaxErrors (absolute) or
+// MaxRate (fraction of records seen so far) is exceeded.
+type Budget struct {
+	// MaxErrors is the absolute cap on skipped records; 0 means no
+	// absolute cap when MaxRate is set.
+	MaxErrors int64
+	// MaxRate is the tolerated fraction skipped/(read+skipped), checked
+	// once MinSample records have been seen so a bad first line does not
+	// abort a clean billion-line trace. 0 means only MaxErrors governs.
+	MaxRate float64
+	// MinSample is the number of records before MaxRate is enforced
+	// (default 100 when MaxRate > 0).
+	MinSample int64
+}
+
+// DefaultBudget tolerates up to 1% malformed records, judged after the
+// first 100 — the operating point for routinely-dirty darknet captures.
+func DefaultBudget() Budget { return Budget{MaxRate: 0.01, MinSample: 100} }
+
+// Strict reports whether the budget tolerates nothing.
+func (b Budget) Strict() bool { return b.MaxErrors <= 0 && b.MaxRate <= 0 }
+
+// blown reports whether rep has exhausted the budget.
+func (b Budget) blown(rep *IngestReport) bool {
+	if b.Strict() {
+		return rep.Skipped > 0
+	}
+	if b.MaxErrors > 0 && rep.Skipped > b.MaxErrors {
+		return true
+	}
+	if b.MaxRate > 0 {
+		minSample := b.MinSample
+		if minSample <= 0 {
+			minSample = 100
+		}
+		if n := rep.Read + rep.Skipped; n >= minSample && rep.ErrorRate() > b.MaxRate {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxSampleErrors is how many distinct error messages an IngestReport
+// retains verbatim; further errors are only counted.
+const MaxSampleErrors = 5
+
+// IngestReport is the structured outcome of one tolerant ingest pass:
+// how much was read, how much was skipped and why, and whether the input
+// ended mid-record (a truncated tail, tolerable on its own).
+type IngestReport struct {
+	Read      int64    // records successfully parsed
+	Skipped   int64    // malformed records dropped under the budget
+	Truncated bool     // input ended inside a record; the intact prefix was kept
+	Errors    []string // first MaxSampleErrors error messages, in order
+}
+
+// Skip records one malformed record and returns a non-nil
+// ErrBudgetExceeded-wrapping error when the budget is exhausted.
+func (r *IngestReport) Skip(b Budget, err error) error {
+	r.Skipped++
+	if len(r.Errors) < MaxSampleErrors {
+		r.Errors = append(r.Errors, err.Error())
+	}
+	if b.blown(r) {
+		return fmt.Errorf("%w (%d/%d records malformed): %v", ErrBudgetExceeded, r.Skipped, r.Read+r.Skipped, err)
+	}
+	return nil
+}
+
+// Truncate records that the input ended mid-record: the report keeps the
+// error message and flags the truncation, and ingestion of the intact
+// prefix is considered successful.
+func (r *IngestReport) Truncate(err error) {
+	r.Truncated = true
+	if err != nil && len(r.Errors) < MaxSampleErrors {
+		r.Errors = append(r.Errors, err.Error())
+	}
+}
+
+// ErrorRate is skipped/(read+skipped); 0 for an empty report.
+func (r *IngestReport) ErrorRate() float64 {
+	n := r.Read + r.Skipped
+	if n == 0 {
+		return 0
+	}
+	return float64(r.Skipped) / float64(n)
+}
+
+// Clean reports a fully healthy ingest: nothing skipped, no truncation.
+func (r *IngestReport) Clean() bool { return r.Skipped == 0 && !r.Truncated }
+
+// String renders the one-line operator summary every cmd prints.
+func (r *IngestReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ingest: %d records read", r.Read)
+	if r.Skipped > 0 {
+		fmt.Fprintf(&sb, ", %d skipped (%.2f%%)", r.Skipped, r.ErrorRate()*100)
+	}
+	if r.Truncated {
+		sb.WriteString(", input truncated mid-record")
+	}
+	if len(r.Errors) > 0 {
+		fmt.Fprintf(&sb, "; first errors: %s", strings.Join(r.Errors, " | "))
+	}
+	return sb.String()
+}

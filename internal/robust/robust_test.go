@@ -1,0 +1,89 @@
+package robust
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestStrictBudget(t *testing.T) {
+	var rep IngestReport
+	b := Budget{}
+	if !b.Strict() {
+		t.Fatal("zero budget must be strict")
+	}
+	err := rep.Skip(b, errors.New("bad line"))
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("strict skip error = %v", err)
+	}
+}
+
+func TestAbsoluteCap(t *testing.T) {
+	var rep IngestReport
+	b := Budget{MaxErrors: 2}
+	for i := 0; i < 2; i++ {
+		if err := rep.Skip(b, errors.New("x")); err != nil {
+			t.Fatalf("skip %d within budget: %v", i, err)
+		}
+	}
+	if err := rep.Skip(b, errors.New("x")); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("third skip should blow MaxErrors=2, got %v", err)
+	}
+}
+
+func TestRateBudgetRespectsMinSample(t *testing.T) {
+	var rep IngestReport
+	b := Budget{MaxRate: 0.01, MinSample: 100}
+	// A bad first record must not abort before MinSample records are seen.
+	if err := rep.Skip(b, errors.New("early junk")); err != nil {
+		t.Fatalf("early skip aborted: %v", err)
+	}
+	rep.Read = 98 // 1 skipped of 99 seen: still under sample threshold
+	if err := rep.Skip(b, errors.New("second")); err == nil {
+		// 2/100 = 2% > 1% at exactly MinSample: must abort.
+		t.Fatal("rate over budget at MinSample must abort")
+	}
+}
+
+func TestRateBudgetUnderThreshold(t *testing.T) {
+	rep := IngestReport{Read: 10_000}
+	b := DefaultBudget()
+	for i := 0; i < 50; i++ { // 50/10050 ≈ 0.5% < 1%
+		if err := rep.Skip(b, errors.New("sporadic")); err != nil {
+			t.Fatalf("skip %d under budget aborted: %v", i, err)
+		}
+	}
+}
+
+func TestSampleErrorsCapped(t *testing.T) {
+	rep := IngestReport{Read: 1 << 20}
+	b := DefaultBudget()
+	for i := 0; i < 100; i++ {
+		if err := rep.Skip(b, errors.New("e")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(rep.Errors) != MaxSampleErrors {
+		t.Fatalf("kept %d sample errors, want %d", len(rep.Errors), MaxSampleErrors)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := IngestReport{Read: 10}
+	if !rep.Clean() {
+		t.Fatal("untouched report must be clean")
+	}
+	if err := rep.Skip(Budget{MaxErrors: 5}, errors.New("bad ts")); err != nil {
+		t.Fatal(err)
+	}
+	rep.Truncate(errors.New("cut off"))
+	if rep.Clean() {
+		t.Fatal("skips/truncation must mark the report dirty")
+	}
+	s := rep.String()
+	for _, want := range []string{"10 records read", "1 skipped", "truncated", "bad ts", "cut off"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"github.com/darkvec/darkvec/internal/netutil"
 	"github.com/darkvec/darkvec/internal/packet"
+	"github.com/darkvec/darkvec/internal/robust"
 )
 
 // csvHeader is the column layout of the on-disk trace format, mirroring the
@@ -62,36 +63,86 @@ var ErrStop = errors.New("trace: stop streaming")
 // StreamCSV feeds each CSV event to fn without materialising the trace —
 // the path for month-scale captures that do not fit in memory (statistics
 // passes, filters, format conversion). fn returning ErrStop ends the scan
-// cleanly; any other error aborts and is returned.
+// cleanly; any other error aborts and is returned. The scan is strict: the
+// first malformed record aborts. Use StreamCSVTolerant for dirty captures.
 func StreamCSV(r io.Reader, fn func(Event) error) error {
+	_, err := streamCSV(r, nil, fn)
+	return err
+}
+
+// StreamCSVTolerant is StreamCSV with an error budget: malformed records
+// are skipped and counted in the returned IngestReport, and the scan only
+// aborts (with an error wrapping robust.ErrBudgetExceeded) when the budget
+// is exhausted. A malformed header always aborts — that is a wrong file,
+// not a dirty one.
+func StreamCSVTolerant(r io.Reader, budget robust.Budget, fn func(Event) error) (robust.IngestReport, error) {
+	return streamCSV(r, &budget, fn)
+}
+
+// streamCSV is the shared scan loop; budget == nil selects the historical
+// strict behaviour (first bad record aborts with the bare error).
+func streamCSV(r io.Reader, budget *robust.Budget, fn func(Event) error) (robust.IngestReport, error) {
+	var rep robust.IngestReport
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
 	hdr, err := cr.Read()
 	if err != nil {
-		return fmt.Errorf("trace: reading csv header: %w", err)
+		return rep, fmt.Errorf("trace: reading csv header: %w", err)
 	}
 	if len(hdr) != len(csvHeader) || hdr[0] != "ts" {
-		return fmt.Errorf("trace: unexpected csv header %v", hdr)
+		return rep, fmt.Errorf("trace: unexpected csv header %v", hdr)
 	}
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
-			return nil
+			return rep, nil
 		}
 		if err != nil {
-			return err
+			var perr *csv.ParseError
+			if budget != nil && errors.As(err, &perr) {
+				// Shape errors (wrong field count, stray quote) are
+				// per-line recoverable; the reader resynchronises on the
+				// next line.
+				if berr := rep.Skip(*budget, err); berr != nil {
+					return rep, fmt.Errorf("trace: %w", berr)
+				}
+				continue
+			}
+			return rep, err
 		}
 		e, err := parseCSVRecord(rec)
 		if err != nil {
-			return fmt.Errorf("trace: csv line %d: %w", line, err)
+			err = fmt.Errorf("trace: csv line %d: %w", line, err)
+			if budget != nil {
+				if berr := rep.Skip(*budget, err); berr != nil {
+					return rep, fmt.Errorf("trace: %w", berr)
+				}
+				continue
+			}
+			return rep, err
 		}
+		rep.Read++
 		if err := fn(e); err != nil {
 			if errors.Is(err, ErrStop) {
-				return nil
+				return rep, nil
 			}
-			return err
+			return rep, err
 		}
 	}
+}
+
+// ReadCSVTolerant parses a trace under an error budget, returning the
+// loaded trace together with the ingest report. See StreamCSVTolerant.
+func ReadCSVTolerant(r io.Reader, budget robust.Budget) (*Trace, robust.IngestReport, error) {
+	var events []Event
+	rep, err := StreamCSVTolerant(r, budget, func(e Event) error {
+		events = append(events, e)
+		return nil
+	})
+	if err != nil {
+		return nil, rep, err
+	}
+	return New(events), rep, nil
 }
 
 func parseCSVRecord(rec []string) (Event, error) {

@@ -9,6 +9,7 @@ import (
 	"github.com/darkvec/darkvec/internal/netutil"
 	"github.com/darkvec/darkvec/internal/packet"
 	"github.com/darkvec/darkvec/internal/pcapio"
+	"github.com/darkvec/darkvec/internal/robust"
 )
 
 // Fixed MACs for synthesised frames: a darknet is a passive sensor, the link
@@ -135,4 +136,69 @@ func ReadPCAP(r io.Reader) (*Trace, int, error) {
 		return nil, skipped, errors.New("trace: no decodable packets in capture")
 	}
 	return New(events), skipped, nil
+}
+
+// ReadPCAPTolerant decodes a capture under an error budget. Packets that
+// fail to decode are skipped and counted against the budget; a capture
+// that ends mid-record (pcapio.ErrTruncated) — or whose record stream is
+// corrupted beyond resynchronisation — yields its intact prefix with the
+// report's Truncated flag set instead of a hard failure. Only an unusable
+// global header, an exhausted budget or a fully undecodable capture
+// return an error.
+func ReadPCAPTolerant(r io.Reader, budget robust.Budget) (*Trace, robust.IngestReport, error) {
+	var rep robust.IngestReport
+	pr, err := pcapio.NewReader(r)
+	if err != nil {
+		return nil, rep, err
+	}
+	if pr.LinkType() != pcapio.LinkTypeEthernet {
+		return nil, rep, fmt.Errorf("trace: unsupported link type %d", pr.LinkType())
+	}
+	var (
+		events  []Event
+		parser  packet.Parser
+		decoded []packet.LayerType
+	)
+	for {
+		hdr, data, err := pr.ReadPacket()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if errors.Is(err, pcapio.ErrTruncated) {
+			rep.Truncate(err)
+			break
+		}
+		if err != nil {
+			// A corrupt record header (implausible length, reader fault)
+			// loses the framing for good: there is no record boundary to
+			// resynchronise on. Keep the intact prefix, flag the report.
+			rep.Truncate(err)
+			break
+		}
+		if err := parser.DecodeLayers(data, &decoded); err != nil {
+			if berr := rep.Skip(budget, fmt.Errorf("trace: packet %d: %w", rep.Read+rep.Skipped+1, err)); berr != nil {
+				return nil, rep, fmt.Errorf("trace: %w", berr)
+			}
+			continue
+		}
+		e := Event{
+			Ts:    hdr.Ts.Unix(),
+			Src:   parser.IP.SrcIP,
+			Dst:   parser.IP.DstIP,
+			Proto: parser.IP.Protocol,
+		}
+		switch parser.IP.Protocol {
+		case packet.IPProtocolTCP:
+			e.Port = parser.TCP.DstPort
+			e.Mirai = parser.TCP.Seq == uint32(parser.IP.DstIP)
+		case packet.IPProtocolUDP:
+			e.Port = parser.UDP.DstPort
+		}
+		rep.Read++
+		events = append(events, e)
+	}
+	if len(events) == 0 && rep.Skipped > 0 {
+		return nil, rep, errors.New("trace: no decodable packets in capture")
+	}
+	return New(events), rep, nil
 }

@@ -1,0 +1,291 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/darkvec/darkvec/internal/netutil"
+	"github.com/darkvec/darkvec/internal/packet"
+	"github.com/darkvec/darkvec/internal/robust"
+	"github.com/darkvec/darkvec/internal/robust/faultio"
+)
+
+const csvHdrLine = "ts,src_ip,dst_ip,dst_port,proto,mirai"
+
+// collect streams r strictly and returns the events, failing on error.
+func streamAll(t *testing.T, in string) ([]Event, error) {
+	t.Helper()
+	var events []Event
+	err := StreamCSV(strings.NewReader(in), func(e Event) error {
+		events = append(events, e)
+		return nil
+	})
+	return events, err
+}
+
+func TestStreamCSVEmptyFile(t *testing.T) {
+	if _, err := streamAll(t, ""); err == nil {
+		t.Fatal("empty file must fail in strict mode (no header)")
+	}
+	if _, err := StreamCSVTolerant(strings.NewReader(""), robust.DefaultBudget(), func(Event) error { return nil }); err == nil {
+		t.Fatal("empty file must fail even under a budget: missing header is a wrong file")
+	}
+}
+
+func TestStreamCSVHeaderOnly(t *testing.T) {
+	for _, in := range []string{csvHdrLine, csvHdrLine + "\n"} {
+		events, err := streamAll(t, in)
+		if err != nil {
+			t.Fatalf("header-only strict: %v", err)
+		}
+		if len(events) != 0 {
+			t.Fatalf("header-only produced %d events", len(events))
+		}
+		rep, err := StreamCSVTolerant(strings.NewReader(in), robust.DefaultBudget(), func(Event) error { return nil })
+		if err != nil || rep.Read != 0 || rep.Skipped != 0 {
+			t.Fatalf("header-only budgeted: rep=%+v err=%v", rep, err)
+		}
+	}
+}
+
+func TestStreamCSVCRLF(t *testing.T) {
+	in := csvHdrLine + "\r\n" +
+		"100,1.1.1.1,198.18.0.1,23,tcp,0\r\n" +
+		"200,2.2.2.2,198.18.0.2,445,tcp,1\r\n"
+	events, err := streamAll(t, in)
+	if err != nil {
+		t.Fatalf("CRLF strict: %v", err)
+	}
+	if len(events) != 2 || events[0].Ts != 100 || !events[1].Mirai {
+		t.Fatalf("CRLF events = %+v", events)
+	}
+	rep, err := StreamCSVTolerant(strings.NewReader(in), robust.DefaultBudget(), func(Event) error { return nil })
+	if err != nil || rep.Read != 2 || rep.Skipped != 0 {
+		t.Fatalf("CRLF budgeted: rep=%+v err=%v", rep, err)
+	}
+}
+
+func TestStreamCSVTrailingBlankLine(t *testing.T) {
+	in := csvHdrLine + "\n100,1.1.1.1,198.18.0.1,23,tcp,0\n\n"
+	events, err := streamAll(t, in)
+	if err != nil || len(events) != 1 {
+		t.Fatalf("trailing blank strict: %d events, %v", len(events), err)
+	}
+	rep, err := StreamCSVTolerant(strings.NewReader(in), robust.Budget{}, func(Event) error { return nil })
+	if err != nil || rep.Read != 1 {
+		t.Fatalf("trailing blank budgeted: rep=%+v err=%v", rep, err)
+	}
+}
+
+func TestStreamCSVMidFileGarbage(t *testing.T) {
+	in := csvHdrLine + "\n" +
+		"100,1.1.1.1,198.18.0.1,23,tcp,0\n" +
+		"total garbage here\n" + // wrong field count
+		"xxx,2.2.2.2,198.18.0.2,445,tcp,0\n" + // right shape, bad timestamp
+		"300,3.3.3.3,198.18.0.3,80,tcp,0\n"
+
+	// Strict: aborts on the first garbage line.
+	if _, err := streamAll(t, in); err == nil {
+		t.Fatal("mid-file garbage must fail in strict mode")
+	}
+
+	// Budgeted: both bad lines are skipped, the good ones survive.
+	var events []Event
+	rep, err := StreamCSVTolerant(strings.NewReader(in), robust.Budget{MaxErrors: 10}, func(e Event) error {
+		events = append(events, e)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("budgeted scan: %v", err)
+	}
+	if rep.Read != 2 || rep.Skipped != 2 {
+		t.Fatalf("rep = %+v, want 2 read / 2 skipped", rep)
+	}
+	if len(rep.Errors) != 2 {
+		t.Fatalf("sample errors = %v", rep.Errors)
+	}
+	if len(events) != 2 || events[0].Ts != 100 || events[1].Ts != 300 {
+		t.Fatalf("events = %+v", events)
+	}
+
+	// A budget of one error is blown by the second bad line.
+	_, err = StreamCSVTolerant(strings.NewReader(in), robust.Budget{MaxErrors: 1}, func(Event) error { return nil })
+	if !errors.Is(err, robust.ErrBudgetExceeded) {
+		t.Fatalf("exhausted budget error = %v", err)
+	}
+}
+
+func TestReadCSVTolerantEqualsManualClean(t *testing.T) {
+	// The headline fault-injection property: tolerant ingestion of a dirty
+	// trace must equal ingesting the same trace with the dirty rows removed,
+	// so everything downstream (corpus, vocabulary, model) is identical.
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	dirty := make([]string, len(lines))
+	copy(dirty, lines)
+	dirty[2] = "garbage,in,the,middle,of,capture"
+	dirty[4] = "not a csv line at all"
+	clean := append([]string{lines[0]}, lines[1], lines[3])
+	clean = append(clean, lines[5:]...)
+
+	got, rep, err := ReadCSVTolerant(strings.NewReader(strings.Join(dirty, "\n")+"\n"), robust.Budget{MaxErrors: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped != 2 {
+		t.Fatalf("skipped = %d", rep.Skipped)
+	}
+	want, err := ReadCSV(strings.NewReader(strings.Join(clean, "\n") + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("len %d != %d", got.Len(), want.Len())
+	}
+	for i := range want.Events {
+		if got.Events[i] != want.Events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got.Events[i], want.Events[i])
+		}
+	}
+}
+
+func TestReadCSVTolerantCorruptedBytes(t *testing.T) {
+	// Random byte corruption via the fault injector: the budgeted reader
+	// skips the damaged lines and keeps the rest.
+	tr := New(manyEvents(200))
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	hdrLen := int64(len(csvHdrLine) + 1)
+	// Damage a byte every ~150 bytes, past the header.
+	r := faultio.Corrupt(bytes.NewReader(buf.Bytes()), hdrLen+40, 150, 0x04)
+	got, rep, err := ReadCSVTolerant(r, robust.Budget{MaxRate: 0.5, MinSample: 10})
+	if err != nil {
+		t.Fatalf("budgeted ingest of corrupted stream: %v (report %s)", err, rep.String())
+	}
+	if rep.Read == 0 {
+		t.Fatal("nothing survived corruption")
+	}
+	if rep.Read+rep.Skipped < 150 {
+		t.Fatalf("accounting lost rows: read %d + skipped %d", rep.Read, rep.Skipped)
+	}
+	if got.Len() != int(rep.Read) {
+		t.Fatalf("trace len %d != read %d", got.Len(), rep.Read)
+	}
+}
+
+func TestStreamCSVStallingSource(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := faultio.Stall(bytes.NewReader(buf.Bytes()), 32, time.Millisecond)
+	rep, err := StreamCSVTolerant(r, robust.Budget{}, func(Event) error { return nil })
+	if err != nil || int(rep.Read) != tr.Len() {
+		t.Fatalf("stalling source: read %d, %v", rep.Read, err)
+	}
+}
+
+func TestReadPCAPTolerantTruncated(t *testing.T) {
+	tr := New(manyEvents(50))
+	var buf bytes.Buffer
+	if err := tr.WritePCAP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Cut the capture mid-record: keep the global header plus 10.5 records'
+	// worth of bytes (each synthesised TCP frame is 16 hdr + 54 data bytes).
+	cut := faultio.Truncate(bytes.NewReader(buf.Bytes()), 24+10*(16+54)+30)
+	got, rep, err := ReadPCAPTolerant(cut, robust.DefaultBudget())
+	if err != nil {
+		t.Fatalf("tolerant truncated ingest: %v", err)
+	}
+	if !rep.Truncated {
+		t.Fatal("report must flag the truncation")
+	}
+	found := false
+	for _, msg := range rep.Errors {
+		if strings.Contains(msg, "truncated") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("truncation error missing from report: %v", rep.Errors)
+	}
+	if got.Len() != 10 || rep.Read != 10 {
+		t.Fatalf("intact prefix = %d events (read %d), want 10", got.Len(), rep.Read)
+	}
+	for i, e := range got.Events {
+		if e != tr.Events[i] {
+			t.Fatalf("prefix event %d: %+v != %+v", i, e, tr.Events[i])
+		}
+	}
+
+	// Strict ReadPCAP must refuse the same capture, with ErrTruncated.
+	cut2 := faultio.Truncate(bytes.NewReader(buf.Bytes()), 24+10*(16+54)+30)
+	if _, _, err := ReadPCAP(cut2); err == nil {
+		t.Fatal("strict ReadPCAP must fail on a truncated capture")
+	}
+}
+
+func TestReadPCAPTolerantGarbagePackets(t *testing.T) {
+	// Hand-append records whose payloads are not decodable frames: the
+	// budgeted reader skips them and keeps the real ones.
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WritePCAP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pw := pcapioAppend(t, &buf)
+	_ = pw
+	got, rep, err := ReadPCAPTolerant(bytes.NewReader(buf.Bytes()), robust.Budget{MaxErrors: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped != 2 {
+		t.Fatalf("skipped = %d, want 2 garbage frames", rep.Skipped)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("kept %d events, want %d", got.Len(), tr.Len())
+	}
+}
+
+// pcapioAppend tacks two undecodable-but-well-framed records onto a
+// capture by rewriting it with the same writer settings.
+func pcapioAppend(t *testing.T, buf *bytes.Buffer) struct{} {
+	t.Helper()
+	// Record header: ts=1, frac=0, caplen=origlen=6; payload is junk.
+	for i := 0; i < 2; i++ {
+		rec := []byte{
+			1, 0, 0, 0, 0, 0, 0, 0, 6, 0, 0, 0, 6, 0, 0, 0,
+			0xde, 0xad, 0xbe, 0xef, 0x00, byte(i),
+		}
+		buf.Write(rec)
+	}
+	return struct{}{}
+}
+
+// manyEvents builds n TCP events over 50 repeating senders so the CSV is
+// long enough for byte-level fault injection to hit many different lines.
+func manyEvents(n int) []Event {
+	events := make([]Event, n)
+	base := ip("10.1.2.3")
+	for i := range events {
+		events[i] = Event{
+			Ts:    day0 + int64(i)*7,
+			Src:   base + netutil.IPv4(i%50),
+			Dst:   ip("198.18.0.9"),
+			Port:  23,
+			Proto: packet.IPProtocolTCP,
+		}
+	}
+	return events
+}

@@ -1,0 +1,226 @@
+package w2v
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// ckCorpus is a small but non-trivial corpus: enough words and repetition
+// that every epoch does real updates.
+func ckCorpus() [][]string {
+	var sentences [][]string
+	for i := 0; i < 40; i++ {
+		s := make([]string, 0, 12)
+		for j := 0; j < 12; j++ {
+			s = append(s, fmt.Sprintf("w%d", (i*7+j*3)%25))
+		}
+		sentences = append(sentences, s)
+	}
+	return sentences
+}
+
+func ckConfig() Config {
+	return Config{
+		Dim: 16, Window: 4, Epochs: 6, Negative: 3,
+		Workers: 1, Seed: 42, ShrinkWindow: true, PadToken: "NULL",
+	}
+}
+
+// TestResumeByteIdentical is the kill/resume determinism guarantee:
+// training interrupted after epoch k and resumed from the (serialised)
+// checkpoint must produce byte-identical embeddings to an uninterrupted
+// run with the same seed.
+func TestResumeByteIdentical(t *testing.T) {
+	sentences := ckCorpus()
+	cfg := ckConfig()
+
+	full, err := Train(sentences, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: cancel after the 3rd completed epoch, keeping the
+	// checkpoint the way a daemon would — serialised to storage.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var saved bytes.Buffer
+	var epochs []int
+	_, err = TrainWithOptions(sentences, cfg, TrainOptions{
+		Context: ctx,
+		Checkpoint: func(ck *Checkpoint) error {
+			epochs = append(epochs, ck.Epoch)
+			saved.Reset()
+			if err := SaveCheckpoint(&saved, ck); err != nil {
+				return err
+			}
+			if ck.Epoch == 3 {
+				cancel() // the "kill" arrives mid-run
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run error = %v, want context.Canceled", err)
+	}
+	if len(epochs) == 0 || epochs[len(epochs)-1] != 3 {
+		t.Fatalf("checkpoints at epochs %v, want last = 3", epochs)
+	}
+
+	ck, err := LoadCheckpoint(bytes.NewReader(saved.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Epoch != 3 {
+		t.Fatalf("loaded checkpoint epoch = %d", ck.Epoch)
+	}
+
+	resumed, err := TrainWithOptions(sentences, cfg, TrainOptions{Resume: ck})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if resumed.Vocab.Size() != full.Vocab.Size() {
+		t.Fatalf("vocab size %d != %d", resumed.Vocab.Size(), full.Vocab.Size())
+	}
+	for i := range full.Syn0 {
+		if resumed.Syn0[i] != full.Syn0[i] {
+			t.Fatalf("Syn0[%d] = %v != %v — resume is not byte-identical", i, resumed.Syn0[i], full.Syn0[i])
+		}
+	}
+	for i := range full.syn1 {
+		if resumed.syn1[i] != full.syn1[i] {
+			t.Fatalf("syn1[%d] diverges after resume", i)
+		}
+	}
+	if resumed.Pairs != full.Pairs {
+		t.Fatalf("Pairs = %d != %d", resumed.Pairs, full.Pairs)
+	}
+}
+
+// TestResumeFinishedRun: resuming a checkpoint taken after the final epoch
+// is an idempotent no-op returning the finished model.
+func TestResumeFinishedRun(t *testing.T) {
+	sentences := ckCorpus()
+	cfg := ckConfig()
+	var last *Checkpoint
+	full, err := TrainWithOptions(sentences, cfg, TrainOptions{
+		Checkpoint: func(ck *Checkpoint) error { last = ck; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last == nil || last.Epoch != cfg.Epochs {
+		t.Fatalf("last checkpoint = %+v", last)
+	}
+	again, err := TrainWithOptions(sentences, cfg, TrainOptions{Resume: last})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full.Syn0 {
+		if again.Syn0[i] != full.Syn0[i] {
+			t.Fatalf("Syn0[%d] changed on no-op resume", i)
+		}
+	}
+	if again.Pairs != full.Pairs {
+		t.Fatalf("Pairs = %d != %d", again.Pairs, full.Pairs)
+	}
+}
+
+func TestResumeRejectsMismatchedConfig(t *testing.T) {
+	sentences := ckCorpus()
+	cfg := ckConfig()
+	var last *Checkpoint
+	if _, err := TrainWithOptions(sentences, cfg, TrainOptions{
+		Checkpoint: func(ck *Checkpoint) error { last = ck; return nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.Dim = 32
+	if _, err := TrainWithOptions(sentences, bad, TrainOptions{Resume: last}); err == nil {
+		t.Fatal("mismatched dim must be rejected")
+	}
+	other := append([][]string{{"brand", "new", "words"}}, sentences...)
+	if _, err := TrainWithOptions(other, cfg, TrainOptions{Resume: last}); err == nil {
+		t.Fatal("changed corpus vocabulary must be rejected")
+	}
+}
+
+func TestCancelBeforeFirstEpoch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := TrainWithOptions(ckCorpus(), ckConfig(), TrainOptions{Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCancelStopsHogwildWorkers(t *testing.T) {
+	// Cancellation must also tear down multi-worker epochs promptly; the
+	// result is discarded so only termination matters. Run under -race.
+	cfg := ckConfig()
+	cfg.Workers = 4
+	cfg.Epochs = 50
+	ctx, cancel := context.WithCancel(context.Background())
+	var once bool
+	_, err := TrainWithOptions(ckCorpus(), cfg, TrainOptions{
+		Context: ctx,
+		Checkpoint: func(*Checkpoint) error {
+			if !once {
+				once = true
+				cancel()
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckpointCallbackErrorAborts(t *testing.T) {
+	boom := errors.New("disk full")
+	_, err := TrainWithOptions(ckCorpus(), ckConfig(), TrainOptions{
+		Checkpoint: func(*Checkpoint) error { return boom },
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckpointRoundTripPreservesHS(t *testing.T) {
+	cfg := ckConfig()
+	cfg.HS = true
+	var saved bytes.Buffer
+	_, err := TrainWithOptions(ckCorpus(), cfg, TrainOptions{
+		Checkpoint: func(ck *Checkpoint) error {
+			saved.Reset()
+			return SaveCheckpoint(&saved, ck)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LoadCheckpoint(bytes.NewReader(saved.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ck.Model.Cfg.HS || ck.Model.synHS == nil || ck.Model.huff == nil {
+		t.Fatal("HS state lost in checkpoint round trip")
+	}
+	if ck.Model.syn1 != nil {
+		t.Fatal("HS checkpoint must not carry a negative-sampling matrix")
+	}
+}
+
+func TestLoadCheckpointGarbage(t *testing.T) {
+	if _, err := LoadCheckpoint(bytes.NewReader([]byte("DVCKgarbage"))); err == nil {
+		t.Fatal("garbage checkpoint must fail")
+	}
+	if _, err := LoadCheckpoint(bytes.NewReader(make([]byte, 8))); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+}

@@ -115,3 +115,210 @@ func Load(r io.Reader) (*Model, error) {
 	}
 	return m, nil
 }
+
+// Checkpoint container ("DVCK" magic): unlike the model export, it carries
+// the full training state — config, vocabulary, input vectors, output
+// weights and the trainer's progress counters — so an interrupted run can
+// resume from the last completed epoch with identical results.
+var ckMagic = [4]byte{'D', 'V', 'C', 'K'}
+
+const ckVersion = uint32(1)
+
+// SaveCheckpoint serialises the complete training state.
+func SaveCheckpoint(w io.Writer, ck *Checkpoint) error {
+	m := ck.Model
+	if m == nil || m.Vocab == nil {
+		return fmt.Errorf("w2v: checkpoint has no model")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(ckMagic[:]); err != nil {
+		return err
+	}
+	cfg := m.Cfg
+	var flags byte
+	if cfg.ShrinkWindow {
+		flags |= 1
+	}
+	if cfg.HS {
+		flags |= 2
+	}
+	if cfg.CBOW {
+		flags |= 4
+	}
+	hdr := binary.LittleEndian.AppendUint32(nil, ckVersion)
+	for _, v := range []uint32{uint32(cfg.Dim), uint32(cfg.Window), uint32(cfg.Negative),
+		uint32(cfg.Epochs), uint32(cfg.MinCount), uint32(flags)} {
+		hdr = binary.LittleEndian.AppendUint32(hdr, v)
+	}
+	for _, v := range []uint64{cfg.Seed, math.Float64bits(cfg.Alpha), math.Float64bits(cfg.MinAlpha),
+		math.Float64bits(cfg.Subsample), uint64(ck.Epoch), uint64(ck.Processed), ck.AlphaBits, uint64(ck.Pairs)} {
+		hdr = binary.LittleEndian.AppendUint64(hdr, v)
+	}
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	if err := writeString(bw, cfg.PadToken); err != nil {
+		return err
+	}
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(m.Vocab.Size()))
+	if _, err := bw.Write(n[:]); err != nil {
+		return err
+	}
+	for i := 0; i < m.Vocab.Size(); i++ {
+		if err := writeString(bw, m.Vocab.Word(int32(i))); err != nil {
+			return err
+		}
+		var c [8]byte
+		binary.LittleEndian.PutUint64(c[:], uint64(m.Vocab.Count(int32(i))))
+		if _, err := bw.Write(c[:]); err != nil {
+			return err
+		}
+	}
+	for _, mat := range [][]float32{m.Syn0, m.syn1, m.synHS} {
+		var l [8]byte
+		binary.LittleEndian.PutUint64(l[:], uint64(len(mat)))
+		if _, err := bw.Write(l[:]); err != nil {
+			return err
+		}
+		buf := make([]byte, 4)
+		for _, f := range mat {
+			binary.LittleEndian.PutUint32(buf, math.Float32bits(f))
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint. The
+// contained model carries full training state and can be handed to
+// TrainOptions.Resume.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("w2v: reading checkpoint magic: %w", err)
+	}
+	if magic != ckMagic {
+		return nil, fmt.Errorf("w2v: bad checkpoint magic %q", magic[:])
+	}
+	hdr := make([]byte, 4+6*4+8*8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, err
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != ckVersion {
+		return nil, fmt.Errorf("w2v: unsupported checkpoint version %d", v)
+	}
+	u32 := func(i int) uint32 { return binary.LittleEndian.Uint32(hdr[4+4*i:]) }
+	u64 := func(i int) uint64 { return binary.LittleEndian.Uint64(hdr[4+6*4+8*i:]) }
+	cfg := Config{
+		Dim:       int(u32(0)),
+		Window:    int(u32(1)),
+		Negative:  int(u32(2)),
+		Epochs:    int(u32(3)),
+		MinCount:  int(u32(4)),
+		Seed:      u64(0),
+		Alpha:     math.Float64frombits(u64(1)),
+		MinAlpha:  math.Float64frombits(u64(2)),
+		Subsample: math.Float64frombits(u64(3)),
+	}
+	flags := byte(u32(5))
+	cfg.ShrinkWindow = flags&1 != 0
+	cfg.HS = flags&2 != 0
+	cfg.CBOW = flags&4 != 0
+	ck := &Checkpoint{
+		Epoch:     int(u64(4)),
+		Processed: int64(u64(5)),
+		AlphaBits: u64(6),
+		Pairs:     int64(u64(7)),
+	}
+	if cfg.Dim <= 0 || cfg.Dim > 1<<16 {
+		return nil, fmt.Errorf("w2v: implausible checkpoint dim %d", cfg.Dim)
+	}
+	pad, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	cfg.PadToken = pad
+	var n [4]byte
+	if _, err := io.ReadFull(br, n[:]); err != nil {
+		return nil, err
+	}
+	size := int(binary.LittleEndian.Uint32(n[:]))
+	v := &Vocabulary{
+		ids:    make(map[string]int32, size),
+		words:  make([]string, size),
+		counts: make([]int64, size),
+	}
+	var c [8]byte
+	for i := 0; i < size; i++ {
+		word, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := io.ReadFull(br, c[:]); err != nil {
+			return nil, err
+		}
+		v.ids[word] = int32(i)
+		v.words[i] = word
+		v.counts[i] = int64(binary.LittleEndian.Uint64(c[:]))
+		v.total += v.counts[i]
+	}
+	m := &Model{Vocab: v, Cfg: cfg}
+	mats := make([][]float32, 3)
+	for mi := range mats {
+		var l [8]byte
+		if _, err := io.ReadFull(br, l[:]); err != nil {
+			return nil, err
+		}
+		length := binary.LittleEndian.Uint64(l[:])
+		if length > uint64(size+1)*uint64(cfg.Dim) {
+			return nil, fmt.Errorf("w2v: implausible checkpoint matrix length %d", length)
+		}
+		if length == 0 {
+			continue
+		}
+		mat := make([]float32, length)
+		buf := make([]byte, 4)
+		for i := range mat {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, err
+			}
+			mat[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf))
+		}
+		mats[mi] = mat
+	}
+	m.Syn0, m.syn1, m.synHS = mats[0], mats[1], mats[2]
+	if cfg.HS {
+		m.huff = buildHuffman(v.counts)
+	}
+	ck.Model = m
+	return ck, nil
+}
+
+func writeString(bw *bufio.Writer, s string) error {
+	if len(s) > math.MaxUint16 {
+		return fmt.Errorf("w2v: string too long (%d bytes)", len(s))
+	}
+	var l [2]byte
+	binary.LittleEndian.PutUint16(l[:], uint16(len(s)))
+	if _, err := bw.Write(l[:]); err != nil {
+		return err
+	}
+	_, err := bw.WriteString(s)
+	return err
+}
+
+func readString(br *bufio.Reader) (string, error) {
+	var l [2]byte
+	if _, err := io.ReadFull(br, l[:]); err != nil {
+		return "", err
+	}
+	b := make([]byte, binary.LittleEndian.Uint16(l[:]))
+	if _, err := io.ReadFull(br, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

@@ -1,6 +1,7 @@
 package w2v
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -78,10 +79,49 @@ type Model struct {
 	Pairs int64
 }
 
+// Checkpoint is the complete training state after a number of whole
+// epochs: the model (including output weights, which Save drops) plus the
+// trainer's progress counters. A run resumed from a checkpoint with the
+// same corpus, config and Workers=1 produces byte-identical final vectors
+// to an uninterrupted run. Serialise with SaveCheckpoint / LoadCheckpoint.
+type Checkpoint struct {
+	Epoch     int   // completed epochs
+	Processed int64 // tokens processed so far (drives the LR decay)
+	AlphaBits uint64
+	Pairs     int64 // cumulative positive-pair counter
+	Model     *Model
+}
+
+// TrainOptions extends Train with cancellation, periodic checkpointing and
+// resume — the controls a long daily-retraining deployment needs to survive
+// restarts without losing hours of work.
+type TrainOptions struct {
+	// Context cancels training between update batches; TrainWithOptions
+	// then returns the context's error. nil means context.Background().
+	Context context.Context
+	// Checkpoint, when non-nil, is called synchronously after every
+	// completed epoch with a deep copy of the training state. An error
+	// aborts training.
+	Checkpoint func(*Checkpoint) error
+	// Resume, when non-nil, restarts training after Resume.Epoch completed
+	// epochs instead of from scratch. The vocabulary and config must match
+	// what the checkpoint was taken with.
+	Resume *Checkpoint
+}
+
 // Train builds the vocabulary from sentences and trains a model. Sentences
 // are slices of words; out-of-vocabulary handling follows MinCount.
 func Train(sentences [][]string, cfg Config) (*Model, error) {
+	return TrainWithOptions(sentences, cfg, TrainOptions{})
+}
+
+// TrainWithOptions is Train with cancellation, checkpointing and resume.
+func TrainWithOptions(sentences [][]string, cfg Config, opts TrainOptions) (*Model, error) {
 	cfg = cfg.withDefaults()
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	vocab := BuildVocabulary(sentences, cfg.MinCount, cfg.PadToken)
 	if vocab.Size() == 0 {
 		return nil, errors.New("w2v: empty vocabulary")
@@ -100,9 +140,20 @@ func Train(sentences [][]string, cfg Config) (*Model, error) {
 	} else {
 		m.syn1 = make([]float32, n)
 	}
-	r := netutil.NewRand(cfg.Seed)
-	for i := range m.Syn0 {
-		m.Syn0[i] = (float32(r.Float64()) - 0.5) / float32(cfg.Dim)
+	startEpoch := 0
+	if ck := opts.Resume; ck != nil {
+		if err := checkResume(ck, vocab, cfg); err != nil {
+			return nil, err
+		}
+		copy(m.Syn0, ck.Model.Syn0)
+		copy(m.syn1, ck.Model.syn1)
+		copy(m.synHS, ck.Model.synHS)
+		startEpoch = ck.Epoch
+	} else {
+		r := netutil.NewRand(cfg.Seed)
+		for i := range m.Syn0 {
+			m.Syn0[i] = (float32(r.Float64()) - 0.5) / float32(cfg.Dim)
+		}
 	}
 
 	// Pre-encode sentences to id slices once.
@@ -152,7 +203,18 @@ func Train(sentences [][]string, cfg Config) (*Model, error) {
 		keep:    keep,
 		total:   totalTokens * int64(cfg.Epochs),
 	}
-	t.alpha.Store(floatBits(cfg.Alpha))
+	if ck := opts.Resume; ck != nil {
+		t.processed.Store(ck.Processed)
+		t.pairs.Store(ck.Pairs)
+		t.alpha.Store(ck.AlphaBits)
+	} else {
+		t.alpha.Store(floatBits(cfg.Alpha))
+	}
+	if ctx.Done() != nil {
+		var stop atomic.Bool
+		t.stop = &stop
+		defer context.AfterFunc(ctx, func() { stop.Store(true) })()
+	}
 
 	workers := cfg.Workers
 	if workers > len(enc) {
@@ -161,7 +223,7 @@ func Train(sentences [][]string, cfg Config) (*Model, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		if workers == 1 {
 			t.run(enc, netutil.NewRand(cfg.Seed+uint64(epoch)*0x9e37+1))
 		} else {
@@ -179,9 +241,72 @@ func Train(sentences [][]string, cfg Config) (*Model, error) {
 			}
 			wg.Wait()
 		}
+		if err := ctx.Err(); err != nil {
+			// The interrupted epoch's partial updates are discarded with
+			// the model; the last checkpoint holds the resumable state.
+			return nil, err
+		}
+		if opts.Checkpoint != nil {
+			if err := opts.Checkpoint(t.snapshot(epoch + 1)); err != nil {
+				return nil, fmt.Errorf("w2v: checkpoint after epoch %d: %w", epoch+1, err)
+			}
+		}
 	}
 	m.Pairs = t.pairs.Load() / int64(cfg.Epochs)
 	return m, nil
+}
+
+// checkResume verifies a checkpoint belongs to this corpus and config, so a
+// stale or foreign checkpoint cannot silently poison a run.
+func checkResume(ck *Checkpoint, vocab *Vocabulary, cfg Config) error {
+	if ck.Model == nil || ck.Model.Vocab == nil {
+		return errors.New("w2v: checkpoint has no model state")
+	}
+	if ck.Epoch > cfg.Epochs {
+		return fmt.Errorf("w2v: checkpoint at epoch %d exceeds configured epochs %d", ck.Epoch, cfg.Epochs)
+	}
+	ckCfg := ck.Model.Cfg
+	if ckCfg.Dim != cfg.Dim || ckCfg.Window != cfg.Window || ckCfg.Negative != cfg.Negative ||
+		ckCfg.Epochs != cfg.Epochs || ckCfg.MinCount != cfg.MinCount || ckCfg.Seed != cfg.Seed ||
+		ckCfg.ShrinkWindow != cfg.ShrinkWindow || ckCfg.HS != cfg.HS || ckCfg.CBOW != cfg.CBOW ||
+		ckCfg.Alpha != cfg.Alpha || ckCfg.MinAlpha != cfg.MinAlpha ||
+		ckCfg.Subsample != cfg.Subsample || ckCfg.PadToken != cfg.PadToken {
+		return fmt.Errorf("w2v: checkpoint config %+v does not match training config %+v", ckCfg, cfg)
+	}
+	ckv := ck.Model.Vocab
+	if ckv.Size() != vocab.Size() {
+		return fmt.Errorf("w2v: checkpoint vocabulary size %d != corpus vocabulary size %d", ckv.Size(), vocab.Size())
+	}
+	for i := range vocab.words {
+		if ckv.words[i] != vocab.words[i] || ckv.counts[i] != vocab.counts[i] {
+			return fmt.Errorf("w2v: checkpoint vocabulary diverges at id %d (%q/%d != %q/%d) — was the corpus changed?",
+				i, ckv.words[i], ckv.counts[i], vocab.words[i], vocab.counts[i])
+		}
+	}
+	return nil
+}
+
+// snapshot deep-copies the training state after `epochs` completed epochs.
+func (t *trainer) snapshot(epochs int) *Checkpoint {
+	m := t.m
+	cp := &Model{
+		Vocab: m.Vocab,
+		Syn0:  append([]float32(nil), m.Syn0...),
+		Cfg:   m.Cfg,
+	}
+	if m.syn1 != nil {
+		cp.syn1 = append([]float32(nil), m.syn1...)
+	}
+	if m.synHS != nil {
+		cp.synHS = append([]float32(nil), m.synHS...)
+	}
+	return &Checkpoint{
+		Epoch:     epochs,
+		Processed: t.processed.Load(),
+		AlphaBits: t.alpha.Load(),
+		Pairs:     t.pairs.Load(),
+		Model:     cp,
+	}
 }
 
 // floatBits/bitsFloat pack the learning rate into an atomic word as a fixed
@@ -202,6 +327,13 @@ type trainer struct {
 	processed atomic.Int64
 	pairs     atomic.Int64
 	alpha     atomic.Uint64
+
+	// stop, when non-nil, is polled between sentences and update batches;
+	// once set the run returns promptly (its partial epoch is discarded).
+	stop *atomic.Bool
+
+	// raceMu guards the weight matrices only in race builds; see race_on.go.
+	raceMu raceMutex
 }
 
 // run trains over one shard of sentences with a private RNG.
@@ -216,6 +348,9 @@ func (t *trainer) run(sentences [][]int32, r *netutil.Rand) {
 	buf := make([]int32, 0, 256)
 
 	for _, sent := range sentences {
+		if t.stop != nil && t.stop.Load() {
+			return
+		}
 		// Subsample frequent words for this pass.
 		words := sent
 		if t.keep != nil {
@@ -230,6 +365,9 @@ func (t *trainer) run(sentences [][]int32, r *netutil.Rand) {
 		for i := range words {
 			localTokens++
 			if localTokens%10000 == 0 {
+				if t.stop != nil && t.stop.Load() {
+					return
+				}
 				done := t.processed.Add(10000)
 				frac := float64(done) / float64(t.total)
 				if frac > 1 {
@@ -243,11 +381,13 @@ func (t *trainer) run(sentences [][]int32, r *netutil.Rand) {
 			if cfg.ShrinkWindow {
 				window = 1 + r.Intn(cfg.Window)
 			}
+			t.raceMu.Lock()
 			if cfg.CBOW {
 				localPairs += t.trainCBOW(words, i, window, alpha, neu1, neu1e, r)
 			} else {
 				localPairs += t.trainSkipGram(words, i, window, alpha, neu1e, r)
 			}
+			t.raceMu.Unlock()
 		}
 	}
 	t.processed.Add(localTokens % 10000)

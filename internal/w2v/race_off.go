@@ -1,0 +1,10 @@
+//go:build !race
+
+package w2v
+
+// raceMutex is a no-op outside race builds, so Hogwild's lock-free weight
+// updates run at full speed. See race_on.go for why race builds differ.
+type raceMutex struct{}
+
+func (raceMutex) Lock()   {}
+func (raceMutex) Unlock() {}
