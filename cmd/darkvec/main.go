@@ -17,6 +17,10 @@
 // after every epoch with -checkpoint; an interrupted run (Ctrl-C leaves a
 // resumable checkpoint behind) continues with -resume, producing
 // byte-identical results to an uninterrupted one.
+//
+// -verify FILE inspects a saved model or checkpoint without running the
+// pipeline: it reports the artifact kind, vocabulary size, dimension and
+// whether the embedded checksum holds, and exits non-zero on corruption.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -36,6 +41,7 @@ import (
 	"github.com/darkvec/darkvec/internal/netutil"
 	"github.com/darkvec/darkvec/internal/services"
 	"github.com/darkvec/darkvec/internal/trace"
+	"github.com/darkvec/darkvec/internal/w2v"
 )
 
 // options carries every flag of a pipeline run.
@@ -56,6 +62,7 @@ type options struct {
 	maxErr     int64
 	checkpoint string
 	resume     bool
+	verify     string
 }
 
 func main() {
@@ -76,7 +83,15 @@ func main() {
 	flag.Int64Var(&o.maxErr, "maxerr", 0, "tolerate up to N malformed input records (0 = strict)")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint file written after every training epoch")
 	flag.BoolVar(&o.resume, "resume", false, "resume training from -checkpoint if it exists")
+	flag.StringVar(&o.verify, "verify", "", "verify a saved model/checkpoint file and exit")
 	flag.Parse()
+	if o.verify != "" {
+		if err := runVerify(os.Stdout, o.verify); err != nil {
+			fmt.Fprintln(os.Stderr, "darkvec:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if o.in == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -87,6 +102,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "darkvec:", err)
 		os.Exit(1)
 	}
+}
+
+// runVerify checks a saved artifact end to end — magic, structure and the
+// trailing checksum — and prints a one-artifact report. Operators run it
+// before copying a model between hosts or after a suspicious crash.
+func runVerify(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	info, err := w2v.Verify(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	integrity := "no checksum (legacy pre-footer file)"
+	if info.Checksummed {
+		integrity = "checksum OK"
+	}
+	switch info.Kind {
+	case "checkpoint":
+		fmt.Fprintf(w, "%s: checkpoint, %d words, dim %d, epoch %d, %s\n",
+			path, info.Words, info.Dim, info.Epoch, integrity)
+	default:
+		fmt.Fprintf(w, "%s: model, %d words, dim %d, %s\n",
+			path, info.Words, info.Dim, integrity)
+	}
+	return nil
 }
 
 func loadFeeds(dir string) (map[string][]netutil.IPv4, error) {

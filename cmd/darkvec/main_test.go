@@ -187,3 +187,43 @@ func TestRunCheckpointConsumed(t *testing.T) {
 		t.Fatalf("checkpoint not consumed: %v", err)
 	}
 }
+
+// TestVerifyCommand: -verify accepts an intact saved model, reports its
+// shape and checksum status, and rejects the same file after a bit flip.
+func TestVerifyCommand(t *testing.T) {
+	tracePath, _ := writeDataset(t)
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "model.bin")
+	o := baseOpts(tracePath, "")
+	o.mode = "classify"
+	o.modelOut = modelPath
+	if err := run(context.Background(), o); err != nil {
+		t.Fatal(err)
+	}
+
+	var report strings.Builder
+	if err := runVerify(&report, modelPath); err != nil {
+		t.Fatalf("verify of intact model = %v", err)
+	}
+	got := report.String()
+	if !strings.Contains(got, "model") || !strings.Contains(got, "checksum OK") {
+		t.Fatalf("verify report = %q", got)
+	}
+
+	b, err := os.ReadFile(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0x20
+	flipped := filepath.Join(dir, "flipped.bin")
+	if err := os.WriteFile(flipped, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runVerify(&report, flipped); err == nil {
+		t.Fatal("verify must reject a bit-flipped model")
+	}
+
+	if err := runVerify(&report, filepath.Join(dir, "missing.bin")); err == nil {
+		t.Fatal("verify must fail on a missing file")
+	}
+}

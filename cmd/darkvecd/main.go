@@ -18,10 +18,25 @@
 // runs behind panic recovery, a per-request timeout (-timeout) and an
 // in-flight concurrency cap (-maxinflight).
 //
+// With -store, trained models are published into a versioned, checksummed
+// model store: on boot the daemon serves the newest intact generation
+// without retraining (corrupt artifacts are quarantined and the next older
+// one is used), so a kill -9 at any instant costs only the training that
+// was in flight. With -retrain, a background supervisor retrains
+// periodically off the serving path and rolls the new model in atomically
+// — zero dropped requests. A retrain that fails (or publishes a corrupt
+// artifact, detected by load-back verification) keeps the last-good model
+// serving in degraded mode: responses carry X-DarkVec-Model-Stale: true,
+// /healthz/ready reports the failure, retries back off exponentially, and
+// after -retrainfail consecutive failures a circuit breaker stops the
+// churn. Every response from a store-managed daemon carries
+// X-DarkVec-Model-Version.
+//
 // Endpoints:
 //
 //	GET /healthz/live   — process is up (200 even while training)
-//	GET /healthz/ready  — model trained and serving (503 until then)
+//	GET /healthz/ready  — model trained and serving (503 until then;
+//	                      "degraded" + last_error when retraining fails)
 //	GET /healthz        — legacy readiness alias
 //	GET /v1/stats
 //	GET /v1/similar?ip=1.2.3.4&k=10
@@ -32,9 +47,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -42,15 +59,18 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"github.com/darkvec/darkvec/internal/apiserver"
 	"github.com/darkvec/darkvec/internal/core"
 	"github.com/darkvec/darkvec/internal/labels"
+	"github.com/darkvec/darkvec/internal/modelstore"
 	"github.com/darkvec/darkvec/internal/netutil"
 	"github.com/darkvec/darkvec/internal/robust"
 	"github.com/darkvec/darkvec/internal/trace"
+	"github.com/darkvec/darkvec/internal/w2v"
 )
 
 // options carries every knob of a daemon run; main fills it from flags,
@@ -71,10 +91,18 @@ type options struct {
 	reqTimeout  time.Duration
 	maxInFlight int
 	drain       time.Duration
+	store       string        // model store directory ("" = unmanaged)
+	retrain     time.Duration // background retrain interval (0 = never)
+	keep        int           // store generations kept after publish
+	retrainFail int           // breaker threshold for consecutive retrain failures
 
-	logf     func(format string, args ...any) // nil: stdout
-	onListen func(addr string)                // test hook: listener bound
-	onReady  func(addr string)                // test hook: model serving
+	logf           func(format string, args ...any)           // nil: stdout
+	onListen       func(addr string)                          // test hook: listener bound
+	onReady        func(addr string)                          // test hook: model serving
+	onRetrain      func(error)                                // test hook: outcome of each retrain cycle
+	retrainBackoff robust.Backoff                             // test hook: deterministic backoff
+	retrainSleep   func(context.Context, time.Duration) error // test hook: no wall-clock sleeps
+	trainWrap      func(io.Writer) io.Writer                  // test hook: fault injection on publish
 }
 
 func main() {
@@ -94,6 +122,10 @@ func main() {
 	flag.DurationVar(&o.reqTimeout, "timeout", apiserver.DefaultRequestTimeout, "per-request timeout (0 = none)")
 	flag.IntVar(&o.maxInFlight, "maxinflight", apiserver.DefaultMaxInFlight, "max concurrent requests before shedding (0 = unlimited)")
 	flag.DurationVar(&o.drain, "drain", 10*time.Second, "graceful shutdown drain timeout")
+	flag.StringVar(&o.store, "store", "", "model store directory (versioned, checksummed artifacts)")
+	flag.DurationVar(&o.retrain, "retrain", 0, "background retrain interval (0 = never; requires -store)")
+	flag.IntVar(&o.keep, "keep", 3, "model store generations kept after each publish")
+	flag.IntVar(&o.retrainFail, "retrainfail", 5, "consecutive retrain failures before the circuit breaker gives up")
 	flag.Parse()
 	if o.in == "" {
 		flag.Usage()
@@ -134,6 +166,18 @@ func (o *options) validate() error {
 	}
 	if o.resume && o.checkpoint == "" {
 		return errors.New("-resume requires -checkpoint")
+	}
+	if o.retrain < 0 {
+		return fmt.Errorf("invalid -retrain %s: must be >= 0", o.retrain)
+	}
+	if o.retrain > 0 && o.store == "" {
+		return errors.New("-retrain requires -store")
+	}
+	if o.keep < 0 {
+		return fmt.Errorf("invalid -keep %d: must be >= 0", o.keep)
+	}
+	if o.retrainFail < 0 {
+		return fmt.Errorf("invalid -retrainfail %d: must be >= 0", o.retrainFail)
 	}
 	host, port, err := net.SplitHostPort(o.listen)
 	if err != nil {
@@ -189,29 +233,42 @@ func run(ctx context.Context, o options) error {
 	}
 	gt := labels.Build(tr, feeds)
 
+	cfg := core.DefaultConfig()
+	cfg.W2V.Dim = o.dim
+	cfg.W2V.Window = o.window
+	cfg.W2V.Epochs = o.epochs
+	cfg.W2V.Seed = o.seed
+
+	d := &daemon{o: o, cfg: cfg, feeds: feeds, gate: robust.NewGate()}
+	d.status.lastErr.Store("")
+	if o.store != "" {
+		d.st, err = modelstore.Open(o.store, modelstore.Options{Keep: o.keep, Logf: o.logf})
+		if err != nil {
+			return err
+		}
+	}
+
 	// Bind before the long training run: liveness probes and fast 503s for
 	// not-yet-ready traffic beat a connection-refused black hole.
 	ln, err := net.Listen("tcp", o.listen)
 	if err != nil {
 		return err
 	}
-	gate := robust.NewGate()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz/live", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"status":"live"}`)
 	})
-	mux.HandleFunc("GET /healthz/ready", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if !gate.Ready() {
-			w.Header().Set("Retry-After", "5")
-			w.WriteHeader(http.StatusServiceUnavailable)
-			fmt.Fprintln(w, `{"status":"training"}`)
-			return
+	mux.HandleFunc("GET /healthz/ready", d.handleReady)
+	// The staleness marker wraps the gate so a degraded daemon (last
+	// retrain failed, still serving the previous generation) is visible on
+	// every response, not just the health endpoint.
+	mux.Handle("/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if d.status.stale.Load() {
+			w.Header().Set("X-DarkVec-Model-Stale", "true")
 		}
-		fmt.Fprintln(w, `{"status":"ready"}`)
-	})
-	mux.Handle("/", gate)
+		d.gate.ServeHTTP(w, r)
+	}))
 
 	writeTimeout := 30 * time.Second
 	if o.reqTimeout > 0 {
@@ -232,44 +289,51 @@ func run(ctx context.Context, o options) error {
 		o.onListen(ln.Addr().String())
 	}
 
-	cfg := core.DefaultConfig()
-	cfg.W2V.Dim = o.dim
-	cfg.W2V.Window = o.window
-	cfg.W2V.Epochs = o.epochs
-	cfg.W2V.Seed = o.seed
-	o.logf("training on %d events (%d days)...", tr.Len(), tr.Days())
-	emb, err := core.TrainEmbeddingOpts(tr, cfg, core.TrainOpts{
-		Context:        ctx,
-		CheckpointPath: o.checkpoint,
-		Resume:         o.resume,
-	})
-	if err != nil {
-		httpSrv.Close()
-		<-serveErr
-		if errors.Is(err, context.Canceled) {
-			// Interrupted by SIGINT/SIGTERM: a graceful exit. With
-			// -checkpoint set, the last completed epoch is on disk and
-			// -resume picks it up next start.
-			if o.checkpoint != "" {
-				o.logf("training interrupted; resumable checkpoint at %s", o.checkpoint)
-			} else {
-				o.logf("training interrupted")
+	// Prefer booting from the store: after a crash (even kill -9 mid-
+	// publish) the newest intact generation serves immediately, and only a
+	// genuinely empty store pays for training on the boot path.
+	emb, version, booted := d.bootFromStore(tr)
+	if !booted {
+		o.logf("training on %d events (%d days)...", tr.Len(), tr.Days())
+		emb, err = core.TrainEmbeddingOpts(tr, cfg, core.TrainOpts{
+			Context:        ctx,
+			CheckpointPath: o.checkpoint,
+			Resume:         o.resume,
+		})
+		if err != nil {
+			httpSrv.Close()
+			<-serveErr
+			if errors.Is(err, context.Canceled) {
+				// Interrupted by SIGINT/SIGTERM: a graceful exit. With
+				// -checkpoint set, the last completed epoch is on disk and
+				// -resume picks it up next start.
+				if o.checkpoint != "" {
+					o.logf("training interrupted; resumable checkpoint at %s", o.checkpoint)
+				} else {
+					o.logf("training interrupted")
+				}
+				return nil
 			}
-			return nil
+			return err
 		}
-		return err
+		o.logf("trained in %s", emb.TrainTime.Round(time.Millisecond))
+		if d.st != nil {
+			if version, err = d.publishVerified(emb); err != nil {
+				// The in-memory model is fine; only its persistence failed.
+				// Serve it (unversioned) and let the next retrain try again.
+				o.logf("initial publish failed (serving in-memory model): %v", err)
+				d.status.lastErr.Store(err.Error())
+				version = 0
+			}
+		}
 	}
-	space, cov := emb.EvalSpace(tr.LastDays(o.evalDays), nil)
-	o.logf("trained in %s; serving %d senders (coverage %.0f%%)",
-		emb.TrainTime.Round(time.Millisecond), space.Len(), cov*100)
-
-	gate.Set(apiserver.New(apiserver.Config{
-		Space: space, GT: gt, Trace: tr, KPrime: o.kPrime, Seed: o.seed,
-		RequestTimeout: o.reqTimeout, MaxInFlight: o.maxInFlight, Logf: o.logf,
-	}))
+	d.serve(emb, tr, gt, version)
 	o.logf("ready")
 	if o.onReady != nil {
 		o.onReady(ln.Addr().String())
+	}
+	if d.st != nil && o.retrain > 0 {
+		go d.retrainLoop(ctx)
 	}
 
 	select {
@@ -284,5 +348,192 @@ func run(ctx context.Context, o options) error {
 		}
 		<-serveErr // http.ErrServerClosed
 		return nil
+	}
+}
+
+// modelStatus is the serving model's health, shared between the HTTP
+// handlers and the retrain supervisor. version is the store generation
+// (0 = unmanaged), stale flips when the last retrain cycle failed and the
+// daemon is deliberately serving an older model.
+type modelStatus struct {
+	version atomic.Uint64
+	stale   atomic.Bool
+	lastErr atomic.Value // string
+}
+
+// daemon carries the pieces of a running darkvecd that outlive a single
+// model generation: the readiness gate handlers swap through, the model
+// store, and the serving status.
+type daemon struct {
+	o      options
+	cfg    core.Config
+	feeds  map[string][]netutil.IPv4
+	gate   *robust.Gate
+	st     *modelstore.Store // nil when unmanaged
+	status modelStatus
+}
+
+// handleReady reports serving health: 503 while the first model is still
+// training, "ready" once serving, "degraded" when the last retrain failed
+// and an older generation is deliberately kept on the air.
+func (d *daemon) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if !d.gate.Ready() {
+		robust.Unavailable(w, 5, "not ready: model still training")
+		return
+	}
+	resp := map[string]any{"status": "ready"}
+	if v := d.status.version.Load(); v != 0 {
+		resp["model_version"] = modelstore.Version(v).String()
+	}
+	if d.status.stale.Load() {
+		resp["status"] = "degraded"
+		resp["stale"] = true
+		if e, _ := d.status.lastErr.Load().(string); e != "" {
+			resp["last_error"] = e
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// bootFromStore serves the newest intact generation without retraining —
+// the crash-recovery path. Artifacts whose outer frame is intact but whose
+// payload fails model parsing are quarantined and the next older
+// generation is tried; an empty store falls back to training.
+func (d *daemon) bootFromStore(tr *trace.Trace) (*core.Embedding, modelstore.Version, bool) {
+	if d.st == nil {
+		return nil, 0, false
+	}
+	for {
+		rc, v, err := d.st.OpenLatest()
+		if err != nil {
+			if !errors.Is(err, modelstore.ErrEmpty) {
+				d.o.logf("store: %v", err)
+			}
+			return nil, 0, false
+		}
+		m, lerr := w2v.Load(rc)
+		rc.Close()
+		if lerr != nil {
+			d.o.logf("store: %s is framed correctly but does not parse: %v", v, lerr)
+			d.st.Quarantine(v, lerr)
+			continue
+		}
+		d.o.logf("booted from store generation %s; skipping initial training", v)
+		return core.EmbeddingFromModel(m, tr, d.cfg), v, true
+	}
+}
+
+// publishVerified publishes the model and immediately loads it back from
+// the store, so a corruption anywhere on the write path — caught by the
+// store's outer checksum or the model's inner one — quarantines the
+// artifact and fails the cycle before anything is swapped into serving.
+func (d *daemon) publishVerified(emb *core.Embedding) (modelstore.Version, error) {
+	v, err := d.st.Publish(func(w io.Writer) error {
+		if d.o.trainWrap != nil {
+			w = d.o.trainWrap(w)
+		}
+		return emb.Model.Save(w)
+	})
+	if err != nil {
+		return 0, err
+	}
+	rc, err := d.st.Open(v)
+	if err != nil {
+		return 0, fmt.Errorf("published %s failed verification: %w", v, err)
+	}
+	_, lerr := w2v.Load(rc)
+	rc.Close()
+	if lerr != nil {
+		d.st.Quarantine(v, lerr)
+		return 0, fmt.Errorf("published %s failed verification: %w", v, lerr)
+	}
+	d.o.logf("published model generation %s", v)
+	return v, nil
+}
+
+// serve swaps a model into the gate. The swap is atomic: in-flight
+// requests finish on the generation they started with, new ones land on
+// the fresh model, nothing is dropped.
+func (d *daemon) serve(emb *core.Embedding, tr *trace.Trace, gt *labels.Set, v modelstore.Version) {
+	space, cov := emb.EvalSpace(tr.LastDays(d.o.evalDays), nil)
+	ver := ""
+	if v != 0 {
+		ver = v.String()
+	}
+	d.gate.Set(apiserver.New(apiserver.Config{
+		Space: space, GT: gt, Trace: tr, KPrime: d.o.kPrime, Seed: d.o.seed,
+		RequestTimeout: d.o.reqTimeout, MaxInFlight: d.o.maxInFlight,
+		Logf: d.o.logf, ModelVersion: ver,
+	}))
+	d.status.version.Store(uint64(v))
+	d.status.stale.Store(false)
+	d.status.lastErr.Store("")
+	d.o.logf("serving %d senders (coverage %.0f%%)", space.Len(), cov*100)
+}
+
+// retrainOnce is one full retrain cycle, run off the serving path:
+// re-ingest the trace, train, publish with load-back verification, swap.
+// Any failure marks the daemon degraded — the previous generation keeps
+// serving — and surfaces through /healthz/ready and the staleness header.
+func (d *daemon) retrainOnce(ctx context.Context) error {
+	fail := func(err error) error {
+		d.status.stale.Store(true)
+		d.status.lastErr.Store(err.Error())
+		return err
+	}
+	tr, _, err := trace.ReadFile(d.o.in, d.o.maxErr)
+	if err != nil {
+		return fail(fmt.Errorf("retrain ingest: %w", err))
+	}
+	gt := labels.Build(tr, d.feeds)
+	emb, err := core.TrainEmbeddingOpts(tr, d.cfg, core.TrainOpts{Context: ctx})
+	if err != nil {
+		return fail(fmt.Errorf("retrain: %w", err))
+	}
+	v, err := d.publishVerified(emb)
+	if err != nil {
+		return fail(err)
+	}
+	d.serve(emb, tr, gt, v)
+	return nil
+}
+
+// retrainLoop runs periodic retraining under a supervisor: failures retry
+// with exponential backoff, and -retrainfail consecutive failures trip the
+// circuit breaker — the daemon then stops churning and serves its
+// last-good model until restarted.
+func (d *daemon) retrainLoop(ctx context.Context) {
+	sup := &robust.Supervisor{
+		Backoff: d.o.retrainBackoff,
+		Breaker: &robust.Breaker{Threshold: d.o.retrainFail},
+		Sleep:   d.o.retrainSleep,
+		Logf:    d.o.logf,
+	}
+	ticker := time.NewTicker(d.o.retrain)
+	defer ticker.Stop()
+	gaveUp := false
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		err := sup.Run(ctx, "retrain", d.retrainOnce)
+		switch {
+		case err == nil:
+			gaveUp = false
+		case errors.Is(err, robust.ErrGiveUp):
+			if !gaveUp {
+				d.o.logf("retrain: %v; serving last-good model until restart", err)
+				gaveUp = true
+			}
+		case errors.Is(err, context.Canceled):
+		default:
+			d.o.logf("retrain: %v", err)
+		}
+		if d.o.onRetrain != nil {
+			d.o.onRetrain(err)
+		}
 	}
 }

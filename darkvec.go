@@ -42,6 +42,7 @@ import (
 	"github.com/darkvec/darkvec/internal/knn"
 	"github.com/darkvec/darkvec/internal/labels"
 	"github.com/darkvec/darkvec/internal/metrics"
+	"github.com/darkvec/darkvec/internal/modelstore"
 	"github.com/darkvec/darkvec/internal/netutil"
 	"github.com/darkvec/darkvec/internal/pcapio"
 	"github.com/darkvec/darkvec/internal/robust"
@@ -261,3 +262,44 @@ func ParseServiceMap(name string, r io.Reader) (*services.Custom, error) {
 
 // MergeTraces combines several darknet views into one time-ordered trace.
 func MergeTraces(traces ...*Trace) *Trace { return trace.Merge(traces...) }
+
+// Crash-safe model lifecycle types (the darkvecd serving loop: versioned
+// checksummed artifacts, supervised retraining, automatic rollback).
+type (
+	// ModelStore is a versioned on-disk model store: every artifact carries
+	// a CRC32C footer, publishes are atomic, and opening falls back to the
+	// newest intact generation while quarantining corrupt ones.
+	ModelStore = modelstore.Store
+	// ModelVersion numbers store generations (formats as v000042).
+	ModelVersion = modelstore.Version
+	// ModelStoreOptions configures OpenModelStore.
+	ModelStoreOptions = modelstore.Options
+	// Backoff computes jittered exponential retry delays.
+	Backoff = robust.Backoff
+	// Breaker is a consecutive-failure circuit breaker.
+	Breaker = robust.Breaker
+	// Supervisor retries a function under Backoff and Breaker control.
+	Supervisor = robust.Supervisor
+	// ArtifactInfo describes a saved model/checkpoint (see VerifyArtifact).
+	ArtifactInfo = w2v.ArtifactInfo
+)
+
+// Model lifecycle sentinels.
+var (
+	// ErrStoreEmpty is returned when a model store has no intact versions.
+	ErrStoreEmpty = modelstore.ErrEmpty
+	// ErrChecksum wraps any artifact integrity failure (test with errors.Is).
+	ErrChecksum = robust.ErrChecksum
+	// ErrGiveUp marks a Supervisor run stopped by its open circuit breaker.
+	ErrGiveUp = robust.ErrGiveUp
+)
+
+// OpenModelStore opens (creating if needed) a versioned model store
+// directory and sweeps debris left by interrupted publishes.
+func OpenModelStore(dir string, opts ModelStoreOptions) (*ModelStore, error) {
+	return modelstore.Open(dir, opts)
+}
+
+// VerifyArtifact inspects a saved model or checkpoint stream: kind, shape,
+// and whether its trailing checksum (if present) holds.
+func VerifyArtifact(r io.Reader) (ArtifactInfo, error) { return w2v.Verify(r) }

@@ -38,6 +38,7 @@ type Server struct {
 	profiles []cluster.Profile
 	assign   []int
 	stats    trace.Stats
+	version  string // model generation serving this instance, "" when unmanaged
 	mux      *http.ServeMux
 	handler  http.Handler // mux wrapped in the hardening middleware
 }
@@ -59,6 +60,10 @@ type Config struct {
 	MaxInFlight int
 	// Logf, when non-nil, receives recovered handler panics.
 	Logf func(format string, args ...any)
+	// ModelVersion, when non-empty, is stamped on every response as
+	// X-DarkVec-Model-Version so operators can tell which store generation
+	// answered (and watch a retrain roll through a fleet).
+	ModelVersion string
 }
 
 // Harden wraps h in the serving middleware stack: panic recovery
@@ -89,10 +94,11 @@ func New(cfg Config) *Server {
 		kp = 3
 	}
 	s := &Server{
-		space:  cfg.Space,
-		labels: lbl,
-		stats:  cfg.Trace.Summary(3),
-		mux:    http.NewServeMux(),
+		space:   cfg.Space,
+		labels:  lbl,
+		stats:   cfg.Trace.Summary(3),
+		version: cfg.ModelVersion,
+		mux:     http.NewServeMux(),
 	}
 	if cfg.Space.Len() > 1 {
 		cl := core.Cluster(cfg.Space, kp, cfg.Seed)
@@ -123,7 +129,12 @@ func (s *Server) routes() {
 }
 
 // ServeHTTP implements http.Handler, routing through the hardening chain.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.version != "" {
+		w.Header().Set("X-DarkVec-Model-Version", s.version)
+	}
+	s.handler.ServeHTTP(w, r)
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")

@@ -183,3 +183,30 @@ func TestConcurrentQueries(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestModelVersionHeader(t *testing.T) {
+	_, out := server(t)
+	cfg := core.DefaultConfig()
+	cfg.W2V = w2v.Config{Dim: 16, Window: 8, Epochs: 3, Workers: 1, Seed: 1, ShrinkWindow: true, PadToken: "NULL"}
+	emb, err := core.TrainEmbedding(out.Trace, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := labels.Build(out.Trace, out.Feeds)
+	space, _ := emb.EvalSpace(out.Trace.LastDays(1), nil)
+	s := New(Config{Space: space, GT: gt, Trace: out.Trace, Seed: 1, ModelVersion: "v000007"})
+
+	rr := httptest.NewRecorder()
+	s.ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if got := rr.Header().Get("X-DarkVec-Model-Version"); got != "v000007" {
+		t.Fatalf("X-DarkVec-Model-Version = %q", got)
+	}
+
+	// Unmanaged servers (no store) must not emit an empty header.
+	s2 := New(Config{Space: space, GT: gt, Trace: out.Trace, Seed: 1})
+	rr = httptest.NewRecorder()
+	s2.ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if _, present := rr.Header()["X-Darkvec-Model-Version"]; present {
+		t.Fatal("version header present on unmanaged server")
+	}
+}

@@ -180,9 +180,30 @@ func TrainEmbeddingOpts(tr *trace.Trace, cfg Config, opts TrainOpts) (*Embedding
 	}, nil
 }
 
+// EmbeddingFromModel rebuilds the serving bookkeeping around a model that
+// was loaded from disk rather than trained in-process — the kill-9
+// recovery path, where darkvecd boots from the model store and must serve
+// without retraining. The corpus and timing of the original run are gone;
+// the active-sender set is recomputed from the trace, which is what the
+// API layer actually needs.
+func EmbeddingFromModel(m *w2v.Model, tr *trace.Trace, cfg Config) *Embedding {
+	if cfg.MinPackets == 0 {
+		cfg.MinPackets = 10
+	}
+	epochs := cfg.W2V.Epochs
+	if epochs == 0 {
+		epochs = 10
+	}
+	return &Embedding{
+		Model:  m,
+		Active: tr.ActiveSenders(cfg.MinPackets),
+		Epochs: epochs,
+	}
+}
+
 // writeCheckpointFile persists a checkpoint atomically: write to a
-// temporary sibling, fsync-free rename into place, so a crash mid-write
-// never leaves a torn checkpoint where a resumable one used to be.
+// temporary sibling, fsync, rename into place, so a crash — even a power
+// loss — never leaves a torn checkpoint where a resumable one used to be.
 func writeCheckpointFile(path string, ck *w2v.Checkpoint) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -190,6 +211,11 @@ func writeCheckpointFile(path string, ck *w2v.Checkpoint) error {
 		return err
 	}
 	if err := w2v.SaveCheckpoint(f, ck); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err

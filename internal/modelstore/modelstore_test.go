@@ -1,0 +1,279 @@
+package modelstore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/darkvec/darkvec/internal/robust"
+	"github.com/darkvec/darkvec/internal/robust/faultio"
+)
+
+func openStore(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func publishString(t *testing.T, s *Store, payload string) Version {
+	t.Helper()
+	v, err := s.Publish(func(w io.Writer) error {
+		_, err := io.WriteString(w, payload)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func readVersion(t *testing.T, s *Store, v Version) string {
+	t.Helper()
+	rc, err := s.Open(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	b, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestPublishOpenRoundTrip(t *testing.T) {
+	s := openStore(t, t.TempDir(), Options{})
+	v1 := publishString(t, s, "generation one")
+	if v1 != 1 {
+		t.Fatalf("first version = %s", v1)
+	}
+	v2 := publishString(t, s, "generation two")
+	if v2 != 2 {
+		t.Fatalf("second version = %s", v2)
+	}
+
+	latest, err := s.Latest()
+	if err != nil || latest != v2 {
+		t.Fatalf("Latest = %s, %v", latest, err)
+	}
+	if got := readVersion(t, s, v2); got != "generation two" {
+		t.Fatalf("payload %q", got)
+	}
+	// The footer must not leak into the payload.
+	if got := readVersion(t, s, v1); got != "generation one" {
+		t.Fatalf("payload %q", got)
+	}
+	if cur, ok := s.Current(); !ok || cur != v2 {
+		t.Fatalf("MANIFEST current = %s, %v", cur, ok)
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	s := openStore(t, t.TempDir(), Options{})
+	if _, err := s.Latest(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Latest on empty store = %v", err)
+	}
+	if _, _, err := s.OpenLatest(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("OpenLatest on empty store = %v", err)
+	}
+}
+
+// TestTornPublishLeavesStoreIntact simulates the disk filling up (or the
+// process dying) midway through a publish: no new version may appear, the
+// previous generation keeps serving, and no temp debris survives reopen.
+func TestTornPublishLeavesStoreIntact(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, Options{})
+	v1 := publishString(t, s, "last good")
+
+	enospc := errors.New("no space left on device")
+	_, err := s.Publish(func(w io.Writer) error {
+		fw := faultio.ErrWriterAfter(w, 10, enospc)
+		_, werr := io.WriteString(fw, "this write will be torn apart")
+		return werr
+	})
+	if !errors.Is(err, enospc) {
+		t.Fatalf("torn publish error = %v", err)
+	}
+
+	latest, lerr := s.Latest()
+	if lerr != nil || latest != v1 {
+		t.Fatalf("Latest after torn publish = %s, %v", latest, lerr)
+	}
+	if got := readVersion(t, s, v1); got != "last good" {
+		t.Fatalf("payload %q", got)
+	}
+
+	// Reopen (a fresh boot) and check there is no .tmp-* debris and no
+	// phantom artifact.
+	s2 := openStore(t, dir, Options{})
+	entries, _ := os.ReadDir(dir)
+	for _, ent := range entries {
+		if strings.HasPrefix(ent.Name(), tmpPrefix) {
+			t.Fatalf("temp debris survived: %s", ent.Name())
+		}
+	}
+	if vs, _ := s2.Versions(); len(vs) != 1 || vs[0] != v1 {
+		t.Fatalf("versions after reopen = %v", vs)
+	}
+}
+
+// TestFallbackQuarantinesCorruptNewest: bit-flip the newest artifact on
+// disk; Latest must quarantine it and fall back to the older intact one.
+func TestFallbackQuarantinesCorruptNewest(t *testing.T) {
+	dir := t.TempDir()
+	var logs []string
+	s := openStore(t, dir, Options{Logf: func(f string, a ...any) {
+		logs = append(logs, fmt.Sprintf(f, a...))
+	}})
+	v1 := publishString(t, s, "old but intact")
+	v2 := publishString(t, s, "new and doomed")
+
+	path := filepath.Join(dir, v2.String()+artifactSuffix)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[3] ^= 0x40
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	latest, err := s.Latest()
+	if err != nil || latest != v1 {
+		t.Fatalf("Latest = %s, %v — must fall back to the intact version", latest, err)
+	}
+	if got := readVersion(t, s, v1); got != "old but intact" {
+		t.Fatalf("payload %q", got)
+	}
+	if _, err := os.Stat(path + corruptSuffix); err != nil {
+		t.Fatalf("corrupt artifact not quarantined: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt artifact still present under its versioned name")
+	}
+	found := false
+	for _, l := range logs {
+		if strings.Contains(l, "quarantined") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("quarantine not narrated via Logf")
+	}
+}
+
+func TestTruncatedArtifactQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, Options{})
+	publishString(t, s, "short-lived")
+	v2 := publishString(t, s, "a longer payload that will be cut")
+
+	path := filepath.Join(dir, v2.String()+artifactSuffix)
+	b, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, b[:len(b)-robust.FooterSize-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.Open(v2); !errors.Is(err, robust.ErrChecksum) {
+		t.Fatalf("Open of truncated artifact = %v", err)
+	}
+	latest, err := s.Latest()
+	if err != nil || latest != 1 {
+		t.Fatalf("Latest = %s, %v", latest, err)
+	}
+}
+
+// TestNoVersionReuseAfterQuarantine: version numbers are monotonic even
+// when the newest artifact has been condemned, so a quarantined v2 can
+// never be shadowed by a fresh publish also named v2.
+func TestNoVersionReuseAfterQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, Options{})
+	publishString(t, s, "one")
+	v2 := publishString(t, s, "two")
+	s.Quarantine(v2, errors.New("operator says no"))
+
+	v3 := publishString(t, s, "three")
+	if v3 != 3 {
+		t.Fatalf("publish after quarantine = %s, want v000003", v3)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "v000002.model.corrupt")); err != nil {
+		t.Fatalf("quarantined artifact missing: %v", err)
+	}
+}
+
+func TestPruneKeepsNewestGenerations(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, Options{Keep: 2})
+	for i := 0; i < 5; i++ {
+		publishString(t, s, fmt.Sprintf("gen %d", i+1))
+	}
+	vs, err := s.Versions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 || vs[0] != 5 || vs[1] != 4 {
+		t.Fatalf("versions after prune = %v, want [v000005 v000004]", vs)
+	}
+}
+
+// TestOpenLatestSkipsCorruption: OpenLatest must hand back a readable
+// payload even when the newest artifacts are damaged.
+func TestOpenLatestSkipsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, Options{})
+	publishString(t, s, "bedrock")
+	v2 := publishString(t, s, "will be mangled")
+	path := filepath.Join(dir, v2.String()+artifactSuffix)
+	if err := os.WriteFile(path, []byte("not even a footer"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rc, v, err := s.OpenLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	b, _ := io.ReadAll(rc)
+	if v != 1 || string(b) != "bedrock" {
+		t.Fatalf("OpenLatest = %s, %q", v, b)
+	}
+}
+
+func TestForeignFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, Options{})
+	publishString(t, s, "real")
+	// Operators drop notes in store directories; the store must not
+	// quarantine, prune, or version-count them.
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := s.Versions()
+	if err != nil || len(vs) != 1 || vs[0] != 1 {
+		t.Fatalf("versions = %v, %v", vs, err)
+	}
+	if v := publishString(t, s, "next"); v != 2 {
+		t.Fatalf("publish = %s", v)
+	}
+}
+
+func TestParseVersion(t *testing.T) {
+	v, err := ParseVersion("v000042")
+	if err != nil || v != 42 {
+		t.Fatalf("ParseVersion = %d, %v", v, err)
+	}
+	for _, bad := range []string{"", "42", "vabc", "model"} {
+		if _, err := ParseVersion(bad); err == nil {
+			t.Errorf("ParseVersion(%q) accepted", bad)
+		}
+	}
+}

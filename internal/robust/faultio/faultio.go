@@ -1,7 +1,9 @@
-// Package faultio wraps io.Readers with injected faults — corruption,
-// truncation, stalls — so tests can prove each pipeline layer degrades
-// gracefully on the dirty inputs darknet collection actually produces,
-// instead of crashing.
+// Package faultio wraps io.Readers and io.Writers with injected faults —
+// corruption, truncation, stalls, short writes, disk-full errors — so tests
+// can prove each pipeline layer degrades gracefully on the dirty inputs and
+// failing disks darknet collection actually produces, instead of crashing.
+// The reader side exercises ingestion; the writer side exercises the
+// crash-safety of model publishing (torn writes must never be served).
 package faultio
 
 import (
@@ -81,5 +83,69 @@ func (e *errReader) Read(p []byte) (int, error) {
 	if err == io.EOF {
 		err = e.err
 	}
+	return n, err
+}
+
+// ErrWriterAfter accepts the first n bytes and then fails every further
+// write with err — the ENOSPC-style fault: a disk that fills up mid-publish.
+// Bytes before the cut reach the underlying writer, exactly like a real
+// torn write.
+func ErrWriterAfter(w io.Writer, n int64, err error) io.Writer {
+	return &errWriter{w: w, left: n, err: err}
+}
+
+type errWriter struct {
+	w    io.Writer
+	left int64
+	err  error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.left <= 0 {
+		return 0, e.err
+	}
+	if int64(len(p)) <= e.left {
+		n, err := e.w.Write(p)
+		e.left -= int64(n)
+		return n, err
+	}
+	n, err := e.w.Write(p[:e.left])
+	e.left -= int64(n)
+	if err != nil {
+		return n, err
+	}
+	return n, e.err
+}
+
+// ShortWriter accepts the first n bytes and then reports io.ErrShortWrite —
+// the silent-partial-write fault a buggy filesystem or interrupted syscall
+// produces. Bytes before the cut reach the underlying writer.
+func ShortWriter(w io.Writer, n int64) io.Writer {
+	return &errWriter{w: w, left: n, err: io.ErrShortWrite}
+}
+
+// CorruptWriter flips mask into the single byte at absolute stream offset
+// off on its way to w, simulating bit rot introduced at write time. The
+// caller's buffer is never mutated. off < 0 corrupts nothing.
+func CorruptWriter(w io.Writer, off int64, mask byte) io.Writer {
+	return &corruptWriter{w: w, target: off, mask: mask}
+}
+
+type corruptWriter struct {
+	w      io.Writer
+	off    int64
+	target int64
+	mask   byte
+}
+
+func (c *corruptWriter) Write(p []byte) (int, error) {
+	if c.target >= c.off && c.target < c.off+int64(len(p)) {
+		q := make([]byte, len(p))
+		copy(q, p)
+		q[c.target-c.off] ^= c.mask
+		p = q
+	}
+	n, err := c.w.Write(p)
+	c.off += int64(n)
 	return n, err
 }

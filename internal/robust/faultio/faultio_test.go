@@ -70,3 +70,71 @@ func TestErrAfter(t *testing.T) {
 		t.Fatalf("got %q", got)
 	}
 }
+
+func TestErrWriterAfter(t *testing.T) {
+	enospc := errors.New("no space left on device")
+	var sink bytes.Buffer
+	w := ErrWriterAfter(&sink, 5, enospc)
+	// First write fits entirely.
+	if n, err := w.Write([]byte("abc")); n != 3 || err != nil {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	// Second write straddles the cut: the prefix lands, then the error.
+	n, err := w.Write([]byte("defg"))
+	if !errors.Is(err, enospc) {
+		t.Fatalf("err = %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("partial write = %d bytes, want 2", n)
+	}
+	if sink.String() != "abcde" {
+		t.Fatalf("disk contents %q — torn write must keep the prefix", sink.String())
+	}
+	// Every later write fails outright.
+	if _, err := w.Write([]byte("x")); !errors.Is(err, enospc) {
+		t.Fatalf("post-fault write = %v", err)
+	}
+}
+
+func TestShortWriter(t *testing.T) {
+	var sink bytes.Buffer
+	w := ShortWriter(&sink, 4)
+	n, err := w.Write([]byte("abcdef"))
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("err = %v", err)
+	}
+	if n != 4 || sink.String() != "abcd" {
+		t.Fatalf("n = %d, contents %q", n, sink.String())
+	}
+}
+
+func TestCorruptWriter(t *testing.T) {
+	var sink bytes.Buffer
+	w := CorruptWriter(&sink, 4, 0x01)
+	src := []byte("aaa")
+	// Split writes so the target offset lands inside the second write.
+	if _, err := w.Write(src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(src); err != nil {
+		t.Fatal(err)
+	}
+	// Offset 4 is the middle byte of the second write: 'a' ^ 0x01 = '`'.
+	if got := sink.String(); got != "aaaa`a" {
+		t.Fatalf("contents %q, want %q", got, "aaaa`a")
+	}
+	if string(src) != "aaa" {
+		t.Fatal("caller's buffer mutated")
+	}
+}
+
+func TestCorruptWriterDisabled(t *testing.T) {
+	var sink bytes.Buffer
+	w := CorruptWriter(&sink, -1, 0xff)
+	if _, err := w.Write([]byte("clean")); err != nil {
+		t.Fatal(err)
+	}
+	if sink.String() != "clean" {
+		t.Fatalf("contents %q", sink.String())
+	}
+}

@@ -1,11 +1,26 @@
 package robust
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 )
+
+// Unavailable writes the canonical 503 shed response: JSON error body,
+// Retry-After when a positive hint is given. Every place the serving stack
+// refuses work — the readiness gate, the in-flight limiter, a daemon's own
+// health endpoints — goes through here so clients see one consistent shape.
+func Unavailable(w http.ResponseWriter, retryAfterSec int, reason string) {
+	w.Header().Set("Content-Type", "application/json")
+	if retryAfterSec > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSec))
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": reason})
+}
 
 // Recover converts a handler panic into a 500 response instead of killing
 // the connection's goroutine state machine mid-stream. http.ErrAbortHandler
@@ -76,10 +91,7 @@ func LimitInFlight(next http.Handler, n int) http.Handler {
 			defer func() { <-sem }()
 			next.ServeHTTP(w, r)
 		default:
-			w.Header().Set("Content-Type", "application/json")
-			w.Header().Set("Retry-After", "1")
-			w.WriteHeader(http.StatusServiceUnavailable)
-			fmt.Fprintf(w, `{"error":"server at capacity"}`+"\n")
+			Unavailable(w, 1, "server at capacity")
 		}
 	})
 }
@@ -87,7 +99,10 @@ func LimitInFlight(next http.Handler, n int) http.Handler {
 // Gate is a swap-in readiness gate: it serves 503 "warming up" until a real
 // handler is installed with Set, at which point Ready flips true. It lets a
 // daemon bind its listener (and answer liveness probes) immediately while
-// training runs, becoming ready only once the model is servable.
+// training runs, becoming ready only once the model is servable. Set may be
+// called again at any time — the swap is atomic, in-flight requests finish
+// on the handler they started with and no request is dropped — which is how
+// darkvecd rolls a freshly retrained model into service.
 type Gate struct {
 	h atomic.Pointer[http.Handler]
 }
@@ -107,8 +122,5 @@ func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		(*h).ServeHTTP(w, r)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("Retry-After", "5")
-	w.WriteHeader(http.StatusServiceUnavailable)
-	fmt.Fprintf(w, `{"error":"not ready: model still training"}`+"\n")
+	Unavailable(w, 5, "not ready: model still training")
 }

@@ -1,6 +1,8 @@
 package robust
 
 import (
+	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -128,6 +130,115 @@ func TestGate(t *testing.T) {
 	g.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/stats", nil))
 	if rr.Code != http.StatusTeapot {
 		t.Fatalf("post-ready status = %d", rr.Code)
+	}
+}
+
+// TestGateSwapUnderLoad is the zero-downtime model-roll guarantee: hammer
+// the gate with concurrent requests while the handler is swapped in a tight
+// loop. Every response must be a clean 200 from one of the installed
+// handlers — never a 503 (the gate was ready throughout), an error, or a
+// torn body. Run under -race.
+func TestGateSwapUnderLoad(t *testing.T) {
+	g := NewGate()
+	mkHandler := func(gen int) http.Handler {
+		body := []byte(fmt.Sprintf("model-%d", gen))
+		return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(body)
+		})
+	}
+	g.Set(mkHandler(0))
+
+	const swaps = 200
+	valid := make(map[string]bool, swaps+1)
+	for i := 0; i <= swaps; i++ {
+		valid[fmt.Sprintf("model-%d", i)] = true
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	anomalies := make(chan string, 64)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rr := httptest.NewRecorder()
+				g.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/stats", nil))
+				if rr.Code != http.StatusOK {
+					select {
+					case anomalies <- fmt.Sprintf("status %d mid-swap", rr.Code):
+					default:
+					}
+					return
+				}
+				if !valid[rr.Body.String()] {
+					select {
+					case anomalies <- fmt.Sprintf("torn body %q", rr.Body.String()):
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	for i := 1; i <= swaps; i++ {
+		g.Set(mkHandler(i))
+	}
+	close(stop)
+	wg.Wait()
+	close(anomalies)
+	for a := range anomalies {
+		t.Error(a)
+	}
+}
+
+// TestShedResponsesAreConsistent: every refusal path — explicit
+// Unavailable, the pre-ready Gate, a saturated LimitInFlight — produces the
+// same shape: 503, JSON content type, Retry-After, JSON error body.
+func TestShedResponsesAreConsistent(t *testing.T) {
+	shed := map[string]*httptest.ResponseRecorder{}
+
+	rr := httptest.NewRecorder()
+	Unavailable(rr, 5, "not ready: model still training")
+	shed["unavailable"] = rr
+
+	rr = httptest.NewRecorder()
+	NewGate().ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+	shed["gate"] = rr
+
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	lim := LimitInFlight(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		entered <- struct{}{}
+		<-release
+	}), 1)
+	go lim.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	<-entered
+	rr = httptest.NewRecorder()
+	lim.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+	close(release)
+	shed["limit"] = rr
+
+	for name, rec := range shed {
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Errorf("%s: status = %d", name, rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: content type = %q", name, ct)
+		}
+		if rec.Header().Get("Retry-After") == "" {
+			t.Errorf("%s: missing Retry-After", name)
+		}
+		var body map[string]string
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["error"] == "" {
+			t.Errorf("%s: body %q not a JSON error", name, rec.Body.String())
+		}
 	}
 }
 

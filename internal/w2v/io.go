@@ -6,79 +6,97 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"github.com/darkvec/darkvec/internal/robust"
 )
 
 // File format: a small binary container ("DV2V" magic) carrying the
 // vocabulary and the input-vector matrix. The output weights are training
 // state and are not persisted, matching Gensim's KeyedVectors export.
+//
+// Both the model and checkpoint containers are sealed with a CRC32C
+// checksum footer (robust.ChecksumWriter): a torn write, truncation or bit
+// flip fails loudly at load time instead of serving garbage vectors.
+// Files written before the footer existed load unchanged — the containers
+// are self-delimiting, so a stream ending cleanly right after the payload
+// is accepted as a legacy artifact.
 var fileMagic = [4]byte{'D', 'V', '2', 'V'}
 
 const fileVersion = uint32(1)
 
-// Save writes the model's vocabulary and vectors.
+// Save writes the model's vocabulary and vectors, sealed with a checksum
+// footer.
 func (m *Model) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(fileMagic[:]); err != nil {
+	cw := robust.NewChecksumWriter(bw)
+	if err := m.savePayload(cw); err != nil {
+		return err
+	}
+	if err := cw.WriteFooter(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func (m *Model) savePayload(w io.Writer) error {
+	if _, err := w.Write(fileMagic[:]); err != nil {
 		return err
 	}
 	hdr := make([]byte, 0, 16)
 	hdr = binary.LittleEndian.AppendUint32(hdr, fileVersion)
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(m.Vocab.Size()))
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(m.Cfg.Dim))
-	if _, err := bw.Write(hdr); err != nil {
+	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
 	for i := 0; i < m.Vocab.Size(); i++ {
-		word := m.Vocab.Word(int32(i))
-		if len(word) > math.MaxUint16 {
-			return fmt.Errorf("w2v: word too long (%d bytes)", len(word))
-		}
-		var l [2]byte
-		binary.LittleEndian.PutUint16(l[:], uint16(len(word)))
-		if _, err := bw.Write(l[:]); err != nil {
-			return err
-		}
-		if _, err := bw.WriteString(word); err != nil {
+		if err := writeString(w, m.Vocab.Word(int32(i))); err != nil {
 			return err
 		}
 		var c [8]byte
 		binary.LittleEndian.PutUint64(c[:], uint64(m.Vocab.Count(int32(i))))
-		if _, err := bw.Write(c[:]); err != nil {
+		if _, err := w.Write(c[:]); err != nil {
 			return err
 		}
 	}
 	buf := make([]byte, 4)
 	for _, f := range m.Syn0 {
 		binary.LittleEndian.PutUint32(buf, math.Float32bits(f))
-		if _, err := bw.Write(buf); err != nil {
+		if _, err := w.Write(buf); err != nil {
 			return err
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
-// Load reads a model written by Save. The returned model can serve vectors
-// but not resume training.
+// Load reads a model written by Save, verifying the checksum footer when
+// one is present (legacy footer-less files are accepted). The returned
+// model can serve vectors but not resume training.
 func Load(r io.Reader) (*Model, error) {
-	br := bufio.NewReader(r)
+	m, _, err := loadModel(bufio.NewReader(r))
+	return m, err
+}
+
+func loadModel(br *bufio.Reader) (*Model, bool, error) {
+	cr := robust.NewChecksumReader(br)
 	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("w2v: reading magic: %w", err)
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+		return nil, false, fmt.Errorf("w2v: reading magic: %w", err)
 	}
 	if magic != fileMagic {
-		return nil, fmt.Errorf("w2v: bad magic %q", magic[:])
+		return nil, false, fmt.Errorf("w2v: bad magic %q", magic[:])
 	}
 	hdr := make([]byte, 12)
-	if _, err := io.ReadFull(br, hdr); err != nil {
-		return nil, err
+	if _, err := io.ReadFull(cr, hdr); err != nil {
+		return nil, false, fmt.Errorf("w2v: truncated model header: %w", err)
 	}
 	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != fileVersion {
-		return nil, fmt.Errorf("w2v: unsupported version %d", v)
+		return nil, false, fmt.Errorf("w2v: unsupported version %d", v)
 	}
 	size := int(binary.LittleEndian.Uint32(hdr[4:8]))
 	dim := int(binary.LittleEndian.Uint32(hdr[8:12]))
 	if size < 0 || dim <= 0 || dim > 1<<16 {
-		return nil, fmt.Errorf("w2v: implausible header size=%d dim=%d", size, dim)
+		return nil, false, fmt.Errorf("w2v: implausible header size=%d dim=%d", size, dim)
 	}
 	v := &Vocabulary{
 		ids:    make(map[string]int32, size),
@@ -88,15 +106,15 @@ func Load(r io.Reader) (*Model, error) {
 	var l [2]byte
 	var c [8]byte
 	for i := 0; i < size; i++ {
-		if _, err := io.ReadFull(br, l[:]); err != nil {
-			return nil, err
+		if _, err := io.ReadFull(cr, l[:]); err != nil {
+			return nil, false, fmt.Errorf("w2v: truncated model (read %d of %d words): %w", i, size, err)
 		}
 		wb := make([]byte, binary.LittleEndian.Uint16(l[:]))
-		if _, err := io.ReadFull(br, wb); err != nil {
-			return nil, err
+		if _, err := io.ReadFull(cr, wb); err != nil {
+			return nil, false, fmt.Errorf("w2v: truncated model (read %d of %d words): %w", i, size, err)
 		}
-		if _, err := io.ReadFull(br, c[:]); err != nil {
-			return nil, err
+		if _, err := io.ReadFull(cr, c[:]); err != nil {
+			return nil, false, fmt.Errorf("w2v: truncated model (read %d of %d words): %w", i, size, err)
 		}
 		word := string(wb)
 		v.ids[word] = int32(i)
@@ -108,12 +126,16 @@ func Load(r io.Reader) (*Model, error) {
 	m.Syn0 = make([]float32, size*dim)
 	buf := make([]byte, 4)
 	for i := range m.Syn0 {
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, err
+		if _, err := io.ReadFull(cr, buf); err != nil {
+			return nil, false, fmt.Errorf("w2v: truncated model (read %d of %d vector values): %w", i, len(m.Syn0), err)
 		}
 		m.Syn0[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf))
 	}
-	return m, nil
+	found, err := cr.VerifyFooter()
+	if err != nil {
+		return nil, found, fmt.Errorf("w2v: model integrity: %w", err)
+	}
+	return m, found, nil
 }
 
 // Checkpoint container ("DVCK" magic): unlike the model export, it carries
@@ -124,14 +146,26 @@ var ckMagic = [4]byte{'D', 'V', 'C', 'K'}
 
 const ckVersion = uint32(1)
 
-// SaveCheckpoint serialises the complete training state.
+// SaveCheckpoint serialises the complete training state, sealed with a
+// checksum footer.
 func SaveCheckpoint(w io.Writer, ck *Checkpoint) error {
-	m := ck.Model
-	if m == nil || m.Vocab == nil {
+	if ck == nil || ck.Model == nil || ck.Model.Vocab == nil {
 		return fmt.Errorf("w2v: checkpoint has no model")
 	}
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(ckMagic[:]); err != nil {
+	cw := robust.NewChecksumWriter(bw)
+	if err := saveCheckpointPayload(cw, ck); err != nil {
+		return err
+	}
+	if err := cw.WriteFooter(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func saveCheckpointPayload(w io.Writer, ck *Checkpoint) error {
+	m := ck.Model
+	if _, err := w.Write(ckMagic[:]); err != nil {
 		return err
 	}
 	cfg := m.Cfg
@@ -154,62 +188,68 @@ func SaveCheckpoint(w io.Writer, ck *Checkpoint) error {
 		math.Float64bits(cfg.Subsample), uint64(ck.Epoch), uint64(ck.Processed), ck.AlphaBits, uint64(ck.Pairs)} {
 		hdr = binary.LittleEndian.AppendUint64(hdr, v)
 	}
-	if _, err := bw.Write(hdr); err != nil {
+	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
-	if err := writeString(bw, cfg.PadToken); err != nil {
+	if err := writeString(w, cfg.PadToken); err != nil {
 		return err
 	}
 	var n [4]byte
 	binary.LittleEndian.PutUint32(n[:], uint32(m.Vocab.Size()))
-	if _, err := bw.Write(n[:]); err != nil {
+	if _, err := w.Write(n[:]); err != nil {
 		return err
 	}
 	for i := 0; i < m.Vocab.Size(); i++ {
-		if err := writeString(bw, m.Vocab.Word(int32(i))); err != nil {
+		if err := writeString(w, m.Vocab.Word(int32(i))); err != nil {
 			return err
 		}
 		var c [8]byte
 		binary.LittleEndian.PutUint64(c[:], uint64(m.Vocab.Count(int32(i))))
-		if _, err := bw.Write(c[:]); err != nil {
+		if _, err := w.Write(c[:]); err != nil {
 			return err
 		}
 	}
 	for _, mat := range [][]float32{m.Syn0, m.syn1, m.synHS} {
 		var l [8]byte
 		binary.LittleEndian.PutUint64(l[:], uint64(len(mat)))
-		if _, err := bw.Write(l[:]); err != nil {
+		if _, err := w.Write(l[:]); err != nil {
 			return err
 		}
 		buf := make([]byte, 4)
 		for _, f := range mat {
 			binary.LittleEndian.PutUint32(buf, math.Float32bits(f))
-			if _, err := bw.Write(buf); err != nil {
+			if _, err := w.Write(buf); err != nil {
 				return err
 			}
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
-// LoadCheckpoint reads a checkpoint written by SaveCheckpoint. The
-// contained model carries full training state and can be handed to
-// TrainOptions.Resume.
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint, verifying
+// the checksum footer when one is present (legacy footer-less files are
+// accepted). The contained model carries full training state and can be
+// handed to TrainOptions.Resume.
 func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
-	br := bufio.NewReader(r)
+	ck, _, err := loadCheckpoint(bufio.NewReader(r))
+	return ck, err
+}
+
+func loadCheckpoint(br *bufio.Reader) (*Checkpoint, bool, error) {
+	cr := robust.NewChecksumReader(br)
 	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("w2v: reading checkpoint magic: %w", err)
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+		return nil, false, fmt.Errorf("w2v: reading checkpoint magic: %w", err)
 	}
 	if magic != ckMagic {
-		return nil, fmt.Errorf("w2v: bad checkpoint magic %q", magic[:])
+		return nil, false, fmt.Errorf("w2v: bad checkpoint magic %q", magic[:])
 	}
 	hdr := make([]byte, 4+6*4+8*8)
-	if _, err := io.ReadFull(br, hdr); err != nil {
-		return nil, err
+	if _, err := io.ReadFull(cr, hdr); err != nil {
+		return nil, false, fmt.Errorf("w2v: truncated checkpoint header: %w", err)
 	}
 	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != ckVersion {
-		return nil, fmt.Errorf("w2v: unsupported checkpoint version %d", v)
+		return nil, false, fmt.Errorf("w2v: unsupported checkpoint version %d", v)
 	}
 	u32 := func(i int) uint32 { return binary.LittleEndian.Uint32(hdr[4+4*i:]) }
 	u64 := func(i int) uint64 { return binary.LittleEndian.Uint64(hdr[4+6*4+8*i:]) }
@@ -235,16 +275,16 @@ func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 		Pairs:     int64(u64(7)),
 	}
 	if cfg.Dim <= 0 || cfg.Dim > 1<<16 {
-		return nil, fmt.Errorf("w2v: implausible checkpoint dim %d", cfg.Dim)
+		return nil, false, fmt.Errorf("w2v: implausible checkpoint dim %d", cfg.Dim)
 	}
-	pad, err := readString(br)
+	pad, err := readString(cr)
 	if err != nil {
-		return nil, err
+		return nil, false, fmt.Errorf("w2v: truncated checkpoint (pad token): %w", err)
 	}
 	cfg.PadToken = pad
 	var n [4]byte
-	if _, err := io.ReadFull(br, n[:]); err != nil {
-		return nil, err
+	if _, err := io.ReadFull(cr, n[:]); err != nil {
+		return nil, false, fmt.Errorf("w2v: truncated checkpoint (vocabulary size): %w", err)
 	}
 	size := int(binary.LittleEndian.Uint32(n[:]))
 	v := &Vocabulary{
@@ -254,12 +294,12 @@ func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	}
 	var c [8]byte
 	for i := 0; i < size; i++ {
-		word, err := readString(br)
+		word, err := readString(cr)
 		if err != nil {
-			return nil, err
+			return nil, false, fmt.Errorf("w2v: truncated checkpoint (read %d of %d words): %w", i, size, err)
 		}
-		if _, err := io.ReadFull(br, c[:]); err != nil {
-			return nil, err
+		if _, err := io.ReadFull(cr, c[:]); err != nil {
+			return nil, false, fmt.Errorf("w2v: truncated checkpoint (read %d of %d words): %w", i, size, err)
 		}
 		v.ids[word] = int32(i)
 		v.words[i] = word
@@ -270,12 +310,12 @@ func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	mats := make([][]float32, 3)
 	for mi := range mats {
 		var l [8]byte
-		if _, err := io.ReadFull(br, l[:]); err != nil {
-			return nil, err
+		if _, err := io.ReadFull(cr, l[:]); err != nil {
+			return nil, false, fmt.Errorf("w2v: truncated checkpoint (read %d of 3 matrices): %w", mi, err)
 		}
 		length := binary.LittleEndian.Uint64(l[:])
 		if length > uint64(size+1)*uint64(cfg.Dim) {
-			return nil, fmt.Errorf("w2v: implausible checkpoint matrix length %d", length)
+			return nil, false, fmt.Errorf("w2v: implausible checkpoint matrix length %d", length)
 		}
 		if length == 0 {
 			continue
@@ -283,8 +323,8 @@ func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 		mat := make([]float32, length)
 		buf := make([]byte, 4)
 		for i := range mat {
-			if _, err := io.ReadFull(br, buf); err != nil {
-				return nil, err
+			if _, err := io.ReadFull(cr, buf); err != nil {
+				return nil, false, fmt.Errorf("w2v: truncated checkpoint (matrix %d, read %d of %d values): %w", mi, i, len(mat), err)
 			}
 			mat[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf))
 		}
@@ -295,29 +335,73 @@ func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 		m.huff = buildHuffman(v.counts)
 	}
 	ck.Model = m
-	return ck, nil
+	found, err := cr.VerifyFooter()
+	if err != nil {
+		return nil, found, fmt.Errorf("w2v: checkpoint integrity: %w", err)
+	}
+	return ck, found, nil
 }
 
-func writeString(bw *bufio.Writer, s string) error {
+// ArtifactInfo is Verify's report on a serialised model or checkpoint.
+type ArtifactInfo struct {
+	Kind        string // "model" or "checkpoint"
+	Words       int    // vocabulary size
+	Dim         int    // embedding dimension
+	Epoch       int    // completed epochs (checkpoints only)
+	Checksummed bool   // a checksum footer was present and verified
+}
+
+// Verify reads a serialised artifact to completion, detecting its kind
+// from the magic bytes and checking the checksum footer when present. It
+// is the integrity probe behind `darkvec -verify`: a nil error means the
+// artifact parses fully and, if footered, hashes clean; Checksummed=false
+// flags a legacy file whose integrity cannot be vouched for.
+func Verify(r io.Reader) (ArtifactInfo, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(4)
+	if err != nil {
+		return ArtifactInfo{}, fmt.Errorf("w2v: reading magic: %w", err)
+	}
+	switch [4]byte(magic) {
+	case fileMagic:
+		m, found, err := loadModel(br)
+		if err != nil {
+			return ArtifactInfo{Kind: "model"}, err
+		}
+		return ArtifactInfo{Kind: "model", Words: m.Vocab.Size(), Dim: m.Cfg.Dim, Checksummed: found}, nil
+	case ckMagic:
+		ck, found, err := loadCheckpoint(br)
+		if err != nil {
+			return ArtifactInfo{Kind: "checkpoint"}, err
+		}
+		return ArtifactInfo{
+			Kind: "checkpoint", Words: ck.Model.Vocab.Size(), Dim: ck.Model.Cfg.Dim,
+			Epoch: ck.Epoch, Checksummed: found,
+		}, nil
+	}
+	return ArtifactInfo{}, fmt.Errorf("w2v: unrecognised artifact magic %q", magic)
+}
+
+func writeString(w io.Writer, s string) error {
 	if len(s) > math.MaxUint16 {
 		return fmt.Errorf("w2v: string too long (%d bytes)", len(s))
 	}
 	var l [2]byte
 	binary.LittleEndian.PutUint16(l[:], uint16(len(s)))
-	if _, err := bw.Write(l[:]); err != nil {
+	if _, err := w.Write(l[:]); err != nil {
 		return err
 	}
-	_, err := bw.WriteString(s)
+	_, err := io.WriteString(w, s)
 	return err
 }
 
-func readString(br *bufio.Reader) (string, error) {
+func readString(r io.Reader) (string, error) {
 	var l [2]byte
-	if _, err := io.ReadFull(br, l[:]); err != nil {
+	if _, err := io.ReadFull(r, l[:]); err != nil {
 		return "", err
 	}
 	b := make([]byte, binary.LittleEndian.Uint16(l[:]))
-	if _, err := io.ReadFull(br, b); err != nil {
+	if _, err := io.ReadFull(r, b); err != nil {
 		return "", err
 	}
 	return string(b), nil

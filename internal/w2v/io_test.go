@@ -1,0 +1,170 @@
+package w2v
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/darkvec/darkvec/internal/robust"
+	"github.com/darkvec/darkvec/internal/robust/faultio"
+)
+
+// ioModel trains a tiny model for serialisation tests.
+func ioModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := Train(ckCorpus(), ckConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func saveBytes(t *testing.T, m *Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSaveLoadChecksummedRoundTrip(t *testing.T) {
+	m := ioModel(t)
+	data := saveBytes(t, m)
+	got, err := Load(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Vocab.Size() != m.Vocab.Size() {
+		t.Fatalf("vocab %d != %d", got.Vocab.Size(), m.Vocab.Size())
+	}
+	for i := range m.Syn0 {
+		if got.Syn0[i] != m.Syn0[i] {
+			t.Fatalf("Syn0[%d] diverges", i)
+		}
+	}
+	info, err := Verify(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Kind != "model" || !info.Checksummed || info.Words != m.Vocab.Size() {
+		t.Fatalf("Verify = %+v", info)
+	}
+}
+
+// TestLoadLegacyFooterlessModel: a file written before checksum framing —
+// byte-identical to today's payload minus the trailing footer — loads
+// unchanged, just without integrity cover.
+func TestLoadLegacyFooterlessModel(t *testing.T) {
+	m := ioModel(t)
+	data := saveBytes(t, m)
+	legacy := data[:len(data)-robust.FooterSize]
+
+	got, err := Load(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy model rejected: %v", err)
+	}
+	for i := range m.Syn0 {
+		if got.Syn0[i] != m.Syn0[i] {
+			t.Fatalf("Syn0[%d] diverges on legacy load", i)
+		}
+	}
+	info, err := Verify(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Checksummed {
+		t.Fatal("legacy file reported as checksummed")
+	}
+}
+
+func TestLoadDetectsBitFlip(t *testing.T) {
+	data := saveBytes(t, ioModel(t))
+	// Flip a bit inside the vector area: parsing still succeeds, only the
+	// checksum can tell.
+	data[len(data)-robust.FooterSize-3] ^= 0x10
+	if _, err := Load(bytes.NewReader(data)); !errors.Is(err, robust.ErrChecksum) {
+		t.Fatalf("bit flip not detected: %v", err)
+	}
+}
+
+func TestLoadDetectsCorruptionInjectedAtWriteTime(t *testing.T) {
+	// The faultio writer corrupts on the way to disk; the inner checksum
+	// (computed before the fault) must catch it on load.
+	m := ioModel(t)
+	var buf bytes.Buffer
+	if err := m.Save(faultio.CorruptWriter(&buf, 64, 0x80)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("write-time corruption not detected")
+	}
+}
+
+func TestLoadTruncationHasContext(t *testing.T) {
+	data := saveBytes(t, ioModel(t))
+	cut := data[:len(data)/3]
+	_, err := Load(bytes.NewReader(cut))
+	if err == nil {
+		t.Fatal("truncated model must fail")
+	}
+	if !strings.Contains(err.Error(), "truncated model") {
+		t.Fatalf("truncation error lacks file-format context: %v", err)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+		t.Fatalf("truncation error must wrap the io sentinel: %v", err)
+	}
+}
+
+func TestCheckpointChecksumAndLegacy(t *testing.T) {
+	var saved bytes.Buffer
+	_, err := TrainWithOptions(ckCorpus(), ckConfig(), TrainOptions{
+		Checkpoint: func(ck *Checkpoint) error {
+			saved.Reset()
+			return SaveCheckpoint(&saved, ck)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := saved.Bytes()
+
+	if _, err := LoadCheckpoint(bytes.NewReader(data)); err != nil {
+		t.Fatalf("checksummed checkpoint rejected: %v", err)
+	}
+	info, err := Verify(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Kind != "checkpoint" || !info.Checksummed || info.Epoch == 0 {
+		t.Fatalf("Verify = %+v", info)
+	}
+
+	legacy := data[:len(data)-robust.FooterSize]
+	if _, err := LoadCheckpoint(bytes.NewReader(legacy)); err != nil {
+		t.Fatalf("legacy checkpoint rejected: %v", err)
+	}
+
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/2] ^= 0x04
+	if _, err := LoadCheckpoint(bytes.NewReader(flipped)); err == nil {
+		t.Fatal("checkpoint bit flip not detected")
+	}
+
+	cut := data[:len(data)/2]
+	if _, err := LoadCheckpoint(bytes.NewReader(cut)); err == nil ||
+		!strings.Contains(err.Error(), "truncated checkpoint") {
+		t.Fatalf("checkpoint truncation error lacks context: %v", err)
+	}
+}
+
+func TestVerifyRejectsUnknownMagic(t *testing.T) {
+	if _, err := Verify(strings.NewReader("GIFfy little file")); err == nil {
+		t.Fatal("unknown magic must fail")
+	}
+	if _, err := Verify(strings.NewReader("")); err == nil {
+		t.Fatal("empty file must fail")
+	}
+}
