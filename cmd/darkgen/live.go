@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"github.com/darkvec/darkvec/internal/trace"
+)
+
+// runLive streams a generated trace into a darkvecd -ingest listener over
+// the CSV line protocol, pacing events by their timestamps: speed 1 replays
+// in real time, speed 86400 compresses a day into a second, speed 0 is an
+// unpaced firehose — the overload knob for chaos tests (a 10× oversubscribed
+// feed is just -speed set past the consumer's capacity).
+func runLive(addr string, tr *trace.Trace, speed float64, logf func(string, ...any)) error {
+	network := "tcp"
+	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
+		network, addr = "unix", path
+	}
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	bw := bufio.NewWriter(conn)
+	var (
+		buf       []byte
+		wallStart = time.Now()
+		sent      int
+	)
+	for _, e := range tr.Events {
+		if speed > 0 {
+			due := wallStart.Add(time.Duration(float64(e.Ts-tr.Events[0].Ts) / speed * float64(time.Second)))
+			if wait := time.Until(due); wait > 0 {
+				// Flush before sleeping so the receiver sees every event
+				// already due, not a buffer-sized batch afterwards.
+				if err := bw.Flush(); err != nil {
+					return fmt.Errorf("after %d events: %w", sent, err)
+				}
+				time.Sleep(wait)
+			}
+		}
+		buf = e.AppendCSV(buf[:0])
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("after %d events: %w", sent, err)
+		}
+		sent++
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("after %d events: %w", sent, err)
+	}
+	logf("streamed %d events to %s", sent, addr)
+	return nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bufio"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/darkvec/darkvec/internal/darksim"
+	"github.com/darkvec/darkvec/internal/trace"
+)
+
+// sink collects protocol lines from one accepted connection.
+func sink(t *testing.T) (addr string, lines <-chan string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	ch := make(chan string, 1<<16)
+	go func() {
+		defer close(ch)
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		sc := bufio.NewScanner(conn)
+		for sc.Scan() {
+			ch <- sc.Text()
+		}
+	}()
+	return ln.Addr().String(), ch
+}
+
+func TestRunLiveFirehose(t *testing.T) {
+	res := darksim.Generate(darksim.Config{Seed: 3, Days: 1, Scale: 0.005, Rate: 0.05})
+	addr, lines := sink(t)
+	if err := runLive(addr, res.Trace, 0, t.Logf); err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	for line := range lines {
+		if _, err := trace.ParseCSVLine(line); err != nil {
+			t.Fatalf("unparseable line %q: %v", line, err)
+		}
+		got++
+	}
+	if got != res.Trace.Len() {
+		t.Fatalf("received %d lines, want %d", got, res.Trace.Len())
+	}
+}
+
+func TestRunLivePacing(t *testing.T) {
+	// 1 day of events at a day per 100ms: the replay must take measurable
+	// wall time instead of firehosing.
+	res := darksim.Generate(darksim.Config{Seed: 3, Days: 1, Scale: 0.005, Rate: 0.05})
+	span := res.Trace.Events[res.Trace.Len()-1].Ts - res.Trace.Events[0].Ts
+	if span <= 0 {
+		t.Skip("degenerate trace span")
+	}
+	speed := float64(span) / 0.1 // full span in ~100ms of wall time
+	addr, lines := sink(t)
+	start := time.Now()
+	if err := runLive(addr, res.Trace, speed, t.Logf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Errorf("replay finished in %v; pacing not applied", elapsed)
+	}
+	var got int
+	for range lines {
+		got++
+	}
+	if got != res.Trace.Len() {
+		t.Fatalf("received %d lines, want %d", got, res.Trace.Len())
+	}
+}
+
+func TestRunLiveDialFailure(t *testing.T) {
+	res := darksim.Generate(darksim.Config{Seed: 1, Days: 1, Scale: 0.005, Rate: 0.05})
+	if err := runLive("127.0.0.1:1", res.Trace, 0, t.Logf); err == nil {
+		t.Fatal("dial to a closed port must fail")
+	}
+}

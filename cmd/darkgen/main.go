@@ -5,6 +5,14 @@
 // Usage:
 //
 //	darkgen -out trace.csv -feeds feeds/ [-days 30] [-scale 0.05] [-rate 0.1] [-seed 1] [-pcap trace.pcap]
+//
+// With -live, the generated events are additionally streamed into a
+// darkvecd -ingest listener over the CSV line protocol, paced by -speed
+// (event-seconds per wall-second: 1 = real time, 86400 = a day per second,
+// 0 = unpaced firehose) — the load generator for soak and chaos testing of
+// the live ingestion path:
+//
+//	darkgen -out '' -days 1 -live 127.0.0.1:9000 -speed 3600
 package main
 
 import (
@@ -26,15 +34,17 @@ func main() {
 		scale    = flag.Float64("scale", 0.05, "population scale vs the paper's darknet")
 		rate     = flag.Float64("rate", 0.10, "per-sender packet rate scale")
 		seed     = flag.Uint64("seed", 1, "generator seed")
+		live     = flag.String("live", "", "stream events to this darkvecd -ingest address (host:port or unix:/path)")
+		speed    = flag.Float64("speed", 0, "live pacing in event-seconds per wall-second (0 = firehose)")
 	)
 	flag.Parse()
-	if err := run(*out, *pcapOut, *feedsDir, *days, *scale, *rate, *seed); err != nil {
+	if err := run(*out, *pcapOut, *feedsDir, *days, *scale, *rate, *seed, *live, *speed); err != nil {
 		fmt.Fprintln(os.Stderr, "darkgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, pcapOut, feedsDir string, days int, scale, rate float64, seed uint64) error {
+func run(out, pcapOut, feedsDir string, days int, scale, rate float64, seed uint64, live string, speed float64) error {
 	res := darksim.Generate(darksim.Config{
 		Seed: seed, Days: days, Scale: scale, Rate: rate,
 	})
@@ -87,6 +97,13 @@ func run(out, pcapOut, feedsDir string, days int, scale, rate float64, seed uint
 				return err
 			}
 			fmt.Printf("wrote %s (%d senders)\n", path, len(ips))
+		}
+	}
+	if live != "" {
+		if err := runLive(live, res.Trace, speed, func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -13,7 +13,7 @@ func TestRunWritesAllArtifacts(t *testing.T) {
 	csvPath := filepath.Join(dir, "trace.csv")
 	pcapPath := filepath.Join(dir, "trace.pcap")
 	feedsDir := filepath.Join(dir, "feeds")
-	if err := run(csvPath, pcapPath, feedsDir, 3, 0.01, 0.05, 7); err != nil {
+	if err := run(csvPath, pcapPath, feedsDir, 3, 0.01, 0.05, 7, "", 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -53,13 +53,13 @@ func TestRunWritesAllArtifacts(t *testing.T) {
 }
 
 func TestRunSkipsUnrequestedOutputs(t *testing.T) {
-	if err := run("", "", "", 2, 0.005, 0.05, 1); err != nil {
+	if err := run("", "", "", 2, 0.005, 0.05, 1, "", 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBadPath(t *testing.T) {
-	if err := run("/nonexistent-dir/x.csv", "", "", 2, 0.005, 0.05, 1); err == nil {
+	if err := run("/nonexistent-dir/x.csv", "", "", 2, 0.005, 0.05, 1, "", 0); err == nil {
 		t.Fatal("unwritable path must fail")
 	}
 }

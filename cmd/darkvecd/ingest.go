@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/darkvec/darkvec/internal/robust"
+	"github.com/darkvec/darkvec/internal/stream"
+	"github.com/darkvec/darkvec/internal/trace"
+)
+
+// live reports whether the daemon ingests a live feed instead of (or in
+// addition to) a static trace file.
+func (o *options) live() bool { return o.ingest != "" || o.follow != "" }
+
+// parsePolicy maps the -ingestpolicy flag to a stream.DropPolicy.
+func parsePolicy(s string) (stream.DropPolicy, error) {
+	switch s {
+	case "", "shed-newest":
+		return stream.ShedNewest, nil
+	case "drop-oldest":
+		return stream.DropOldest, nil
+	}
+	return 0, fmt.Errorf("invalid -ingestpolicy %q: want shed-newest or drop-oldest", s)
+}
+
+// listenIngest binds the live-feed listener: "unix:/path/to.sock" for a
+// unix socket (a stale socket file from a crashed run is removed first),
+// anything else as a TCP host:port.
+func listenIngest(addr string) (net.Listener, error) {
+	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
+		if _, err := os.Stat(path); err == nil {
+			_ = os.Remove(path)
+		}
+		return net.Listen("unix", path)
+	}
+	return net.Listen("tcp", addr)
+}
+
+// startIngest builds the ingestor, seeds its window, and starts the
+// configured sources. The returned ingestor is live immediately; events
+// buffer in the window until the retrain loop picks them up.
+func (d *daemon) startIngest() error {
+	o := d.o
+	policy, err := parsePolicy(o.ingestPolicy)
+	if err != nil {
+		return err
+	}
+	d.ing = stream.New(stream.Config{
+		QueueSize: o.ingestQueue,
+		Policy:    policy,
+		Window: stream.WindowConfig{
+			MaxEvents: o.ingestCap,
+			MaxAge:    int64(o.ingestAge.Seconds()),
+		},
+		Budget:      robust.Budget{MaxErrors: o.maxErr},
+		IdleTimeout: o.ingestIdle,
+		Rate:        o.ingestRate,
+		StallAfter:  o.ingestStall,
+		Logf:        o.logf,
+	})
+
+	// Seed the window so a restart (or a static -in base corpus) does not
+	// begin from an empty model horizon: first the previous run's flushed
+	// window, then the -in trace. Seeds bypass the wire pipeline — the
+	// ingest counters account live traffic only.
+	if o.flush != "" {
+		if st, err := os.Stat(o.flush); err == nil && st.Size() > 0 {
+			tr, rep, err := trace.ReadFile(o.flush, o.maxErr)
+			if err != nil {
+				return fmt.Errorf("seed from -flush: %w", err)
+			}
+			d.ing.Window().AddBatch(tr.Events)
+			o.logf("seeded window with %d events from %s (%s)", tr.Len(), o.flush, rep)
+		}
+	}
+	if o.in != "" {
+		tr, rep, err := trace.ReadFile(o.in, o.maxErr)
+		if err != nil {
+			return fmt.Errorf("seed from -in: %w", err)
+		}
+		d.ing.Window().AddBatch(tr.Events)
+		o.logf("seeded window with %d events from %s (%s)", tr.Len(), o.in, rep)
+	}
+
+	if o.ingest != "" {
+		ln, err := listenIngest(o.ingest)
+		if err != nil {
+			d.ing.Close()
+			return err
+		}
+		go func() {
+			if err := d.ing.Serve(ln); err != nil {
+				o.logf("ingest: %v", err)
+			}
+		}()
+		o.logf("ingesting live feed on %s", ln.Addr())
+		if o.onIngestListen != nil {
+			o.onIngestListen(ln.Addr().String())
+		}
+	}
+	if o.follow != "" {
+		go func() {
+			if err := d.ing.Follow(o.follow, 0); err != nil {
+				o.logf("ingest follow %s: %v", o.follow, err)
+			}
+		}()
+		o.logf("following %s", o.follow)
+	}
+	return nil
+}
+
+// handleIngest serves /v1/ingest: the pipeline's full counter set —
+// accept/drop/quarantine accounting, window bounds, stall state. Ungated:
+// it must answer while the first model is still training.
+func (d *daemon) handleIngest(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(d.ing.Stats())
+}
+
+// stale is the serving-path degradation predicate: a failed retrain (an
+// older generation deliberately kept on the air) or a stalled live feed (a
+// model aging against a silent darknet) both mark every response.
+func (d *daemon) stale() (bool, string) {
+	if d.status.stale.Load() {
+		return true, "retrain failed; serving previous generation"
+	}
+	if d.ing != nil && d.ing.Stalled() {
+		return true, fmt.Sprintf("live feed silent for %s", d.ing.Silence().Round(1e9))
+	}
+	return false, ""
+}
+
+// flushWindow drains the rolling window to -flush atomically (tmp +
+// rename), so the next boot re-seeds from exactly what was buffered and a
+// crash mid-flush never leaves a torn file where a good seed used to be.
+func (d *daemon) flushWindow() error {
+	if d.o.flush == "" || d.ing == nil {
+		return nil
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(d.o.flush), ".flush-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := d.ing.Window().WriteCSV(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), d.o.flush); err != nil {
+		return err
+	}
+	d.o.logf("flushed %d window events to %s", d.ing.Window().Len(), d.o.flush)
+	return nil
+}

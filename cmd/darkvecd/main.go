@@ -59,6 +59,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -69,6 +70,7 @@ import (
 	"github.com/darkvec/darkvec/internal/modelstore"
 	"github.com/darkvec/darkvec/internal/netutil"
 	"github.com/darkvec/darkvec/internal/robust"
+	"github.com/darkvec/darkvec/internal/stream"
 	"github.com/darkvec/darkvec/internal/trace"
 	"github.com/darkvec/darkvec/internal/w2v"
 )
@@ -96,9 +98,25 @@ type options struct {
 	keep        int           // store generations kept after publish
 	retrainFail int           // breaker threshold for consecutive retrain failures
 
+	// Live ingestion (see ingest.go). Either source makes the daemon
+	// retrain on the rolling window instead of re-reading -in.
+	ingest        string        // live-feed listener: host:port or unix:/path ("" = off)
+	follow        string        // tail-follow this file as a live source ("" = off)
+	flush         string        // window drain/seed file for restarts ("" = off)
+	ingestRate    float64       // per-source admission rate, events/sec (0 = unlimited)
+	ingestIdle    time.Duration // per-connection read deadline
+	ingestStall   time.Duration // silence before the feed counts as stalled
+	ingestCap     int           // window hard cap, events
+	ingestAge     time.Duration // window event-time horizon
+	ingestQueue   int           // bounded hand-off queue capacity
+	ingestPolicy  string        // shed-newest | drop-oldest
+	ingestMin     int           // window events required before a retrain cycle runs
+	ingestMinPkts int           // senders need >= P buffered packets to enter a retrain
+
 	logf           func(format string, args ...any)           // nil: stdout
 	onListen       func(addr string)                          // test hook: listener bound
 	onReady        func(addr string)                          // test hook: model serving
+	onIngestListen func(addr string)                          // test hook: ingest listener bound
 	onRetrain      func(error)                                // test hook: outcome of each retrain cycle
 	retrainBackoff robust.Backoff                             // test hook: deterministic backoff
 	retrainSleep   func(context.Context, time.Duration) error // test hook: no wall-clock sleeps
@@ -126,8 +144,20 @@ func main() {
 	flag.DurationVar(&o.retrain, "retrain", 0, "background retrain interval (0 = never; requires -store)")
 	flag.IntVar(&o.keep, "keep", 3, "model store generations kept after each publish")
 	flag.IntVar(&o.retrainFail, "retrainfail", 5, "consecutive retrain failures before the circuit breaker gives up")
+	flag.StringVar(&o.ingest, "ingest", "", "live-feed listener (host:port or unix:/path) speaking the CSV line protocol")
+	flag.StringVar(&o.follow, "follow", "", "tail-follow this file as a live event source")
+	flag.StringVar(&o.flush, "flush", "", "drain the live window to this CSV on shutdown and re-seed from it on boot")
+	flag.Float64Var(&o.ingestRate, "ingestrate", 0, "per-source ingest rate limit, events/sec (0 = unlimited)")
+	flag.DurationVar(&o.ingestIdle, "ingestidle", stream.DefaultIdleTimeout, "cut a live connection after this long without a line")
+	flag.DurationVar(&o.ingestStall, "ingeststall", stream.DefaultStallAfter, "report degraded after this long without any live event")
+	flag.IntVar(&o.ingestCap, "ingestcap", 1<<20, "live window hard cap, events")
+	flag.DurationVar(&o.ingestAge, "ingestage", 24*time.Hour, "live window event-time horizon")
+	flag.IntVar(&o.ingestQueue, "ingestqueue", stream.DefaultQueueSize, "live ingest queue capacity")
+	flag.StringVar(&o.ingestPolicy, "ingestpolicy", "shed-newest", "full-queue drop policy: shed-newest or drop-oldest")
+	flag.IntVar(&o.ingestMin, "ingestmin", 100, "window events required before a retrain cycle runs")
+	flag.IntVar(&o.ingestMinPkts, "ingestminpkts", 1, "senders need >= P buffered packets to enter a retrain (the paper's active-sender filter)")
 	flag.Parse()
-	if o.in == "" {
+	if o.in == "" && !o.live() {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -143,8 +173,8 @@ func main() {
 // parameters must be positive and the listen address well-formed, so a
 // typo fails in milliseconds rather than after a long training run.
 func (o *options) validate() error {
-	if o.in == "" {
-		return errors.New("missing -in trace")
+	if o.in == "" && !o.live() {
+		return errors.New("missing -in trace (or a live source: -ingest / -follow)")
 	}
 	if o.dim <= 0 {
 		return fmt.Errorf("invalid -dim %d: must be > 0", o.dim)
@@ -170,8 +200,37 @@ func (o *options) validate() error {
 	if o.retrain < 0 {
 		return fmt.Errorf("invalid -retrain %s: must be >= 0", o.retrain)
 	}
-	if o.retrain > 0 && o.store == "" {
+	// A live daemon may retrain without a store (in-memory swaps only);
+	// a static one re-reads the same file, so retraining is pointless
+	// unless the result is also persisted.
+	if o.retrain > 0 && o.store == "" && !o.live() {
 		return errors.New("-retrain requires -store")
+	}
+	if o.live() {
+		if o.retrain <= 0 {
+			return errors.New("live ingestion (-ingest / -follow) requires -retrain > 0: the window is useless if nothing retrains on it")
+		}
+		if _, err := parsePolicy(o.ingestPolicy); err != nil {
+			return err
+		}
+		// Zeroes mean "use the default" so options constructed in code
+		// without flag parsing behave like the CLI; only negatives are
+		// nonsense (except -ingestage, where negative = unbounded).
+		if o.ingestCap < 0 {
+			return fmt.Errorf("invalid -ingestcap %d: must be >= 0", o.ingestCap)
+		}
+		if o.ingestQueue < 0 {
+			return fmt.Errorf("invalid -ingestqueue %d: must be >= 0", o.ingestQueue)
+		}
+		if o.ingestMin < 0 {
+			return fmt.Errorf("invalid -ingestmin %d: must be >= 0", o.ingestMin)
+		}
+		if o.ingestMinPkts < 0 {
+			return fmt.Errorf("invalid -ingestminpkts %d: must be >= 0", o.ingestMinPkts)
+		}
+		if o.ingestRate < 0 {
+			return fmt.Errorf("invalid -ingestrate %v: must be >= 0", o.ingestRate)
+		}
 	}
 	if o.keep < 0 {
 		return fmt.Errorf("invalid -keep %d: must be >= 0", o.keep)
@@ -203,12 +262,6 @@ func run(ctx context.Context, o options) error {
 		return err
 	}
 
-	tr, rep, err := trace.ReadFile(o.in, o.maxErr)
-	if err != nil {
-		return err
-	}
-	o.logf("%s", rep.String())
-
 	feeds := map[string][]netutil.IPv4{}
 	if o.feedsDir != "" {
 		entries, err := os.ReadDir(o.feedsDir)
@@ -231,7 +284,6 @@ func run(ctx context.Context, o options) error {
 			feeds[strings.TrimSuffix(ent.Name(), ".txt")] = ips
 		}
 	}
-	gt := labels.Build(tr, feeds)
 
 	cfg := core.DefaultConfig()
 	cfg.W2V.Dim = o.dim
@@ -241,12 +293,32 @@ func run(ctx context.Context, o options) error {
 
 	d := &daemon{o: o, cfg: cfg, feeds: feeds, gate: robust.NewGate()}
 	d.status.lastErr.Store("")
+	var err error
 	if o.store != "" {
 		d.st, err = modelstore.Open(o.store, modelstore.Options{Keep: o.keep, Logf: o.logf})
 		if err != nil {
 			return err
 		}
 	}
+
+	// The boot corpus: live mode seeds the rolling window (previous flush
+	// + optional -in base trace) and snapshots it; static mode reads -in.
+	var tr *trace.Trace
+	if o.live() {
+		if err := d.startIngest(); err != nil {
+			return err
+		}
+		defer d.ing.Close() // idempotent; the drain path closes earlier, explicitly
+		tr = d.ing.Window().Snapshot()
+	} else {
+		var rep *robust.IngestReport
+		tr, rep, err = trace.ReadFile(o.in, o.maxErr)
+		if err != nil {
+			return err
+		}
+		o.logf("%s", rep.String())
+	}
+	gt := labels.Build(tr, feeds)
 
 	// Bind before the long training run: liveness probes and fast 503s for
 	// not-yet-ready traffic beat a connection-refused black hole.
@@ -260,15 +332,15 @@ func run(ctx context.Context, o options) error {
 		fmt.Fprintln(w, `{"status":"live"}`)
 	})
 	mux.HandleFunc("GET /healthz/ready", d.handleReady)
-	// The staleness marker wraps the gate so a degraded daemon (last
-	// retrain failed, still serving the previous generation) is visible on
-	// every response, not just the health endpoint.
-	mux.Handle("/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if d.status.stale.Load() {
-			w.Header().Set("X-DarkVec-Model-Stale", "true")
-		}
-		d.gate.ServeHTTP(w, r)
-	}))
+	if d.ing != nil {
+		// Ungated: ingest accounting must answer while the first model is
+		// still training.
+		mux.HandleFunc("GET /v1/ingest", d.handleIngest)
+	}
+	// The staleness marker wraps the gate so a degraded daemon — a failed
+	// retrain still serving the previous generation, or a live feed gone
+	// silent — is visible on every response, not just the health endpoint.
+	mux.Handle("/", apiserver.StaleHeader(d.gate, d.stale))
 
 	writeTimeout := 30 * time.Second
 	if o.reqTimeout > 0 {
@@ -289,50 +361,65 @@ func run(ctx context.Context, o options) error {
 		o.onListen(ln.Addr().String())
 	}
 
+	// The readiness announcement fires exactly once, on the first model
+	// swap — immediately below for a boot-time model, or from the retrain
+	// loop when a live daemon starts on an empty window.
+	d.readyFn = func() {
+		o.logf("ready")
+		if o.onReady != nil {
+			o.onReady(ln.Addr().String())
+		}
+	}
+
 	// Prefer booting from the store: after a crash (even kill -9 mid-
 	// publish) the newest intact generation serves immediately, and only a
 	// genuinely empty store pays for training on the boot path.
 	emb, version, booted := d.bootFromStore(tr)
 	if !booted {
-		o.logf("training on %d events (%d days)...", tr.Len(), tr.Days())
-		emb, err = core.TrainEmbeddingOpts(tr, cfg, core.TrainOpts{
-			Context:        ctx,
-			CheckpointPath: o.checkpoint,
-			Resume:         o.resume,
-		})
-		if err != nil {
-			httpSrv.Close()
-			<-serveErr
-			if errors.Is(err, context.Canceled) {
-				// Interrupted by SIGINT/SIGTERM: a graceful exit. With
-				// -checkpoint set, the last completed epoch is on disk and
-				// -resume picks it up next start.
-				if o.checkpoint != "" {
-					o.logf("training interrupted; resumable checkpoint at %s", o.checkpoint)
-				} else {
-					o.logf("training interrupted")
+		if o.live() && tr.Len() < o.ingestMin {
+			// Nothing to train on yet. Serve 503s until the live window
+			// reaches -ingestmin and the retrain loop trains the first
+			// model; the ingest endpoints answer meanwhile.
+			o.logf("live window holds %d events (training needs %d); first model deferred to the retrain loop", tr.Len(), o.ingestMin)
+		} else {
+			o.logf("training on %d events (%d days)...", tr.Len(), tr.Days())
+			emb, err = core.TrainEmbeddingOpts(tr, cfg, core.TrainOpts{
+				Context:        ctx,
+				CheckpointPath: o.checkpoint,
+				Resume:         o.resume,
+			})
+			if err != nil {
+				httpSrv.Close()
+				<-serveErr
+				if errors.Is(err, context.Canceled) {
+					// Interrupted by SIGINT/SIGTERM: a graceful exit. With
+					// -checkpoint set, the last completed epoch is on disk and
+					// -resume picks it up next start.
+					if o.checkpoint != "" {
+						o.logf("training interrupted; resumable checkpoint at %s", o.checkpoint)
+					} else {
+						o.logf("training interrupted")
+					}
+					return nil
 				}
-				return nil
+				return err
 			}
-			return err
-		}
-		o.logf("trained in %s", emb.TrainTime.Round(time.Millisecond))
-		if d.st != nil {
-			if version, err = d.publishVerified(emb); err != nil {
-				// The in-memory model is fine; only its persistence failed.
-				// Serve it (unversioned) and let the next retrain try again.
-				o.logf("initial publish failed (serving in-memory model): %v", err)
-				d.status.lastErr.Store(err.Error())
-				version = 0
+			o.logf("trained in %s", emb.TrainTime.Round(time.Millisecond))
+			if d.st != nil {
+				if version, err = d.publishVerified(emb); err != nil {
+					// The in-memory model is fine; only its persistence failed.
+					// Serve it (unversioned) and let the next retrain try again.
+					o.logf("initial publish failed (serving in-memory model): %v", err)
+					d.status.lastErr.Store(err.Error())
+					version = 0
+				}
 			}
 		}
 	}
-	d.serve(emb, tr, gt, version)
-	o.logf("ready")
-	if o.onReady != nil {
-		o.onReady(ln.Addr().String())
+	if emb != nil {
+		d.serve(emb, tr, gt, version)
 	}
-	if d.st != nil && o.retrain > 0 {
+	if o.retrain > 0 && (d.st != nil || o.live()) {
 		go d.retrainLoop(ctx)
 	}
 
@@ -347,6 +434,15 @@ func run(ctx context.Context, o options) error {
 			return fmt.Errorf("drain incomplete: %w", err)
 		}
 		<-serveErr // http.ErrServerClosed
+		if d.ing != nil {
+			// Stop the feed after the HTTP drain (so /v1/ingest answered
+			// to the last), apply everything still queued to the window,
+			// then flush the window for the next boot's seed.
+			d.ing.Close()
+			if err := d.flushWindow(); err != nil {
+				return fmt.Errorf("window flush: %w", err)
+			}
+		}
 		return nil
 	}
 }
@@ -370,7 +466,11 @@ type daemon struct {
 	feeds  map[string][]netutil.IPv4
 	gate   *robust.Gate
 	st     *modelstore.Store // nil when unmanaged
+	ing    *stream.Ingestor  // nil when not ingesting live
 	status modelStatus
+
+	readyOnce sync.Once
+	readyFn   func() // announced on the first model swap
 }
 
 // handleReady reports serving health: 503 while the first model is still
@@ -390,6 +490,17 @@ func (d *daemon) handleReady(w http.ResponseWriter, _ *http.Request) {
 		resp["stale"] = true
 		if e, _ := d.status.lastErr.Load().(string); e != "" {
 			resp["last_error"] = e
+		}
+	}
+	if d.ing != nil {
+		st := d.ing.Stats()
+		resp["ingest"] = st
+		if st.Stalled {
+			// The model still answers, but it is aging against a silent
+			// feed — degraded, with the silence spelled out.
+			resp["status"] = "degraded"
+			resp["stale"] = true
+			resp["ingest_stalled"] = true
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -470,30 +581,52 @@ func (d *daemon) serve(emb *core.Embedding, tr *trace.Trace, gt *labels.Set, v m
 	d.status.stale.Store(false)
 	d.status.lastErr.Store("")
 	d.o.logf("serving %d senders (coverage %.0f%%)", space.Len(), cov*100)
+	d.readyOnce.Do(func() {
+		if d.readyFn != nil {
+			d.readyFn()
+		}
+	})
 }
 
-// retrainOnce is one full retrain cycle, run off the serving path:
-// re-ingest the trace, train, publish with load-back verification, swap.
-// Any failure marks the daemon degraded — the previous generation keeps
-// serving — and surfaces through /healthz/ready and the staleness header.
+// retrainOnce is one full retrain cycle, run off the serving path: source
+// a trace, train, publish with load-back verification, swap. A live
+// daemon snapshots the rolling window (through the active-sender filter);
+// a static one re-reads -in. Any failure marks the daemon degraded — the
+// previous generation keeps serving — and surfaces through /healthz/ready
+// and the staleness header.
 func (d *daemon) retrainOnce(ctx context.Context) error {
 	fail := func(err error) error {
 		d.status.stale.Store(true)
 		d.status.lastErr.Store(err.Error())
 		return err
 	}
-	tr, _, err := trace.ReadFile(d.o.in, d.o.maxErr)
-	if err != nil {
-		return fail(fmt.Errorf("retrain ingest: %w", err))
+	var tr *trace.Trace
+	if d.ing != nil {
+		tr = d.ing.Window().SnapshotActive(d.o.ingestMinPkts)
+		if tr.Len() < d.o.ingestMin {
+			// A thin window is a fact about the darknet, not a failure:
+			// skip the cycle without burning the breaker or flagging
+			// degraded, and try again next tick.
+			d.o.logf("retrain: window holds %d trainable events (< -ingestmin %d); skipping cycle", tr.Len(), d.o.ingestMin)
+			return nil
+		}
+	} else {
+		var err error
+		tr, _, err = trace.ReadFile(d.o.in, d.o.maxErr)
+		if err != nil {
+			return fail(fmt.Errorf("retrain ingest: %w", err))
+		}
 	}
 	gt := labels.Build(tr, d.feeds)
 	emb, err := core.TrainEmbeddingOpts(tr, d.cfg, core.TrainOpts{Context: ctx})
 	if err != nil {
 		return fail(fmt.Errorf("retrain: %w", err))
 	}
-	v, err := d.publishVerified(emb)
-	if err != nil {
-		return fail(err)
+	var v modelstore.Version
+	if d.st != nil {
+		if v, err = d.publishVerified(emb); err != nil {
+			return fail(err)
+		}
 	}
 	d.serve(emb, tr, gt, v)
 	return nil

@@ -47,6 +47,7 @@ import (
 	"github.com/darkvec/darkvec/internal/pcapio"
 	"github.com/darkvec/darkvec/internal/robust"
 	"github.com/darkvec/darkvec/internal/services"
+	"github.com/darkvec/darkvec/internal/stream"
 	"github.com/darkvec/darkvec/internal/trace"
 	"github.com/darkvec/darkvec/internal/w2v"
 )
@@ -123,8 +124,12 @@ type (
 	// first malformed record aborts).
 	Budget = robust.Budget
 	// IngestReport summarises what an ingestion run saw: records read,
-	// skipped, truncation and sampled error messages.
+	// skipped, truncation and sampled error messages. It is goroutine-safe
+	// (live sources share one report) and must not be copied; use Snapshot
+	// for a plain value.
 	IngestReport = robust.IngestReport
+	// IngestStats is a point-in-time plain-value copy of an IngestReport.
+	IngestStats = robust.IngestStats
 	// TrainOpts adds cancellation and checkpoint/resume to training.
 	TrainOpts = core.TrainOpts
 )
@@ -236,20 +241,20 @@ func WriteTracePCAP(w io.Writer, tr *Trace) error { return tr.WritePCAP(w) }
 // ReadTraceCSVTolerant loads a CSV trace under an error budget: malformed
 // rows are skipped and counted until the budget blows, and the report says
 // exactly what was dropped.
-func ReadTraceCSVTolerant(r io.Reader, budget Budget) (*Trace, IngestReport, error) {
+func ReadTraceCSVTolerant(r io.Reader, budget Budget) (*Trace, *IngestReport, error) {
 	return trace.ReadCSVTolerant(r, budget)
 }
 
 // ReadTracePCAPTolerant decodes a capture under an error budget; a capture
 // cut off mid-record yields its intact prefix with the report's Truncated
 // flag set instead of failing.
-func ReadTracePCAPTolerant(r io.Reader, budget Budget) (*Trace, IngestReport, error) {
+func ReadTracePCAPTolerant(r io.Reader, budget Budget) (*Trace, *IngestReport, error) {
 	return trace.ReadPCAPTolerant(r, budget)
 }
 
 // ReadTraceFile loads a .csv or .pcap trace from disk, strictly when
 // maxErr is 0 or tolerating up to maxErr malformed records otherwise.
-func ReadTraceFile(path string, maxErr int64) (*Trace, IngestReport, error) {
+func ReadTraceFile(path string, maxErr int64) (*Trace, *IngestReport, error) {
 	return trace.ReadFile(path, maxErr)
 }
 
@@ -303,3 +308,38 @@ func OpenModelStore(dir string, opts ModelStoreOptions) (*ModelStore, error) {
 // VerifyArtifact inspects a saved model or checkpoint stream: kind, shape,
 // and whether its trailing checksum (if present) holds.
 func VerifyArtifact(r io.Reader) (ArtifactInfo, error) { return w2v.Verify(r) }
+
+// Live ingestion types (the darkvecd -ingest pipeline: bounded sources
+// with explicit backpressure feeding a rolling, memory-bounded window).
+type (
+	// Ingestor runs the live pipeline: TCP/unix/tail/reader sources feed a
+	// bounded queue draining into a rolling window, with per-source rate
+	// limits, a malformed-line quarantine and a stall watchdog.
+	Ingestor = stream.Ingestor
+	// IngestorConfig assembles an Ingestor.
+	IngestorConfig = stream.Config
+	// IngestorStats is the full counter snapshot of a live pipeline.
+	IngestorStats = stream.Stats
+	// RollingWindow is a bounded, rolling, in-memory event store — the
+	// live-feed equivalent of a training trace.
+	RollingWindow = stream.Window
+	// RollingWindowConfig bounds a RollingWindow (event cap + age horizon).
+	RollingWindowConfig = stream.WindowConfig
+	// DropPolicy selects what a full ingest queue sheds.
+	DropPolicy = stream.DropPolicy
+)
+
+// Ingest queue drop policies.
+const (
+	// ShedNewest rejects incoming events when the queue is full (default).
+	ShedNewest = stream.ShedNewest
+	// DropOldest evicts the oldest queued event to admit the newest.
+	DropOldest = stream.DropOldest
+)
+
+// NewIngestor builds a live ingestion pipeline and starts its consumer.
+// Attach sources with Serve/Follow/Consume; stop with Close.
+func NewIngestor(cfg IngestorConfig) *Ingestor { return stream.New(cfg) }
+
+// NewRollingWindow builds a bounded rolling event window.
+func NewRollingWindow(cfg RollingWindowConfig) *RollingWindow { return stream.NewWindow(cfg) }

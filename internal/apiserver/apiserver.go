@@ -80,6 +80,25 @@ func Harden(h http.Handler, timeout time.Duration, maxInFlight int, logf func(fo
 	return robust.Recover(h, onPanic)
 }
 
+// StaleHeader stamps X-DarkVec-Model-Stale: true (and, when stale returns
+// a reason, X-DarkVec-Model-Stale-Reason) on every response while the
+// predicate holds. Daemons use it to make degradation visible on the
+// serving path itself — a failed retrain or a stalled live feed marks every
+// answer, not just the health endpoint, so a client pivoting on month-old
+// neighbours can tell. The predicate is evaluated per request, so the
+// header clears the moment the daemon recovers.
+func StaleHeader(h http.Handler, stale func() (bool, string)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if ok, reason := stale(); ok {
+			w.Header().Set("X-DarkVec-Model-Stale", "true")
+			if reason != "" {
+				w.Header().Set("X-DarkVec-Model-Stale-Reason", reason)
+			}
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
 // New builds the server, running one clustering pass up front so /clusters
 // is a cheap read.
 func New(cfg Config) *Server {

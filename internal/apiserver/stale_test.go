@@ -1,0 +1,104 @@
+package apiserver
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/darkvec/darkvec/internal/stream"
+)
+
+func staleGet(t *testing.T, h http.Handler) *http.Response {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	return rec.Result()
+}
+
+func TestStaleHeaderSetsAndClears(t *testing.T) {
+	var stale atomic.Bool
+	inner := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	h := StaleHeader(inner, func() (bool, string) { return stale.Load(), "feed silent" })
+
+	if resp := staleGet(t, h); resp.Header.Get("X-DarkVec-Model-Stale") != "" {
+		t.Error("healthy: staleness header present")
+	}
+	stale.Store(true)
+	resp := staleGet(t, h)
+	if resp.Header.Get("X-DarkVec-Model-Stale") != "true" {
+		t.Error("stale: missing X-DarkVec-Model-Stale: true")
+	}
+	if resp.Header.Get("X-DarkVec-Model-Stale-Reason") != "feed silent" {
+		t.Errorf("stale: reason header = %q", resp.Header.Get("X-DarkVec-Model-Stale-Reason"))
+	}
+	// The predicate is per-request: recovery clears the marker immediately.
+	stale.Store(false)
+	if resp := staleGet(t, h); resp.Header.Get("X-DarkVec-Model-Stale") != "" {
+		t.Error("recovered: staleness header still present")
+	}
+}
+
+func TestStaleHeaderNoReason(t *testing.T) {
+	h := StaleHeader(http.NotFoundHandler(), func() (bool, string) { return true, "" })
+	resp := staleGet(t, h)
+	if resp.Header.Get("X-DarkVec-Model-Stale") != "true" {
+		t.Error("missing staleness header")
+	}
+	if _, ok := resp.Header["X-Darkvec-Model-Stale-Reason"]; ok {
+		t.Error("empty reason must not produce a reason header")
+	}
+}
+
+// TestStaleHeaderEmptyWindowPredicate wires the middleware to a real (but
+// empty) ingest window the way a live daemon does before its first
+// training: no events is a degraded serving state worth marking.
+func TestStaleHeaderEmptyWindowPredicate(t *testing.T) {
+	w := stream.NewWindow(stream.WindowConfig{})
+	h := StaleHeader(http.NotFoundHandler(), func() (bool, string) {
+		if w.Len() == 0 {
+			return true, "live window empty"
+		}
+		return false, ""
+	})
+	resp := staleGet(t, h)
+	if resp.Header.Get("X-DarkVec-Model-Stale") != "true" {
+		t.Error("empty window: missing staleness header")
+	}
+	if resp.Header.Get("X-DarkVec-Model-Stale-Reason") != "live window empty" {
+		t.Errorf("reason = %q", resp.Header.Get("X-DarkVec-Model-Stale-Reason"))
+	}
+}
+
+// TestStaleHeaderWatchdogPredicate drives the middleware from a real
+// ingestor whose stall watchdog trips on a controllable clock — the exact
+// degraded path a silent darknet feed produces.
+func TestStaleHeaderWatchdogPredicate(t *testing.T) {
+	var nowNano atomic.Int64
+	nowNano.Store(time.Unix(1000, 0).UnixNano())
+	ing := stream.New(stream.Config{
+		StallAfter: time.Minute,
+		Clock:      func() time.Time { return time.Unix(0, nowNano.Load()) },
+	})
+	defer ing.Close()
+	h := StaleHeader(http.NotFoundHandler(), func() (bool, string) {
+		if ing.Stalled() {
+			return true, "ingest stalled"
+		}
+		return false, ""
+	})
+	if resp := staleGet(t, h); resp.Header.Get("X-DarkVec-Model-Stale") != "" {
+		t.Error("fresh ingestor: staleness header present")
+	}
+	nowNano.Add(int64(2 * time.Minute))
+	resp := staleGet(t, h)
+	if resp.Header.Get("X-DarkVec-Model-Stale") != "true" {
+		t.Error("tripped watchdog: missing staleness header")
+	}
+	if resp.Header.Get("X-DarkVec-Model-Stale-Reason") != "ingest stalled" {
+		t.Errorf("reason = %q", resp.Header.Get("X-DarkVec-Model-Stale-Reason"))
+	}
+}

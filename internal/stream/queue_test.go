@@ -1,0 +1,124 @@
+package stream
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQueueShedNewest(t *testing.T) {
+	q := newQueue(2, ShedNewest)
+	for i := 0; i < 2; i++ {
+		if shed, _ := q.push(ev(int64(i), "1.1.1.1")); shed {
+			t.Fatalf("push %d shed with room available", i)
+		}
+	}
+	shed, evicted := q.push(ev(99, "1.1.1.1"))
+	if !shed || evicted {
+		t.Fatalf("full ShedNewest push: shed=%v evicted=%v, want true,false", shed, evicted)
+	}
+	e, ok := q.pop()
+	if !ok || e.Ts != 0 {
+		t.Errorf("pop = (%v,%v), want oldest event Ts=0 preserved", e.Ts, ok)
+	}
+}
+
+func TestQueueDropOldest(t *testing.T) {
+	q := newQueue(2, DropOldest)
+	q.push(ev(0, "1.1.1.1"))
+	q.push(ev(1, "1.1.1.1"))
+	shed, evicted := q.push(ev(2, "1.1.1.1"))
+	if shed || !evicted {
+		t.Fatalf("full DropOldest push: shed=%v evicted=%v, want false,true", shed, evicted)
+	}
+	e, _ := q.pop()
+	if e.Ts != 1 {
+		t.Errorf("head Ts = %d, want 1 (oldest evicted)", e.Ts)
+	}
+	e, _ = q.pop()
+	if e.Ts != 2 {
+		t.Errorf("next Ts = %d, want 2 (newest admitted)", e.Ts)
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	q := newQueue(4, ShedNewest)
+	q.push(ev(1, "1.1.1.1"))
+	q.push(ev(2, "1.1.1.1"))
+	q.close()
+	if shed, _ := q.push(ev(3, "1.1.1.1")); !shed {
+		t.Error("push after close not shed")
+	}
+	if _, ok := q.pop(); !ok {
+		t.Fatal("buffered event lost at close")
+	}
+	if _, ok := q.pop(); !ok {
+		t.Fatal("second buffered event lost at close")
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop returned ok on closed empty queue")
+	}
+}
+
+func TestQueuePopBlocksUntilPush(t *testing.T) {
+	q := newQueue(4, ShedNewest)
+	got := make(chan int64, 1)
+	go func() {
+		e, _ := q.pop()
+		got <- e.Ts
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.push(ev(42, "1.1.1.1"))
+	select {
+	case ts := <-got:
+		if ts != 42 {
+			t.Errorf("popped Ts = %d, want 42", ts)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pop did not wake on push")
+	}
+}
+
+func TestQueueConcurrentPushers(t *testing.T) {
+	const pushers, perPusher = 8, 500
+	q := newQueue(64, ShedNewest)
+	var shedCount, pushed int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	var popped int64
+	go func() {
+		defer close(done)
+		for {
+			if _, ok := q.pop(); !ok {
+				return
+			}
+			popped++
+		}
+	}()
+	for p := 0; p < pushers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perPusher; i++ {
+				shed, _ := q.push(ev(int64(i), "1.1.1.1"))
+				mu.Lock()
+				if shed {
+					shedCount++
+				} else {
+					pushed++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	q.close()
+	<-done
+	if pushed+shedCount != pushers*perPusher {
+		t.Fatalf("accounting: pushed %d + shed %d != %d", pushed, shedCount, pushers*perPusher)
+	}
+	if popped != pushed {
+		t.Fatalf("popped %d != pushed %d: events lost or duplicated", popped, pushed)
+	}
+}

@@ -1,0 +1,55 @@
+package stream
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is a per-source rate limiter. Unlike a shedding limiter it
+// returns the wait required to admit the next event: the source goroutine
+// sleeps that long before reading more, which stalls its TCP receive
+// window and pushes back on the remote sender — real backpressure, no data
+// loss at this layer (the bounded queue handles genuine overload).
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBucket returns nil when rate <= 0 (unlimited).
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = rate
+		if b < 1 {
+			b = 1
+		}
+	}
+	return &tokenBucket{rate: rate, burst: b, tokens: b}
+}
+
+// reserve takes one token and returns how long the caller must wait before
+// the event it guards is admitted (0 = immediately). Tokens go negative
+// under sustained overdraw, which serialises the waits exactly like a
+// queue of reservations.
+func (b *tokenBucket) reserve(now time.Time) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	b.tokens--
+	if b.tokens >= 0 {
+		return 0
+	}
+	return time.Duration(-b.tokens / b.rate * float64(time.Second))
+}

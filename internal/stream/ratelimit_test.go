@@ -1,0 +1,94 @@
+package stream
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTokenBucketUnlimited(t *testing.T) {
+	if b := newTokenBucket(0, 0); b != nil {
+		t.Error("rate 0 should disable the bucket")
+	}
+	if b := newTokenBucket(-5, 10); b != nil {
+		t.Error("negative rate should disable the bucket")
+	}
+}
+
+func TestTokenBucketBurstThenWait(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newTokenBucket(10, 5) // 10/s, burst 5
+	for i := 0; i < 5; i++ {
+		if w := b.reserve(now); w != 0 {
+			t.Fatalf("burst token %d: wait %v, want 0", i, w)
+		}
+	}
+	// Bucket empty: the 6th event waits one token period (100ms).
+	if w := b.reserve(now); w != 100*time.Millisecond {
+		t.Errorf("first overdraw wait = %v, want 100ms", w)
+	}
+	// Sustained overdraw serialises: the next waits 200ms.
+	if w := b.reserve(now); w != 200*time.Millisecond {
+		t.Errorf("second overdraw wait = %v, want 200ms", w)
+	}
+}
+
+func TestTokenBucketRefill(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newTokenBucket(10, 1)
+	if w := b.reserve(now); w != 0 {
+		t.Fatalf("first event wait = %v, want 0", w)
+	}
+	// 100ms later exactly one token has come back.
+	if w := b.reserve(now.Add(100 * time.Millisecond)); w != 0 {
+		t.Errorf("after refill wait = %v, want 0", w)
+	}
+	// Refill never exceeds burst: after a long idle only 1 token exists.
+	b.reserve(now.Add(10 * time.Second))
+	if w := b.reserve(now.Add(10 * time.Second)); w == 0 {
+		t.Error("burst cap exceeded: two immediate tokens after idle with burst 1")
+	}
+}
+
+func TestTokenBucketDefaultBurst(t *testing.T) {
+	b := newTokenBucket(0.5, 0) // sub-1 rate still gets burst 1
+	if b.burst != 1 {
+		t.Errorf("burst = %v, want 1", b.burst)
+	}
+	b = newTokenBucket(20, 0)
+	if b.burst != 20 {
+		t.Errorf("burst = %v, want rate (20)", b.burst)
+	}
+}
+
+func TestWatchdogStall(t *testing.T) {
+	now := time.Unix(5000, 0)
+	clock := func() time.Time { return now }
+	d := newWatchdog(time.Minute, clock)
+	if d.Stalled() {
+		t.Fatal("stalled immediately after construction")
+	}
+	now = now.Add(59 * time.Second)
+	if d.Stalled() {
+		t.Error("stalled before threshold")
+	}
+	now = now.Add(2 * time.Second)
+	if !d.Stalled() {
+		t.Error("not stalled past threshold")
+	}
+	if d.Silence() != 61*time.Second {
+		t.Errorf("Silence = %v, want 61s", d.Silence())
+	}
+	d.Touch()
+	if d.Stalled() {
+		t.Error("still stalled after Touch")
+	}
+}
+
+func TestWatchdogDisabled(t *testing.T) {
+	now := time.Unix(0, 0)
+	d := newWatchdog(0, func() time.Time { return now })
+	now = now.Add(1000 * time.Hour)
+	if d.Stalled() {
+		t.Error("disabled watchdog reported stalled")
+	}
+}

@@ -1,0 +1,41 @@
+package stream
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Watchdog detects a silent feed: if no event has been accepted for
+// stallAfter, Stalled flips true and the daemon reports itself degraded —
+// a dead collector, a cut tunnel and a wedged upstream all look identical
+// from here, and all of them mean the serving model is aging unrefreshed.
+type Watchdog struct {
+	stallAfter time.Duration
+	now        func() time.Time
+	last       atomic.Int64 // UnixNano of the last accepted event
+}
+
+// newWatchdog starts the clock at construction: a feed that never delivers
+// a single event is just as stalled as one that stops.
+func newWatchdog(stallAfter time.Duration, now func() time.Time) *Watchdog {
+	if now == nil {
+		now = time.Now
+	}
+	d := &Watchdog{stallAfter: stallAfter, now: now}
+	d.last.Store(now().UnixNano())
+	return d
+}
+
+// Touch records feed progress.
+func (d *Watchdog) Touch() { d.last.Store(d.now().UnixNano()) }
+
+// Silence returns how long the feed has been quiet.
+func (d *Watchdog) Silence() time.Duration {
+	return time.Duration(d.now().UnixNano() - d.last.Load())
+}
+
+// Stalled reports whether the silence exceeds the configured threshold.
+// A zero or negative threshold disables the watchdog.
+func (d *Watchdog) Stalled() bool {
+	return d.stallAfter > 0 && d.Silence() > d.stallAfter
+}

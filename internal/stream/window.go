@@ -1,0 +1,218 @@
+package stream
+
+import (
+	"io"
+	"sync"
+
+	"github.com/darkvec/darkvec/internal/netutil"
+	"github.com/darkvec/darkvec/internal/trace"
+)
+
+// WindowConfig bounds a rolling window. Both limits are hard: the window
+// can never hold more than MaxEvents events, and never spans more than
+// MaxAge of event time, so memory stays bounded no matter how fast or how
+// long the feed runs.
+type WindowConfig struct {
+	// MaxEvents caps the buffered events (default 1<<20). The cap also
+	// bounds sender-cardinality bookkeeping: the per-sender count map can
+	// never exceed the number of buffered events.
+	MaxEvents int
+	// MaxAge is the event-time horizon in seconds-resolution duration
+	// (default 24h; negative = unbounded). Age is judged against the
+	// newest event seen, not the wall clock, so accelerated replays and
+	// historical backfills roll the window exactly like live traffic.
+	MaxAge int64
+}
+
+func (c WindowConfig) withDefaults() WindowConfig {
+	if c.MaxEvents <= 0 {
+		c.MaxEvents = 1 << 20
+	}
+	if c.MaxAge == 0 {
+		c.MaxAge = 24 * 3600
+	}
+	return c
+}
+
+// WindowStats is the /v1/ingest view of a window.
+type WindowStats struct {
+	Events     int   `json:"events"`
+	Senders    int   `json:"senders"`
+	FirstTs    int64 `json:"first_ts"`
+	LastTs     int64 `json:"last_ts"`
+	EvictedAge int64 `json:"evicted_age"`
+	EvictedCap int64 `json:"evicted_cap"`
+}
+
+// Window is a rolling, bounded, in-memory event store: the live-feed
+// equivalent of the paper's 1–30 day training window. Events are kept in
+// arrival order in a ring buffer; when the cap or the age horizon is hit,
+// the oldest-arrived events are evicted and their senders' packet counts
+// decremented. All methods are safe for concurrent use.
+type Window struct {
+	mu     sync.Mutex
+	cfg    WindowConfig
+	buf    []trace.Event // ring; len(buf) is the current capacity
+	head   int
+	n      int
+	counts map[netutil.IPv4]int
+	newest int64 // max event Ts ever added
+
+	evictedAge int64
+	evictedCap int64
+}
+
+// NewWindow builds a window; the ring starts small and grows geometrically
+// up to MaxEvents, so an idle daemon does not pre-pay the cap.
+func NewWindow(cfg WindowConfig) *Window {
+	return &Window{cfg: cfg.withDefaults(), counts: make(map[netutil.IPv4]int)}
+}
+
+// Add admits one event, evicting from the old end as needed to hold the
+// cap and age bounds.
+func (w *Window) Add(e trace.Event) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.addLocked(e)
+}
+
+// AddBatch admits a batch under one lock acquisition — the seed path, when
+// a boot-time trace pre-fills the window.
+func (w *Window) AddBatch(events []trace.Event) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, e := range events {
+		w.addLocked(e)
+	}
+}
+
+func (w *Window) addLocked(e trace.Event) {
+	if w.n == len(w.buf) {
+		if len(w.buf) < w.cfg.MaxEvents {
+			w.grow()
+		} else {
+			w.evictLocked()
+			w.evictedCap++
+		}
+	}
+	w.buf[(w.head+w.n)%len(w.buf)] = e
+	w.n++
+	w.counts[e.Src]++
+	if e.Ts > w.newest {
+		w.newest = e.Ts
+	}
+	if w.cfg.MaxAge > 0 {
+		for w.n > 0 && w.newest-w.buf[w.head].Ts > w.cfg.MaxAge {
+			w.evictLocked()
+			w.evictedAge++
+		}
+	}
+}
+
+func (w *Window) grow() {
+	newCap := 1024
+	if len(w.buf) > 0 {
+		newCap = len(w.buf) * 2
+	}
+	if newCap > w.cfg.MaxEvents {
+		newCap = w.cfg.MaxEvents
+	}
+	nb := make([]trace.Event, newCap)
+	for i := 0; i < w.n; i++ {
+		nb[i] = w.buf[(w.head+i)%len(w.buf)]
+	}
+	w.buf = nb
+	w.head = 0
+}
+
+func (w *Window) evictLocked() {
+	e := w.buf[w.head]
+	w.head = (w.head + 1) % len(w.buf)
+	w.n--
+	if c := w.counts[e.Src] - 1; c > 0 {
+		w.counts[e.Src] = c
+	} else {
+		delete(w.counts, e.Src)
+	}
+}
+
+// Len returns the number of buffered events.
+func (w *Window) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+// Senders returns the number of distinct senders currently buffered.
+func (w *Window) Senders() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.counts)
+}
+
+// ActiveSenders counts buffered senders with at least minPackets events —
+// the paper's "active sender" admission over the live window.
+func (w *Window) ActiveSenders(minPackets int) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := 0
+	for _, c := range w.counts {
+		if c >= minPackets {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot copies the window into a time-sorted Trace — the input of a
+// retrain cycle. The copy means training can run for minutes while the
+// window keeps rolling underneath it.
+func (w *Window) Snapshot() *trace.Trace {
+	w.mu.Lock()
+	events := make([]trace.Event, w.n)
+	for i := 0; i < w.n; i++ {
+		events[i] = w.buf[(w.head+i)%len(w.buf)]
+	}
+	w.mu.Unlock()
+	return trace.New(events)
+}
+
+// SnapshotActive is Snapshot restricted to senders meeting the ≥minPackets
+// admission filter, so a retrain never materialises the one-shot
+// backscatter tail at all.
+func (w *Window) SnapshotActive(minPackets int) *trace.Trace {
+	w.mu.Lock()
+	events := make([]trace.Event, 0, w.n)
+	for i := 0; i < w.n; i++ {
+		e := w.buf[(w.head+i)%len(w.buf)]
+		if w.counts[e.Src] >= minPackets {
+			events = append(events, e)
+		}
+	}
+	w.mu.Unlock()
+	return trace.New(events)
+}
+
+// WriteCSV flushes the window contents (time-sorted) in the CSV
+// interchange format — the SIGTERM drain path, so a restart can re-seed
+// from exactly what was buffered.
+func (w *Window) WriteCSV(out io.Writer) error {
+	return w.Snapshot().WriteCSV(out)
+}
+
+// Stats returns a point-in-time summary.
+func (w *Window) Stats() WindowStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := WindowStats{
+		Events:     w.n,
+		Senders:    len(w.counts),
+		EvictedAge: w.evictedAge,
+		EvictedCap: w.evictedCap,
+	}
+	if w.n > 0 {
+		s.FirstTs = w.buf[w.head].Ts
+		s.LastTs = w.newest
+	}
+	return s
+}

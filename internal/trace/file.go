@@ -15,8 +15,8 @@ import (
 // report's Truncated flag set. All commands ingest through this helper so
 // operators get the same error-budget semantics and ingest report
 // everywhere.
-func ReadFile(path string, maxErr int64) (*Trace, robust.IngestReport, error) {
-	var rep robust.IngestReport
+func ReadFile(path string, maxErr int64) (*Trace, *robust.IngestReport, error) {
+	rep := &robust.IngestReport{}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, rep, err
@@ -34,13 +34,13 @@ func ReadFile(path string, maxErr int64) (*Trace, robust.IngestReport, error) {
 	if isPcap {
 		var skipped int
 		tr, skipped, err = ReadPCAP(f)
-		rep.Skipped = int64(skipped)
+		rep.SkipN(int64(skipped))
 	} else {
 		tr, err = ReadCSV(f)
 	}
 	if err != nil {
 		return nil, rep, err
 	}
-	rep.Read = int64(tr.Len())
+	rep.RecordN(int64(tr.Len()))
 	return tr, rep, nil
 }

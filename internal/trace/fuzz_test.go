@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/darkvec/darkvec/internal/robust"
+)
+
+// FuzzParseCSVRecord fuzzes the per-line record parser the live stream
+// sources run on every byte a remote sender delivers. Whatever arrives on
+// the wire, the parser must fail cleanly, never panic, and a line that
+// parses must round-trip through AppendCSV back to an identical event.
+func FuzzParseCSVRecord(f *testing.F) {
+	f.Add("100,1.1.1.1,198.18.0.1,23,tcp,0")
+	f.Add("200,2.2.2.2,198.18.0.2,445,tcp,1")
+	f.Add("300,3.3.3.3,198.18.0.3,53,udp,0")
+	f.Add("400,4.4.4.4,198.18.0.4,0,icmp,0")
+	f.Add("100,1.1.1.1,198.18.0.1,23,tcp,0\r")
+	f.Add("")
+	f.Add(",,,,,")
+	f.Add("-9223372036854775808,0.0.0.0,255.255.255.255,65535,tcp,1")
+	f.Add("1,1.2.3.4,5.6.7.8,99999,tcp,0")
+	f.Add("1,999.2.3.4,5.6.7.8,23,tcp,0")
+	f.Add("1,1.2.3.4,5.6.7.8,23,sctp,0")
+	f.Add(strings.Repeat(",", 1000))
+	f.Fuzz(func(t *testing.T, line string) {
+		e, err := ParseCSVLine(line)
+		if err != nil {
+			return
+		}
+		// A parsed event must survive the wire format round trip.
+		back, err := ParseCSVLine(string(e.AppendCSV(nil)))
+		if err != nil {
+			t.Fatalf("round trip of %q failed: %v", line, err)
+		}
+		if back != e {
+			t.Fatalf("round trip of %q: %+v != %+v", line, back, e)
+		}
+	})
+}
+
+// FuzzStreamCSVTolerant fuzzes the stream framing layer: arbitrary byte
+// soup after a valid header must never panic the budgeted scanner, and the
+// accounting invariant — every event delivered to the callback is counted
+// as read — must hold on every input.
+func FuzzStreamCSVTolerant(f *testing.F) {
+	f.Add([]byte("100,1.1.1.1,198.18.0.1,23,tcp,0\n"))
+	f.Add([]byte("100,1.1.1.1,198.18.0.1,23,tcp,0"))
+	f.Add([]byte("garbage\n100,1.1.1.1,198.18.0.1,23,tcp,0\n"))
+	f.Add([]byte("100,1.1.1.1,198.18.0.1,23,tcp,0\n200,2.2.2.2,198.18."))
+	f.Add([]byte("\"unclosed quote\n"))
+	f.Add([]byte{0x00, 0xff, 0x0a, 0x2c, 0x2c})
+	f.Add([]byte("\n\n\n"))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		in := CSVHeaderLine + "\n" + string(body)
+		delivered := int64(0)
+		rep, err := StreamCSVTolerant(strings.NewReader(in), robust.Budget{MaxErrors: 1 << 40}, func(Event) error {
+			delivered++
+			return nil
+		})
+		if err != nil {
+			return
+		}
+		if rep.Read() != delivered {
+			t.Fatalf("report read %d != delivered %d", rep.Read(), delivered)
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 
 	"github.com/darkvec/darkvec/internal/netutil"
 	"github.com/darkvec/darkvec/internal/packet"
@@ -17,6 +18,11 @@ import (
 // destination, destination port, protocol) plus the Mirai fingerprint bit so
 // labeled experiments don't need the raw payloads.
 var csvHeader = []string{"ts", "src_ip", "dst_ip", "dst_port", "proto", "mirai"}
+
+// CSVHeaderLine is the header row of the CSV interchange format, which is
+// also the line protocol spoken by live stream sources (one record per
+// line, header optional).
+const CSVHeaderLine = "ts,src_ip,dst_ip,dst_port,proto,mirai"
 
 // WriteCSV writes the trace in the repository's CSV interchange format.
 func (t *Trace) WriteCSV(w io.Writer) error {
@@ -44,6 +50,27 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// AppendCSV appends the event's CSV interchange line (without a trailing
+// newline) to dst — the allocation-free formatter live sources use to
+// stream events over the wire.
+func (e Event) AppendCSV(dst []byte) []byte {
+	dst = strconv.AppendInt(dst, e.Ts, 10)
+	dst = append(dst, ',')
+	dst = append(dst, e.Src.String()...)
+	dst = append(dst, ',')
+	dst = append(dst, e.Dst.String()...)
+	dst = append(dst, ',')
+	dst = strconv.AppendUint(dst, uint64(e.Port), 10)
+	dst = append(dst, ',')
+	dst = append(dst, e.Proto.String()...)
+	if e.Mirai {
+		dst = append(dst, ",1"...)
+	} else {
+		dst = append(dst, ",0"...)
+	}
+	return dst
+}
+
 // ReadCSV parses a trace written by WriteCSV. Events are re-sorted by
 // timestamp on load.
 func ReadCSV(r io.Reader) (*Trace, error) {
@@ -65,6 +92,7 @@ var ErrStop = errors.New("trace: stop streaming")
 // passes, filters, format conversion). fn returning ErrStop ends the scan
 // cleanly; any other error aborts and is returned. The scan is strict: the
 // first malformed record aborts. Use StreamCSVTolerant for dirty captures.
+// A complete final line without a trailing newline parses normally.
 func StreamCSV(r io.Reader, fn func(Event) error) error {
 	_, err := streamCSV(r, nil, fn)
 	return err
@@ -74,15 +102,17 @@ func StreamCSV(r io.Reader, fn func(Event) error) error {
 // are skipped and counted in the returned IngestReport, and the scan only
 // aborts (with an error wrapping robust.ErrBudgetExceeded) when the budget
 // is exhausted. A malformed header always aborts — that is a wrong file,
-// not a dirty one.
-func StreamCSVTolerant(r io.Reader, budget robust.Budget, fn func(Event) error) (robust.IngestReport, error) {
+// not a dirty one. An unparsable final record immediately followed by EOF
+// is recorded as a truncation (tail-follow sources deliver partial final
+// lines routinely), not charged against the budget.
+func StreamCSVTolerant(r io.Reader, budget robust.Budget, fn func(Event) error) (*robust.IngestReport, error) {
 	return streamCSV(r, &budget, fn)
 }
 
 // streamCSV is the shared scan loop; budget == nil selects the historical
 // strict behaviour (first bad record aborts with the bare error).
-func streamCSV(r io.Reader, budget *robust.Budget, fn func(Event) error) (robust.IngestReport, error) {
-	var rep robust.IngestReport
+func streamCSV(r io.Reader, budget *robust.Budget, fn func(Event) error) (*robust.IngestReport, error) {
+	rep := &robust.IngestReport{}
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
 	hdr, err := cr.Read()
@@ -92,8 +122,24 @@ func streamCSV(r io.Reader, budget *robust.Budget, fn func(Event) error) (robust
 	if len(hdr) != len(csvHeader) || hdr[0] != "ts" {
 		return rep, fmt.Errorf("trace: unexpected csv header %v", hdr)
 	}
+	// pend holds one record read ahead of the loop: distinguishing a
+	// truncated final line from a mid-stream malformed one requires
+	// peeking at the next read, and the peeked record must then be
+	// processed normally. With ReuseRecord the peeked slice stays valid
+	// exactly until the next cr.Read(), which the loop order guarantees.
+	var (
+		pendRec  []string
+		pendErr  error
+		havePend bool
+	)
 	for line := 2; ; line++ {
-		rec, err := cr.Read()
+		var rec []string
+		var err error
+		if havePend {
+			rec, err, havePend = pendRec, pendErr, false
+		} else {
+			rec, err = cr.Read()
+		}
 		if err == io.EOF {
 			return rep, nil
 		}
@@ -102,7 +148,16 @@ func streamCSV(r io.Reader, budget *robust.Budget, fn func(Event) error) (robust
 			if budget != nil && errors.As(err, &perr) {
 				// Shape errors (wrong field count, stray quote) are
 				// per-line recoverable; the reader resynchronises on the
-				// next line.
+				// next line — unless this was the input's final record, in
+				// which case the line was cut off mid-write (a partial
+				// tail from a live file or interrupted copy) and the
+				// intact prefix is a successful ingest.
+				pendRec, pendErr = cr.Read()
+				if pendErr == io.EOF {
+					rep.Truncate(err)
+					return rep, nil
+				}
+				havePend = true
 				if berr := rep.Skip(*budget, err); berr != nil {
 					return rep, fmt.Errorf("trace: %w", berr)
 				}
@@ -121,7 +176,7 @@ func streamCSV(r io.Reader, budget *robust.Budget, fn func(Event) error) (robust
 			}
 			return rep, err
 		}
-		rep.Read++
+		rep.Record()
 		if err := fn(e); err != nil {
 			if errors.Is(err, ErrStop) {
 				return rep, nil
@@ -133,7 +188,7 @@ func streamCSV(r io.Reader, budget *robust.Budget, fn func(Event) error) (robust
 
 // ReadCSVTolerant parses a trace under an error budget, returning the
 // loaded trace together with the ingest report. See StreamCSVTolerant.
-func ReadCSVTolerant(r io.Reader, budget robust.Budget) (*Trace, robust.IngestReport, error) {
+func ReadCSVTolerant(r io.Reader, budget robust.Budget) (*Trace, *robust.IngestReport, error) {
 	var events []Event
 	rep, err := StreamCSVTolerant(r, budget, func(e Event) error {
 		events = append(events, e)
@@ -145,8 +200,33 @@ func ReadCSVTolerant(r io.Reader, budget robust.Budget) (*Trace, robust.IngestRe
 	return New(events), rep, nil
 }
 
+// IsCSVHeader reports whether line is the interchange format's header row,
+// so line-oriented sources can skip a header pasted into a live stream
+// (e.g. `netcat < trace.csv`).
+func IsCSVHeader(line string) bool {
+	return strings.TrimSuffix(line, "\r") == CSVHeaderLine
+}
+
+// ParseCSVLine parses one line of the CSV interchange format (no header,
+// no trailing newline) — the per-line entry point of the live stream
+// sources, which frame records themselves and cannot afford a csv.Reader
+// per connection. A trailing \r (CRLF framing) is tolerated.
+func ParseCSVLine(line string) (Event, error) {
+	line = strings.TrimSuffix(line, "\r")
+	fields := strings.Split(line, ",")
+	if len(fields) != len(csvHeader) {
+		return Event{}, fmt.Errorf("trace: %d fields, want %d", len(fields), len(csvHeader))
+	}
+	return parseCSVRecord(fields)
+}
+
 func parseCSVRecord(rec []string) (Event, error) {
 	var e Event
+	if len(rec) != len(csvHeader) {
+		// The csv.Reader enforces the field count against the header, but
+		// the line-protocol path and fuzzers reach here directly.
+		return e, fmt.Errorf("%d fields, want %d", len(rec), len(csvHeader))
+	}
 	ts, err := strconv.ParseInt(rec[0], 10, 64)
 	if err != nil {
 		return e, fmt.Errorf("bad ts %q", rec[0])

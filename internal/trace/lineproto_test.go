@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/darkvec/darkvec/internal/robust"
+)
+
+// TestStreamCSVFinalLineNoNewline is the tail-follow regression: a
+// complete final record without a trailing newline must parse in both
+// strict and tolerant mode.
+func TestStreamCSVFinalLineNoNewline(t *testing.T) {
+	in := csvHdrLine + "\n" +
+		"100,1.1.1.1,198.18.0.1,23,tcp,0\n" +
+		"200,2.2.2.2,198.18.0.2,445,tcp,1" // no \n
+	events, err := streamAll(t, in)
+	if err != nil {
+		t.Fatalf("strict scan: %v", err)
+	}
+	if len(events) != 2 || events[1].Ts != 200 || !events[1].Mirai {
+		t.Fatalf("events = %+v", events)
+	}
+	rep, err := StreamCSVTolerant(strings.NewReader(in), robust.Budget{}, func(Event) error { return nil })
+	if err != nil || rep.Read() != 2 || !rep.Clean() {
+		t.Fatalf("tolerant scan: rep=%s err=%v", rep, err)
+	}
+}
+
+// TestStreamCSVPartialFinalLine: a final line cut off mid-record (what a
+// tail-follow source or an interrupted copy delivers) is a truncation in
+// tolerant mode — the intact prefix is kept, nothing is charged against
+// the budget — while strict mode still rejects it.
+func TestStreamCSVPartialFinalLine(t *testing.T) {
+	in := csvHdrLine + "\n" +
+		"100,1.1.1.1,198.18.0.1,23,tcp,0\n" +
+		"200,2.2.2.2,198.18" // cut mid-record
+	if _, err := streamAll(t, in); err == nil {
+		t.Fatal("strict scan must reject a partial final line")
+	}
+	var events []Event
+	// A strict zero budget: the truncation must not count as a skip.
+	rep, err := StreamCSVTolerant(strings.NewReader(in), robust.Budget{}, func(e Event) error {
+		events = append(events, e)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("tolerant scan: %v", err)
+	}
+	if len(events) != 1 || events[0].Ts != 100 {
+		t.Fatalf("intact prefix = %+v", events)
+	}
+	if !rep.Truncated() || rep.Skipped() != 0 || rep.Read() != 1 {
+		t.Fatalf("rep = %s, want truncated with 1 read / 0 skipped", rep)
+	}
+}
+
+// TestStreamCSVGarbageThenPartialTail: mid-stream garbage still counts
+// against the budget even when the input also ends with a partial line.
+func TestStreamCSVGarbageThenPartialTail(t *testing.T) {
+	in := csvHdrLine + "\n" +
+		"100,1.1.1.1,198.18.0.1,23,tcp,0\n" +
+		"complete garbage\n" +
+		"300,3.3.3.3,198.18.0.3,80,tcp,0\n" +
+		"400,4.4.4.4,198" // cut
+	var events []Event
+	rep, err := StreamCSVTolerant(strings.NewReader(in), robust.Budget{MaxErrors: 5}, func(e Event) error {
+		events = append(events, e)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("tolerant scan: %v", err)
+	}
+	if len(events) != 2 || rep.Read() != 2 || rep.Skipped() != 1 || !rep.Truncated() {
+		t.Fatalf("rep = %s, events = %+v", rep, events)
+	}
+}
+
+func TestParseCSVLine(t *testing.T) {
+	e, err := ParseCSVLine("100,1.1.1.1,198.18.0.1,23,tcp,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Ts != 100 || e.Port != 23 || !e.Mirai {
+		t.Fatalf("event = %+v", e)
+	}
+	// CRLF framing.
+	if _, err := ParseCSVLine("100,1.1.1.1,198.18.0.1,23,tcp,1\r"); err != nil {
+		t.Fatalf("CRLF line rejected: %v", err)
+	}
+	for _, bad := range []string{
+		"", "100", "100,1.1.1.1,198.18.0.1,23,tcp", // short
+		"100,1.1.1.1,198.18.0.1,23,tcp,1,extra",      // long
+		"x,1.1.1.1,198.18.0.1,23,tcp,1",              // bad ts
+		"100,1.1.1,198.18.0.1,23,tcp,1",              // bad src
+		"100,1.1.1.1,198.18.0.1,70000,tcp,1",         // bad port
+		"100,1.1.1.1,198.18.0.1,23,gre,1",            // bad proto
+	} {
+		if _, err := ParseCSVLine(bad); err == nil {
+			t.Errorf("ParseCSVLine(%q) accepted", bad)
+		}
+	}
+}
+
+func TestEventAppendCSVMatchesWriteCSV(t *testing.T) {
+	tr := sampleTrace()
+	var lines []string
+	for _, e := range tr.Events {
+		lines = append(lines, string(e.AppendCSV(nil)))
+	}
+	got, err := ReadCSV(strings.NewReader(CSVHeaderLine + "\n" + strings.Join(lines, "\n") + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("round trip %d events, want %d", got.Len(), tr.Len())
+	}
+	for i := range tr.Events {
+		if got.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got.Events[i], tr.Events[i])
+		}
+	}
+}
+
+func TestIsCSVHeader(t *testing.T) {
+	if !IsCSVHeader(CSVHeaderLine) || !IsCSVHeader(CSVHeaderLine+"\r") {
+		t.Fatal("header line not recognised")
+	}
+	if IsCSVHeader("100,1.1.1.1,198.18.0.1,23,tcp,0") || IsCSVHeader("") {
+		t.Fatal("non-header recognised as header")
+	}
+}

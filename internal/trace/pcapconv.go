@@ -145,8 +145,8 @@ func ReadPCAP(r io.Reader) (*Trace, int, error) {
 // report's Truncated flag set instead of a hard failure. Only an unusable
 // global header, an exhausted budget or a fully undecodable capture
 // return an error.
-func ReadPCAPTolerant(r io.Reader, budget robust.Budget) (*Trace, robust.IngestReport, error) {
-	var rep robust.IngestReport
+func ReadPCAPTolerant(r io.Reader, budget robust.Budget) (*Trace, *robust.IngestReport, error) {
+	rep := &robust.IngestReport{}
 	pr, err := pcapio.NewReader(r)
 	if err != nil {
 		return nil, rep, err
@@ -176,7 +176,7 @@ func ReadPCAPTolerant(r io.Reader, budget robust.Budget) (*Trace, robust.IngestR
 			break
 		}
 		if err := parser.DecodeLayers(data, &decoded); err != nil {
-			if berr := rep.Skip(budget, fmt.Errorf("trace: packet %d: %w", rep.Read+rep.Skipped+1, err)); berr != nil {
+			if berr := rep.Skip(budget, fmt.Errorf("trace: packet %d: %w", rep.Read()+rep.Skipped()+1, err)); berr != nil {
 				return nil, rep, fmt.Errorf("trace: %w", berr)
 			}
 			continue
@@ -194,10 +194,10 @@ func ReadPCAPTolerant(r io.Reader, budget robust.Budget) (*Trace, robust.IngestR
 		case packet.IPProtocolUDP:
 			e.Port = parser.UDP.DstPort
 		}
-		rep.Read++
+		rep.Record()
 		events = append(events, e)
 	}
-	if len(events) == 0 && rep.Skipped > 0 {
+	if len(events) == 0 && rep.Skipped() > 0 {
 		return nil, rep, errors.New("trace: no decodable packets in capture")
 	}
 	return New(events), rep, nil

@@ -45,7 +45,7 @@ func TestStreamCSVHeaderOnly(t *testing.T) {
 			t.Fatalf("header-only produced %d events", len(events))
 		}
 		rep, err := StreamCSVTolerant(strings.NewReader(in), robust.DefaultBudget(), func(Event) error { return nil })
-		if err != nil || rep.Read != 0 || rep.Skipped != 0 {
+		if err != nil || rep.Read() != 0 || rep.Skipped() != 0 {
 			t.Fatalf("header-only budgeted: rep=%+v err=%v", rep, err)
 		}
 	}
@@ -63,7 +63,7 @@ func TestStreamCSVCRLF(t *testing.T) {
 		t.Fatalf("CRLF events = %+v", events)
 	}
 	rep, err := StreamCSVTolerant(strings.NewReader(in), robust.DefaultBudget(), func(Event) error { return nil })
-	if err != nil || rep.Read != 2 || rep.Skipped != 0 {
+	if err != nil || rep.Read() != 2 || rep.Skipped() != 0 {
 		t.Fatalf("CRLF budgeted: rep=%+v err=%v", rep, err)
 	}
 }
@@ -75,7 +75,7 @@ func TestStreamCSVTrailingBlankLine(t *testing.T) {
 		t.Fatalf("trailing blank strict: %d events, %v", len(events), err)
 	}
 	rep, err := StreamCSVTolerant(strings.NewReader(in), robust.Budget{}, func(Event) error { return nil })
-	if err != nil || rep.Read != 1 {
+	if err != nil || rep.Read() != 1 {
 		t.Fatalf("trailing blank budgeted: rep=%+v err=%v", rep, err)
 	}
 }
@@ -101,11 +101,11 @@ func TestStreamCSVMidFileGarbage(t *testing.T) {
 	if err != nil {
 		t.Fatalf("budgeted scan: %v", err)
 	}
-	if rep.Read != 2 || rep.Skipped != 2 {
+	if rep.Read() != 2 || rep.Skipped() != 2 {
 		t.Fatalf("rep = %+v, want 2 read / 2 skipped", rep)
 	}
-	if len(rep.Errors) != 2 {
-		t.Fatalf("sample errors = %v", rep.Errors)
+	if len(rep.Errors()) != 2 {
+		t.Fatalf("sample errors = %v", rep.Errors())
 	}
 	if len(events) != 2 || events[0].Ts != 100 || events[1].Ts != 300 {
 		t.Fatalf("events = %+v", events)
@@ -139,8 +139,8 @@ func TestReadCSVTolerantEqualsManualClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Skipped != 2 {
-		t.Fatalf("skipped = %d", rep.Skipped)
+	if rep.Skipped() != 2 {
+		t.Fatalf("skipped = %d", rep.Skipped())
 	}
 	want, err := ReadCSV(strings.NewReader(strings.Join(clean, "\n") + "\n"))
 	if err != nil {
@@ -171,14 +171,14 @@ func TestReadCSVTolerantCorruptedBytes(t *testing.T) {
 	if err != nil {
 		t.Fatalf("budgeted ingest of corrupted stream: %v (report %s)", err, rep.String())
 	}
-	if rep.Read == 0 {
+	if rep.Read() == 0 {
 		t.Fatal("nothing survived corruption")
 	}
-	if rep.Read+rep.Skipped < 150 {
-		t.Fatalf("accounting lost rows: read %d + skipped %d", rep.Read, rep.Skipped)
+	if rep.Read()+rep.Skipped() < 150 {
+		t.Fatalf("accounting lost rows: read %d + skipped %d", rep.Read(), rep.Skipped())
 	}
-	if got.Len() != int(rep.Read) {
-		t.Fatalf("trace len %d != read %d", got.Len(), rep.Read)
+	if got.Len() != int(rep.Read()) {
+		t.Fatalf("trace len %d != read %d", got.Len(), rep.Read())
 	}
 }
 
@@ -190,8 +190,8 @@ func TestStreamCSVStallingSource(t *testing.T) {
 	}
 	r := faultio.Stall(bytes.NewReader(buf.Bytes()), 32, time.Millisecond)
 	rep, err := StreamCSVTolerant(r, robust.Budget{}, func(Event) error { return nil })
-	if err != nil || int(rep.Read) != tr.Len() {
-		t.Fatalf("stalling source: read %d, %v", rep.Read, err)
+	if err != nil || int(rep.Read()) != tr.Len() {
+		t.Fatalf("stalling source: read %d, %v", rep.Read(), err)
 	}
 }
 
@@ -208,20 +208,20 @@ func TestReadPCAPTolerantTruncated(t *testing.T) {
 	if err != nil {
 		t.Fatalf("tolerant truncated ingest: %v", err)
 	}
-	if !rep.Truncated {
+	if !rep.Truncated() {
 		t.Fatal("report must flag the truncation")
 	}
 	found := false
-	for _, msg := range rep.Errors {
+	for _, msg := range rep.Errors() {
 		if strings.Contains(msg, "truncated") {
 			found = true
 		}
 	}
 	if !found {
-		t.Fatalf("truncation error missing from report: %v", rep.Errors)
+		t.Fatalf("truncation error missing from report: %v", rep.Errors())
 	}
-	if got.Len() != 10 || rep.Read != 10 {
-		t.Fatalf("intact prefix = %d events (read %d), want 10", got.Len(), rep.Read)
+	if got.Len() != 10 || rep.Read() != 10 {
+		t.Fatalf("intact prefix = %d events (read %d), want 10", got.Len(), rep.Read())
 	}
 	for i, e := range got.Events {
 		if e != tr.Events[i] {
@@ -250,8 +250,8 @@ func TestReadPCAPTolerantGarbagePackets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Skipped != 2 {
-		t.Fatalf("skipped = %d, want 2 garbage frames", rep.Skipped)
+	if rep.Skipped() != 2 {
+		t.Fatalf("skipped = %d, want 2 garbage frames", rep.Skipped())
 	}
 	if got.Len() != tr.Len() {
 		t.Fatalf("kept %d events, want %d", got.Len(), tr.Len())
