@@ -186,6 +186,74 @@ func BenchmarkKNNQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkKNNAll measures the batched engine computing every row's k
+// nearest neighbours over the eval space — the O(n²·V) substrate under the
+// classifier, the k'-NN graph and the silhouette sweep. rows/s is the
+// headline throughput BENCH_perf.json tracks.
+func BenchmarkKNNAll(b *testing.B) {
+	env := benchEnv(b)
+	emb, err := env.Embedding(core.ServiceDomain, benchOpts.Days)
+	if err != nil {
+		b.Fatal(err)
+	}
+	space, _ := emb.EvalSpace(env.Last, env.Active)
+	if space.Len() == 0 {
+		b.Fatal("empty space")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if nn := space.AllKNN(7); len(nn) != space.Len() {
+			b.Fatal("length mismatch")
+		}
+	}
+	b.ReportMetric(float64(space.Len())*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkClassifyLOO measures the full Leave-One-Out classification pass
+// (one labeled-neighbour-aware k-NN selection plus voting per word).
+func BenchmarkClassifyLOO(b *testing.B) {
+	env := benchEnv(b)
+	emb, err := env.Embedding(core.ServiceDomain, benchOpts.Days)
+	if err != nil {
+		b.Fatal(err)
+	}
+	space, _ := emb.EvalSpace(env.Last, env.Active)
+	var preds int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := core.Predictions(space, env.GT, 7)
+		if len(p) == 0 {
+			b.Fatal("no predictions")
+		}
+		preds = len(p)
+	}
+	b.ReportMetric(float64(preds)*float64(b.N)/b.Elapsed().Seconds(), "preds/s")
+}
+
+// BenchmarkSilhouetteParallel measures the row-parallel silhouette and
+// reports throughput in pairwise cells/s (the n² distance matrix the naive
+// algorithm would materialise), the unit BENCH_perf.json records.
+func BenchmarkSilhouetteParallel(b *testing.B) {
+	env := benchEnv(b)
+	emb, err := env.Embedding(core.ServiceDomain, benchOpts.Days)
+	if err != nil {
+		b.Fatal(err)
+	}
+	space, _ := emb.EvalSpace(env.Last, env.Active)
+	cl := core.Cluster(space, 3, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sil := darkvec.Silhouette(space, cl.Assign); len(sil) != space.Len() {
+			b.Fatal("length mismatch")
+		}
+	}
+	n := float64(space.Len())
+	b.ReportMetric(n*n*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
 // BenchmarkLouvain measures community detection on the k'-NN graph.
 func BenchmarkLouvain(b *testing.B) {
 	env := benchEnv(b)

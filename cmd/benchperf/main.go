@@ -1,0 +1,215 @@
+// Command benchperf measures the throughput of the pipeline's three
+// perf-critical substrates — Word2Vec training, the batched exact k-NN
+// engine, and the parallel silhouette — at a fixed operating point, and
+// writes the numbers to a JSON file (BENCH_perf.json) so runs can be
+// compared across commits and machines.
+//
+// For the substrates with a serial pin (k-NN, classification, silhouette)
+// both the MaxProcs=1 and the all-cores number are recorded, making the
+// parallel speedup visible directly in the report.
+//
+// Usage:
+//
+//	benchperf [-out BENCH_perf.json] [-iters 3] [-days 8] [-scale 0.02] ...
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/darkvec/darkvec/internal/cluster"
+	"github.com/darkvec/darkvec/internal/core"
+	"github.com/darkvec/darkvec/internal/corpus"
+	"github.com/darkvec/darkvec/internal/embed"
+	"github.com/darkvec/darkvec/internal/experiments"
+	"github.com/darkvec/darkvec/internal/services"
+	"github.com/darkvec/darkvec/internal/w2v"
+)
+
+// report is the BENCH_perf.json schema.
+type report struct {
+	GeneratedUnix int64   `json:"generated_unix"`
+	GoVersion     string  `json:"go_version"`
+	GOOS          string  `json:"goos"`
+	GOARCH        string  `json:"goarch"`
+	GoMaxProcs    int     `json:"go_max_procs"`
+	Iters         int     `json:"iters"`
+	Options       options `json:"options"`
+	Metrics       metrics `json:"metrics"`
+}
+
+type options struct {
+	Seed   uint64  `json:"seed"`
+	Days   int     `json:"days"`
+	Scale  float64 `json:"scale"`
+	Rate   float64 `json:"rate"`
+	Dim    int     `json:"dim"`
+	Window int     `json:"window"`
+	Epochs int     `json:"epochs"`
+	K      int     `json:"k"`
+}
+
+type metrics struct {
+	SpaceRows int `json:"space_rows"`
+
+	W2VPairsPerS float64 `json:"w2v_pairs_per_s"`
+
+	KNNRowsPerS       float64 `json:"knn_rows_per_s"`
+	KNNRowsPerSSerial float64 `json:"knn_rows_per_s_serial"`
+
+	ClassifyPredsPerS       float64 `json:"classify_preds_per_s"`
+	ClassifyPredsPerSSerial float64 `json:"classify_preds_per_s_serial"`
+
+	SilhouetteCellsPerS       float64 `json:"silhouette_cells_per_s"`
+	SilhouetteCellsPerSSerial float64 `json:"silhouette_cells_per_s_serial"`
+}
+
+func main() {
+	var (
+		out    = flag.String("out", "BENCH_perf.json", "output JSON path")
+		iters  = flag.Int("iters", 3, "timing iterations per substrate (best kept)")
+		days   = flag.Int("days", 8, "trace length in days")
+		scale  = flag.Float64("scale", 0.02, "population scale")
+		rate   = flag.Float64("rate", 0.05, "packet rate scale")
+		dim    = flag.Int("dim", 24, "embedding dimension V")
+		window = flag.Int("window", 10, "context window c")
+		epochs = flag.Int("epochs", 2, "training epochs")
+		k      = flag.Int("k", 7, "classifier neighbourhood size")
+		seed   = flag.Uint64("seed", 1, "run seed")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{
+		Seed: *seed, Days: *days, Scale: *scale, Rate: *rate,
+		Dim: *dim, Window: *window, Epochs: *epochs,
+	}
+	rep := report{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Iters:         *iters,
+		Options: options{
+			Seed: *seed, Days: *days, Scale: *scale, Rate: *rate,
+			Dim: *dim, Window: *window, Epochs: *epochs, K: *k,
+		},
+	}
+
+	start := time.Now()
+	fmt.Printf("generating dataset (days=%d scale=%g rate=%g seed=%d)...\n",
+		*days, *scale, *rate, *seed)
+	env := experiments.NewEnv(opts)
+	emb, err := env.Embedding(core.ServiceDomain, *days)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchperf:", err)
+		os.Exit(1)
+	}
+	space, _ := emb.EvalSpace(env.Last, env.Active)
+	rep.Metrics.SpaceRows = space.Len()
+	fmt.Printf("dataset ready in %s: eval space %d rows x dim %d\n\n",
+		time.Since(start).Round(time.Millisecond), space.Len(), space.Dim)
+
+	// Word2Vec training throughput.
+	def := services.NewDomain()
+	filtered := env.Full.FilterSenders(env.Full.ActiveSenders(10))
+	sentences := corpus.Build(filtered, def, corpus.DefaultDeltaT).Sentences()
+	cfg := w2v.Config{
+		Dim: *dim, Window: *window, Epochs: 1,
+		Workers: 1, Seed: *seed, ShrinkWindow: true, PadToken: "NULL",
+	}
+	rep.Metrics.W2VPairsPerS = best(*iters, func() (float64, error) {
+		t0 := time.Now()
+		m, err := w2v.Train(sentences, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return float64(m.Pairs) / time.Since(t0).Seconds(), nil
+	})
+	fmt.Printf("w2v train:      %12.0f pairs/s\n", rep.Metrics.W2VPairsPerS)
+
+	// Batched k-NN engine, serial pin then all cores.
+	knnRate := func(s *embed.Space) (float64, error) {
+		t0 := time.Now()
+		if nn := s.AllKNN(*k); len(nn) != s.Len() {
+			return 0, fmt.Errorf("AllKNN length mismatch")
+		}
+		return float64(s.Len()) / time.Since(t0).Seconds(), nil
+	}
+	space.MaxProcs = 1
+	rep.Metrics.KNNRowsPerSSerial = best(*iters, func() (float64, error) { return knnRate(space) })
+	space.MaxProcs = 0
+	rep.Metrics.KNNRowsPerS = best(*iters, func() (float64, error) { return knnRate(space) })
+	fmt.Printf("knn all:        %12.0f rows/s   (serial %0.f, x%.2f)\n",
+		rep.Metrics.KNNRowsPerS, rep.Metrics.KNNRowsPerSSerial,
+		rep.Metrics.KNNRowsPerS/rep.Metrics.KNNRowsPerSSerial)
+
+	// Leave-One-Out classification.
+	classifyRate := func() (float64, error) {
+		t0 := time.Now()
+		preds := core.Predictions(space, env.GT, *k)
+		if len(preds) == 0 {
+			return 0, fmt.Errorf("no predictions")
+		}
+		return float64(len(preds)) / time.Since(t0).Seconds(), nil
+	}
+	space.MaxProcs = 1
+	rep.Metrics.ClassifyPredsPerSSerial = best(*iters, classifyRate)
+	space.MaxProcs = 0
+	rep.Metrics.ClassifyPredsPerS = best(*iters, classifyRate)
+	fmt.Printf("classify LOO:   %12.0f preds/s  (serial %0.f, x%.2f)\n",
+		rep.Metrics.ClassifyPredsPerS, rep.Metrics.ClassifyPredsPerSSerial,
+		rep.Metrics.ClassifyPredsPerS/rep.Metrics.ClassifyPredsPerSSerial)
+
+	// Silhouette; throughput counted in pairwise cells (the n² matrix the
+	// naive algorithm would materialise).
+	assign := core.Cluster(space, 3, *seed).Assign
+	cells := float64(space.Len()) * float64(space.Len())
+	silRate := func() (float64, error) {
+		t0 := time.Now()
+		if sil := cluster.Silhouette(space, assign); len(sil) != space.Len() {
+			return 0, fmt.Errorf("silhouette length mismatch")
+		}
+		return cells / time.Since(t0).Seconds(), nil
+	}
+	space.MaxProcs = 1
+	rep.Metrics.SilhouetteCellsPerSSerial = best(*iters, silRate)
+	space.MaxProcs = 0
+	rep.Metrics.SilhouetteCellsPerS = best(*iters, silRate)
+	fmt.Printf("silhouette:     %12.0f cells/s  (serial %0.f, x%.2f)\n",
+		rep.Metrics.SilhouetteCellsPerS, rep.Metrics.SilhouetteCellsPerSSerial,
+		rep.Metrics.SilhouetteCellsPerS/rep.Metrics.SilhouetteCellsPerSSerial)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchperf:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchperf:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s (total %s)\n", *out, time.Since(start).Round(time.Millisecond))
+}
+
+// best runs fn iters times and keeps the highest throughput — the standard
+// best-of-N discipline that filters scheduler noise out of rate measurements.
+func best(iters int, fn func() (float64, error)) float64 {
+	var top float64
+	for i := 0; i < iters; i++ {
+		rate, err := fn()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchperf:", err)
+			os.Exit(1)
+		}
+		if rate > top {
+			top = rate
+		}
+	}
+	return top
+}

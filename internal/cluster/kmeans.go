@@ -5,6 +5,7 @@ import (
 
 	"github.com/darkvec/darkvec/internal/embed"
 	"github.com/darkvec/darkvec/internal/netutil"
+	"github.com/darkvec/darkvec/internal/vecmath"
 )
 
 // KMeans runs spherical k-means (cosine similarity on unit vectors) with
@@ -63,21 +64,33 @@ func KMeans(s *embed.Space, k, maxIter int, seed uint64) ([]int, int) {
 	}
 
 	assign := make([]int, n)
+	changes := make([]int, n) // per-row change flag, summed after the fan-out
 	iter := 0
 	for ; iter < maxIter; iter++ {
-		changed := 0
-		for i := 0; i < n; i++ {
-			best, bestSim := 0, math.Inf(-1)
-			for c := 0; c < k; c++ {
-				sim := dotRow(s, i, centroids[c*dim:(c+1)*dim])
-				if sim > bestSim {
-					best, bestSim = c, sim
+		// The assignment step is the O(n·k·V) bulk of an iteration and each
+		// row is independent, so it fans out across Parallelism() workers;
+		// assignments (and therefore iterations) are identical for any
+		// worker count. Centroid recomputation stays serial to keep the
+		// floating-point accumulation order fixed.
+		parallelRows(s.Parallelism(), n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				best, bestSim := 0, math.Inf(-1)
+				for c := 0; c < k; c++ {
+					sim := dotRow(s, i, centroids[c*dim:(c+1)*dim])
+					if sim > bestSim {
+						best, bestSim = c, sim
+					}
+				}
+				changes[i] = 0
+				if assign[i] != best {
+					assign[i] = best
+					changes[i] = 1
 				}
 			}
-			if assign[i] != best {
-				assign[i] = best
-				changed++
-			}
+		})
+		changed := 0
+		for _, c := range changes {
+			changed += c
 		}
 		if changed == 0 && iter > 0 {
 			break
@@ -117,10 +130,5 @@ func KMeans(s *embed.Space, k, maxIter int, seed uint64) ([]int, int) {
 }
 
 func dotRow(s *embed.Space, row int, centroid []float64) float64 {
-	r := s.Row(row)
-	var dot float64
-	for d := range centroid {
-		dot += float64(r[d]) * centroid[d]
-	}
-	return dot
+	return vecmath.Dot64(s.Row(row), centroid)
 }

@@ -8,8 +8,10 @@ package cluster
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"github.com/darkvec/darkvec/internal/embed"
+	"github.com/darkvec/darkvec/internal/vecmath"
 )
 
 // Silhouette computes the per-point silhouette coefficient of assignment
@@ -42,39 +44,85 @@ func Silhouette(s *embed.Space, assign []int) []float64 {
 		sizes[c]++
 	}
 	out := make([]float64, n)
-	for i := 0; i < n; i++ {
-		own := assign[i]
-		if sizes[own] <= 1 {
-			out[i] = 0
-			continue
-		}
-		row := s.Row(i)
-		var a, b float64
-		b = math.Inf(1)
-		for c := 0; c < k; c++ {
-			if sizes[c] == 0 {
+	// Per-point scores are independent, so the row loop fans out across the
+	// space's Parallelism() workers; each element is written exactly once,
+	// and the result is identical for any worker count.
+	parallelRows(s.Parallelism(), n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			own := assign[i]
+			if sizes[own] <= 1 {
+				out[i] = 0
 				continue
 			}
-			var dot float64
-			for d := 0; d < dim; d++ {
-				dot += float64(row[d]) * sums[c*dim+d]
-			}
-			if c == own {
-				// Exclude the point itself from its own-cluster mean.
-				a = 1 - (dot-1)/float64(sizes[c]-1)
-			} else {
-				d := 1 - dot/float64(sizes[c])
-				if d < b {
-					b = d
+			row := s.Row(i)
+			var a, b float64
+			b = math.Inf(1)
+			for c := 0; c < k; c++ {
+				if sizes[c] == 0 {
+					continue
+				}
+				dot := vecmath.Dot64(row, sums[c*dim:])
+				if c == own {
+					// Exclude the point itself from its own-cluster mean. A
+					// cluster of near-identical points can make the reduced
+					// mean distance fractionally negative through rounding,
+					// which would push the coefficient outside [-1, 1]; a
+					// mean cosine distance is never negative on unit rows,
+					// so clamp.
+					a = 1 - (dot-1)/float64(sizes[c]-1)
+					if a < 0 {
+						a = 0
+					}
+				} else {
+					d := 1 - dot/float64(sizes[c])
+					if d < 0 {
+						d = 0
+					}
+					if d < b {
+						b = d
+					}
 				}
 			}
+			if math.IsInf(b, 1) {
+				// No other non-empty cluster: the inter-cluster distance is
+				// undefined, so score 0 (the same convention as singleton
+				// clusters) instead of propagating Inf/Inf = NaN.
+				out[i] = 0
+				continue
+			}
+			den := math.Max(a, b)
+			if den > 0 {
+				out[i] = (b - a) / den
+			}
 		}
-		den := math.Max(a, b)
-		if den > 0 {
-			out[i] = (b - a) / den
-		}
-	}
+	})
 	return out
+}
+
+// parallelRows splits [0, n) into contiguous chunks, one per worker, and
+// runs fn on each concurrently. workers <= 1 (or tiny n) runs inline.
+func parallelRows(workers, n int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // ClusterSilhouettes averages per-point silhouettes by cluster and returns

@@ -1,17 +1,17 @@
 // Package embed wraps a trained embedding in the query structure the
 // DarkVec analyses need: an L2-normalised matrix keyed by word, cosine
 // similarity, and exact top-k nearest-neighbour search (the paper's
-// classifier and clustering both use exact cosine k-NN).
+// classifier and clustering both use exact cosine k-NN). The search engine
+// lives in knnbatch.go: blocked scans over the row-major matrix through the
+// vecmath kernels, fanned out across workers for batch queries.
 package embed
 
 import (
-	"container/heap"
 	"errors"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
+	"github.com/darkvec/darkvec/internal/vecmath"
 	"github.com/darkvec/darkvec/internal/w2v"
 )
 
@@ -22,6 +22,13 @@ type Space struct {
 	Dim   int
 	rows  []float32 // len(Words) x Dim, each row L2-normalised
 	index map[string]int
+
+	// MaxProcs caps the worker fan-out of the batched k-NN engine and of
+	// the row-parallel consumers that honour Parallelism() (the LOO
+	// classifier, silhouette, k-means). 0 means GOMAXPROCS; 1 pins the
+	// serial path, which reproducibility tests use to check that parallel
+	// output is byte-identical.
+	MaxProcs int
 }
 
 // FromModel builds a Space from a trained model, keeping only words in keep
@@ -82,17 +89,11 @@ func New(words []string, vectors [][]float32) (*Space, error) {
 }
 
 func normalize(v []float32) {
-	var ss float64
-	for _, x := range v {
-		ss += float64(x) * float64(x)
-	}
+	ss := vecmath.SquaredNorm64(v)
 	if ss == 0 {
 		return
 	}
-	inv := float32(1 / math.Sqrt(ss))
-	for i := range v {
-		v[i] *= inv
-	}
+	vecmath.Scale(float32(1/math.Sqrt(ss)), v)
 }
 
 // Len returns the number of words.
@@ -109,33 +110,13 @@ func (s *Space) Row(i int) []float32 { return s.rows[i*s.Dim : (i+1)*s.Dim] }
 
 // Cosine returns the cosine similarity between rows i and j.
 func (s *Space) Cosine(i, j int) float64 {
-	a, b := s.Row(i), s.Row(j)
-	var dot float32
-	for k := range a {
-		dot += a[k] * b[k]
-	}
-	return float64(dot)
+	return float64(vecmath.Dot(s.Row(i), s.Row(j)))
 }
 
 // Neighbor is one nearest-neighbour hit.
 type Neighbor struct {
 	Row int
 	Sim float64
-}
-
-// neighborHeap is a min-heap on similarity, holding the current best k.
-type neighborHeap []Neighbor
-
-func (h neighborHeap) Len() int            { return len(h) }
-func (h neighborHeap) Less(i, j int) bool  { return h[i].Sim < h[j].Sim }
-func (h neighborHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *neighborHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
-func (h *neighborHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
 }
 
 // KNN returns the k rows most cosine-similar to row i, excluding i itself,
@@ -145,71 +126,10 @@ func (s *Space) KNN(i, k int) []Neighbor {
 	if k <= 0 || s.Len() <= 1 {
 		return nil
 	}
-	q := s.Row(i)
-	h := make(neighborHeap, 0, k+1)
-	dim := s.Dim
-	for j := 0; j < s.Len(); j++ {
-		if j == i {
-			continue
-		}
-		row := s.rows[j*dim : (j+1)*dim]
-		var dot float32
-		for t := 0; t < dim; t++ {
-			dot += q[t] * row[t]
-		}
-		sim := float64(dot)
-		if len(h) < k {
-			heap.Push(&h, Neighbor{Row: j, Sim: sim})
-		} else if sim > h[0].Sim {
-			h[0] = Neighbor{Row: j, Sim: sim}
-			heap.Fix(&h, 0)
-		}
-	}
-	out := make([]Neighbor, len(h))
-	copy(out, h)
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Sim != out[b].Sim {
-			return out[a].Sim > out[b].Sim
-		}
-		return out[a].Row < out[b].Row
-	})
-	return out
-}
-
-// AllKNN computes KNN for every row. With rows ~ tens of thousands this is
-// the dominant O(n²·V) cost of the unsupervised stage, so it streams rows
-// without allocating the full similarity matrix.
-func (s *Space) AllKNN(k int) [][]Neighbor {
-	return s.AllKNNParallel(k, 1)
-}
-
-// AllKNNParallel is AllKNN sharded over workers goroutines (workers <= 0
-// uses GOMAXPROCS). Row results are independent, so the output is identical
-// to the sequential version regardless of worker count.
-func (s *Space) AllKNNParallel(k, workers int) [][]Neighbor {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	n := s.Len()
-	out := make([][]Neighbor, n)
-	if workers == 1 || n < 2*workers {
-		for i := range out {
-			out[i] = s.KNN(i, k)
-		}
-		return out
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(start int) {
-			defer wg.Done()
-			for i := start; i < n; i += workers {
-				out[i] = s.KNN(i, k)
-			}
-		}(w)
-	}
-	wg.Wait()
-	return out
+	sc := getScratch(s.Len())
+	nn := s.knnScan(s.Row(i), i, k, sc)
+	putScratch(sc)
+	return nn
 }
 
 // Similar is a nearest-neighbour hit resolved to its word.
@@ -250,39 +170,24 @@ func (s *Space) Analogy(a, b, c string, k int) ([]Similar, bool) {
 	}
 	q := make([]float32, s.Dim)
 	ra, rb, rc := s.Row(ia), s.Row(ib), s.Row(ic)
-	var ss float64
 	for d := 0; d < s.Dim; d++ {
 		q[d] = rb[d] - ra[d] + rc[d]
-		ss += float64(q[d]) * float64(q[d])
 	}
-	if ss > 0 {
-		inv := float32(1 / math.Sqrt(ss))
-		for d := range q {
-			q[d] *= inv
-		}
-	}
-	exclude := map[int]bool{ia: true, ib: true, ic: true}
-	h := make(neighborHeap, 0, k+1)
-	for j := 0; j < s.Len(); j++ {
-		if exclude[j] {
+	normalize(q)
+	// Over-select by the three excluded inputs, then drop them: removing at
+	// most three rows from the top-(k+3) leaves the exact top-k of the rest.
+	sc := getScratch(s.Len())
+	nn := s.knnScan(q, -1, k+3, sc)
+	putScratch(sc)
+	out := make([]Similar, 0, k)
+	for _, n := range nn {
+		if n.Row == ia || n.Row == ib || n.Row == ic {
 			continue
 		}
-		row := s.Row(j)
-		var dot float32
-		for d := 0; d < s.Dim; d++ {
-			dot += q[d] * row[d]
+		out = append(out, Similar{Word: s.Words[n.Row], Sim: n.Sim})
+		if len(out) == k {
+			break
 		}
-		sim := float64(dot)
-		if len(h) < k {
-			heap.Push(&h, Neighbor{Row: j, Sim: sim})
-		} else if sim > h[0].Sim {
-			h[0] = Neighbor{Row: j, Sim: sim}
-			heap.Fix(&h, 0)
-		}
-	}
-	out := make([]Similar, len(h))
-	for j, n := range h {
-		out[j] = Similar{Word: s.Words[n.Row], Sim: n.Sim}
 	}
 	sort.Slice(out, func(x, y int) bool {
 		if out[x].Sim != out[y].Sim {

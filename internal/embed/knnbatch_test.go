@@ -1,0 +1,173 @@
+package embed
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/darkvec/darkvec/internal/netutil"
+)
+
+// tieSpace builds a space engineered to stress the deterministic tie-break:
+// groups of byte-identical vectors (exact cosine ties against every query)
+// mixed with random rows. With duplicates, the top-k frontier almost always
+// cuts through a tied group, so any ordering instability between the serial
+// and parallel paths shows up immediately.
+func tieSpace(t testing.TB, n, dim int, seed uint64) *Space {
+	t.Helper()
+	r := netutil.NewRand(seed)
+	words := make([]string, n)
+	vecs := make([][]float32, n)
+	for i := range vecs {
+		words[i] = fmt.Sprintf("w%03d", i)
+		v := make([]float32, dim)
+		if i%3 != 0 && i > 0 {
+			// Two of every three rows duplicate the previous row.
+			copy(v, vecs[i-1])
+		} else {
+			for d := range v {
+				v[d] = float32(r.NormFloat64())
+			}
+		}
+		vecs[i] = v
+	}
+	s, err := New(words, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func neighborsEqual(t *testing.T, what string, a, b [][]Neighbor) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: length %d vs %d", what, len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("%s row %d: %d vs %d neighbours", what, i, len(a[i]), len(b[i]))
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("%s row %d neighbour %d: %+v vs %+v", what, i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+}
+
+// TestKNNBatchSerialParallelIdentical asserts the engine's determinism
+// contract on a tie-heavy space: for every worker count, KNNBatch, AllKNN
+// and KNNSubset return byte-identical results to the MaxProcs=1 serial pin.
+func TestKNNBatchSerialParallelIdentical(t *testing.T) {
+	s := tieSpace(t, 90, 6, 77)
+	rows := make([]int, s.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	for _, k := range []int{1, 3, 7} {
+		s.MaxProcs = 1
+		serialBatch := s.KNNBatch(rows, k)
+		serialAll := s.AllKNN(k)
+		serialSub := s.KNNSubset(rows[:40], rows[20:], k)
+		for _, workers := range []int{2, 3, 8} {
+			s.MaxProcs = workers
+			neighborsEqual(t, fmt.Sprintf("KNNBatch k=%d workers=%d", k, workers),
+				serialBatch, s.KNNBatch(rows, k))
+			neighborsEqual(t, fmt.Sprintf("AllKNN k=%d workers=%d", k, workers),
+				serialAll, s.AllKNN(k))
+			neighborsEqual(t, fmt.Sprintf("KNNSubset k=%d workers=%d", k, workers),
+				serialSub, s.KNNSubset(rows[:40], rows[20:], k))
+		}
+		s.MaxProcs = 0
+	}
+}
+
+// TestKNNBatchMatchesKNN pins KNNBatch to the per-row KNN path: batching is
+// an execution strategy, not a semantic change.
+func TestKNNBatchMatchesKNN(t *testing.T) {
+	s := tieSpace(t, 50, 4, 11)
+	rows := []int{0, 7, 13, 49}
+	batch := s.KNNBatch(rows, 5)
+	for i, r := range rows {
+		single := s.KNN(r, 5)
+		if len(single) != len(batch[i]) {
+			t.Fatalf("row %d: %d vs %d neighbours", r, len(single), len(batch[i]))
+		}
+		for j := range single {
+			if single[j] != batch[i][j] {
+				t.Fatalf("row %d neighbour %d: %+v vs %+v", r, j, single[j], batch[i][j])
+			}
+		}
+	}
+}
+
+// TestKNNTieBreakOrder asserts the total order directly: among exactly tied
+// candidates, the lower row index always wins, and output is sorted by
+// similarity descending then row ascending.
+func TestKNNTieBreakOrder(t *testing.T) {
+	// Five identical rows plus one distant query row.
+	words := []string{"q", "t1", "t2", "t3", "t4", "t5"}
+	vecs := [][]float32{
+		{1, 0.2}, {0.5, 1}, {0.5, 1}, {0.5, 1}, {0.5, 1}, {0.5, 1},
+	}
+	s, err := New(words, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn := s.KNN(0, 3)
+	if len(nn) != 3 {
+		t.Fatalf("got %d neighbours", len(nn))
+	}
+	for j, want := range []int{1, 2, 3} {
+		if nn[j].Row != want {
+			t.Fatalf("tied neighbour %d: row %d, want %d (lowest rows win)", j, nn[j].Row, want)
+		}
+	}
+	for j := 1; j < len(nn); j++ {
+		if nn[j-1].Sim < nn[j].Sim ||
+			(nn[j-1].Sim == nn[j].Sim && nn[j-1].Row > nn[j].Row) {
+			t.Fatalf("order violated at %d: %+v before %+v", j, nn[j-1], nn[j])
+		}
+	}
+}
+
+// TestKNNSubsetExcludesQueryOnly verifies LOO semantics: the query row never
+// appears in its own result even when it is in the candidate set, while
+// other duplicates of it do.
+func TestKNNSubsetExcludesQueryOnly(t *testing.T) {
+	words := []string{"a", "b", "c"}
+	vecs := [][]float32{{1, 0}, {1, 0}, {0, 1}}
+	s, err := New(words, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.KNNSubset([]int{0}, []int{0, 1, 2}, 3)
+	if len(res[0]) != 2 {
+		t.Fatalf("got %d neighbours, want 2", len(res[0]))
+	}
+	if res[0][0].Row != 1 || res[0][1].Row != 2 {
+		t.Fatalf("neighbours = %+v", res[0])
+	}
+}
+
+// TestKNNBatchEdgeCases covers empty input, k<=0 and oversized k.
+func TestKNNBatchEdgeCases(t *testing.T) {
+	s := tieSpace(t, 10, 3, 5)
+	if out := s.KNNBatch(nil, 3); len(out) != 0 {
+		t.Fatalf("empty rows: %v", out)
+	}
+	out := s.KNNBatch([]int{0, 1}, 0)
+	if out[0] != nil || out[1] != nil {
+		t.Fatalf("k=0: %v", out)
+	}
+	// k larger than the space returns everything but self.
+	out = s.KNNBatch([]int{4}, 99)
+	if len(out[0]) != s.Len()-1 {
+		t.Fatalf("oversized k returned %d of %d", len(out[0]), s.Len()-1)
+	}
+	var called bool
+	s.KNNSubsetEach(nil, []int{1}, 3, func(int, []Neighbor) { called = true })
+	s.KNNSubsetEach([]int{0}, nil, 3, func(int, []Neighbor) { called = true })
+	if called {
+		t.Fatal("degenerate KNNSubsetEach must not invoke fn")
+	}
+}

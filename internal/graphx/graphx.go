@@ -90,11 +90,13 @@ func (g *Graph) Undirected() *Graph {
 // has a directed edge to each of its kPrime nearest neighbours, weighted by
 // cosine similarity. Negative cosines are clamped to a tiny positive weight
 // so the edge survives (the neighbour relation is what matters) without
-// breaking modularity.
+// breaking modularity. The neighbour lists come from one batched AllKNN
+// pass, so the search fans out across the space's Parallelism() workers;
+// the resulting graph is identical for any worker count.
 func KNNGraph(s *embed.Space, kPrime int) *Graph {
 	g := New(s.Len())
-	for i := 0; i < s.Len(); i++ {
-		for _, n := range s.KNN(i, kPrime) {
+	for i, nn := range s.AllKNN(kPrime) {
+		for _, n := range nn {
 			w := n.Sim
 			if w <= 0 {
 				w = 1e-9

@@ -2,10 +2,18 @@
 // k-nearest-neighbour classifier over an embedding space with cosine
 // similarity, majority voting, and the Leave-One-Out evaluation protocol the
 // paper uses for Tables 3, 4 and 6 and Figures 6–8.
+//
+// Classification rides the embed package's batched k-NN engine: one
+// labeled-neighbour-aware selection pass over the space (top-k labeled
+// neighbours selected directly, no rescan-and-filter), with per-row LOO
+// voting fanned out across the space's Parallelism() workers. Setting
+// Space.MaxProcs = 1 pins the serial path; parallel output is
+// byte-identical to it.
 package knn
 
 import (
 	"sort"
+	"sync"
 
 	"github.com/darkvec/darkvec/internal/embed"
 	"github.com/darkvec/darkvec/internal/metrics"
@@ -20,45 +28,41 @@ type Prediction struct {
 	Support int     // votes received by the winning class
 }
 
-// Classify predicts the class of every labeled word by majority vote over
-// its k nearest neighbours in the space, Leave-One-Out style: the word
-// itself never votes. labels maps word → class for every word that has a
-// label (including the catch-all Unknown class, which votes like any other).
-// Words present in the space but absent from labels do not vote and are not
-// classified.
-func Classify(s *embed.Space, labels map[string]string, k int) []Prediction {
-	// Row → label lookup aligned with the space.
+// labelRows resolves labels against the space: the per-row label slice
+// ("" for unlabeled) and the ascending list of labeled row indices.
+func labelRows(s *embed.Space, labels map[string]string) ([]string, []int) {
 	rowLabel := make([]string, s.Len())
+	labeled := make([]int, 0, s.Len())
 	for i, w := range s.Words {
-		rowLabel[i] = labels[w] // "" for unlabeled
-	}
-	var out []Prediction
-	for i, w := range s.Words {
-		truth := rowLabel[i]
-		if truth == "" {
-			continue
+		if l := labels[w]; l != "" {
+			rowLabel[i] = l
+			labeled = append(labeled, i)
 		}
-		// Fetch extra neighbours so unlabeled rows can be skipped while
-		// still collecting k votes.
-		votes := make([]embed.Neighbor, 0, k)
-		for fetch := k; ; fetch *= 2 {
-			nn := s.KNN(i, fetch)
-			votes = votes[:0]
-			for _, n := range nn {
-				if rowLabel[n.Row] != "" {
-					votes = append(votes, n)
-					if len(votes) == k {
-						break
-					}
-				}
-			}
-			if len(votes) == k || len(nn) >= s.Len()-1 || fetch > 4*k+16 {
-				break
-			}
-		}
-		out = append(out, vote(w, truth, votes, rowLabel))
 	}
-	return out
+	return rowLabel, labeled
+}
+
+// Classify predicts the class of every labeled word by majority vote over
+// its k nearest labeled neighbours in the space, Leave-One-Out style: the
+// word itself never votes. labels maps word → class for every word that has
+// a label (including the catch-all Unknown class, which votes like any
+// other). Words present in the space but absent from labels do not vote and
+// are not classified.
+func Classify(s *embed.Space, labels map[string]string, k int) []Prediction {
+	rowLabel, labeled := labelRows(s, labels)
+	if len(labeled) == 0 || k <= 0 {
+		return nil
+	}
+	preds := make([]Prediction, len(labeled))
+	// KNNSubsetEach never invokes fn twice for the same qi, and each call
+	// only writes preds[qi], so the concurrent voting is race-free. Tally
+	// scratch is pooled because the callback has no worker identity.
+	s.KNNSubsetEach(labeled, labeled, k, func(qi int, nn []embed.Neighbor) {
+		t := tallyPool.Get().(*tally)
+		preds[qi] = vote(s.Words[labeled[qi]], rowLabel[labeled[qi]], nn, rowLabel, t)
+		tallyPool.Put(t)
+	})
+	return preds
 }
 
 // ClassifyOne predicts the class of a single word by majority vote over its
@@ -70,50 +74,60 @@ func ClassifyOne(s *embed.Space, labels map[string]string, word string, k int) (
 	if !ok {
 		return Prediction{}, false
 	}
-	rowLabel := make([]string, s.Len())
-	for r, w := range s.Words {
-		rowLabel[r] = labels[w]
-	}
-	votes := make([]embed.Neighbor, 0, k)
-	for fetch := k; ; fetch *= 2 {
-		nn := s.KNN(i, fetch)
-		votes = votes[:0]
-		for _, n := range nn {
-			if rowLabel[n.Row] != "" {
-				votes = append(votes, n)
-				if len(votes) == k {
-					break
-				}
-			}
+	rowLabel, labeled := labelRows(s, labels)
+	var t tally
+	p := vote(word, labels[word], nil, rowLabel, &t)
+	s.KNNSubsetEach([]int{i}, labeled, k, func(_ int, nn []embed.Neighbor) {
+		p = vote(word, labels[word], nn, rowLabel, &t)
+	})
+	return p, true
+}
+
+// tally is the reusable slice-based vote accumulator: distinct classes in a
+// vote set are bounded by k, so linear scans over parallel slices beat the
+// two map allocations per prediction the old implementation paid.
+type tally struct {
+	classes []string
+	counts  []int
+	sims    []float64
+}
+
+var tallyPool = sync.Pool{New: func() interface{} { return new(tally) }}
+
+func (t *tally) reset() {
+	t.classes = t.classes[:0]
+	t.counts = t.counts[:0]
+	t.sims = t.sims[:0]
+}
+
+func (t *tally) add(class string, sim float64) {
+	for i, c := range t.classes {
+		if c == class {
+			t.counts[i]++
+			t.sims[i] += sim
+			return
 		}
-		if len(votes) == k || len(nn) >= s.Len()-1 || fetch > 4*k+16 {
-			break
-		}
 	}
-	return vote(word, labels[word], votes, rowLabel), true
+	t.classes = append(t.classes, class)
+	t.counts = append(t.counts, 1)
+	t.sims = append(t.sims, sim)
 }
 
 // vote tallies neighbour labels: majority count wins, ties break toward the
 // class with the larger summed similarity, then lexicographically.
-func vote(word, truth string, votes []embed.Neighbor, rowLabel []string) Prediction {
-	counts := map[string]int{}
-	sims := map[string]float64{}
+func vote(word, truth string, votes []embed.Neighbor, rowLabel []string, t *tally) Prediction {
+	t.reset()
 	var total float64
 	for _, v := range votes {
-		l := rowLabel[v.Row]
-		counts[l]++
-		sims[l] += v.Sim
+		t.add(rowLabel[v.Row], v.Sim)
 		total += v.Sim
 	}
 	best, bestN, bestSim := "", -1, 0.0
-	classes := make([]string, 0, len(counts))
-	for c := range counts {
-		classes = append(classes, c)
-	}
-	sort.Strings(classes)
-	for _, c := range classes {
-		if counts[c] > bestN || (counts[c] == bestN && sims[c] > bestSim) {
-			best, bestN, bestSim = c, counts[c], sims[c]
+	for i, c := range t.classes {
+		n, sim := t.counts[i], t.sims[i]
+		if n > bestN || (n == bestN && sim > bestSim) ||
+			(n == bestN && sim == bestSim && c < best) {
+			best, bestN, bestSim = c, n, sim
 		}
 	}
 	p := Prediction{Word: word, Truth: truth, Label: best, Support: bestN}

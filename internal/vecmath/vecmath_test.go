@@ -1,0 +1,153 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+
+	"github.com/darkvec/darkvec/internal/netutil"
+)
+
+// tolerance for kernel-vs-reference drift: the unrolled kernels reassociate
+// the sum, so allow a few ULPs scaled by the magnitude of the terms.
+func close32(a, b, scale float32) bool {
+	if a == b {
+		return true
+	}
+	eps := float64(scale) * 1e-5
+	if eps < 1e-6 {
+		eps = 1e-6
+	}
+	return math.Abs(float64(a)-float64(b)) <= eps
+}
+
+func close64(a, b, scale float64) bool {
+	if a == b {
+		return true
+	}
+	eps := scale * 1e-12
+	if eps < 1e-12 {
+		eps = 1e-12
+	}
+	return math.Abs(a-b) <= eps
+}
+
+// randVec fills dim floats in [-1, 1).
+func randVec(r *netutil.Rand, dim int) []float32 {
+	v := make([]float32, dim)
+	for i := range v {
+		v[i] = float32(2*r.Float64() - 1)
+	}
+	return v
+}
+
+// TestKernelsMatchReference sweeps every dimension 1..67 — crossing all the
+// unroll boundaries (4, 8, and the scalar tail in every phase) — with many
+// random vectors per dimension.
+func TestKernelsMatchReference(t *testing.T) {
+	r := netutil.NewRand(42)
+	for dim := 1; dim <= 67; dim++ {
+		for trial := 0; trial < 20; trial++ {
+			a, b := randVec(r, dim), randVec(r, dim)
+			alpha := float32(2*r.Float64() - 1)
+
+			// Magnitude scale for the tolerance: sum of |a_i*b_i|.
+			var mag float32
+			for i := range a {
+				mag += float32(math.Abs(float64(a[i] * b[i])))
+			}
+
+			if got, want := Dot(a, b), RefDot(a, b); !close32(got, want, mag) {
+				t.Fatalf("dim %d: Dot = %v, ref = %v", dim, got, want)
+			}
+			if got, want := SquaredNorm(a), RefSquaredNorm(a); !close32(got, want, float32(dim)) {
+				t.Fatalf("dim %d: SquaredNorm = %v, ref = %v", dim, got, want)
+			}
+			if got, want := SquaredNorm64(a), RefSquaredNorm64(a); !close64(got, want, float64(dim)) {
+				t.Fatalf("dim %d: SquaredNorm64 = %v, ref = %v", dim, got, want)
+			}
+
+			b64 := make([]float64, dim)
+			for i := range b64 {
+				b64[i] = 2*r.Float64() - 1
+			}
+			if got, want := Dot64(a, b64), RefDot64(a, b64); !close64(got, want, float64(mag)+1) {
+				t.Fatalf("dim %d: Dot64 = %v, ref = %v", dim, got, want)
+			}
+
+			// Axpy and Scale are element-wise: results must be bit-identical
+			// to the reference, not just close.
+			y1 := append([]float32(nil), b...)
+			y2 := append([]float32(nil), b...)
+			Axpy(alpha, a, y1)
+			RefAxpy(alpha, a, y2)
+			for i := range y1 {
+				if y1[i] != y2[i] {
+					t.Fatalf("dim %d: Axpy[%d] = %v, ref = %v", dim, i, y1[i], y2[i])
+				}
+			}
+			x1 := append([]float32(nil), a...)
+			x2 := append([]float32(nil), a...)
+			Scale(alpha, x1)
+			RefScale(alpha, x2)
+			for i := range x1 {
+				if x1[i] != x2[i] {
+					t.Fatalf("dim %d: Scale[%d] = %v, ref = %v", dim, i, x1[i], x2[i])
+				}
+			}
+		}
+	}
+}
+
+// TestKernelsDeterministic asserts the determinism contract: same inputs,
+// bit-identical outputs across repeated calls.
+func TestKernelsDeterministic(t *testing.T) {
+	r := netutil.NewRand(7)
+	for _, dim := range []int{1, 3, 7, 8, 24, 50, 67} {
+		a, b := randVec(r, dim), randVec(r, dim)
+		d0 := Dot(a, b)
+		n0 := SquaredNorm(a)
+		for i := 0; i < 10; i++ {
+			if Dot(a, b) != d0 {
+				t.Fatalf("dim %d: Dot not deterministic", dim)
+			}
+			if SquaredNorm(a) != n0 {
+				t.Fatalf("dim %d: SquaredNorm not deterministic", dim)
+			}
+		}
+	}
+}
+
+// TestKernelsEdgeCases covers empty and longer-b slices.
+func TestKernelsEdgeCases(t *testing.T) {
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("empty Dot = %v", got)
+	}
+	if got := SquaredNorm(nil); got != 0 {
+		t.Fatalf("empty SquaredNorm = %v", got)
+	}
+	// b longer than a: extra elements ignored.
+	if got := Dot([]float32{1, 2}, []float32{3, 4, 99}); got != 11 {
+		t.Fatalf("Dot with longer b = %v", got)
+	}
+	y := []float32{1, 1, 99}
+	Axpy(2, []float32{1, 1}, y)
+	if y[0] != 3 || y[1] != 3 || y[2] != 99 {
+		t.Fatalf("Axpy with longer y = %v", y)
+	}
+	Scale(0.5, nil) // must not panic
+}
+
+func BenchmarkDot50(b *testing.B)    { benchDot(b, 50, Dot) }
+func BenchmarkRefDot50(b *testing.B) { benchDot(b, 50, RefDot) }
+
+func benchDot(b *testing.B, dim int, f func(a, b []float32) float32) {
+	r := netutil.NewRand(1)
+	x, y := randVec(r, dim), randVec(r, dim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var s float32
+	for i := 0; i < b.N; i++ {
+		s += f(x, y)
+	}
+	_ = s
+}

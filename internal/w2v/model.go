@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"github.com/darkvec/darkvec/internal/netutil"
+	"github.com/darkvec/darkvec/internal/vecmath"
 )
 
 // Config are the training hyper-parameters. Zero values select the defaults
@@ -223,23 +224,17 @@ func TrainWithOptions(sentences [][]string, cfg Config, opts TrainOptions) (*Mod
 	if workers < 1 {
 		workers = 1
 	}
+	// Per-worker sentence shards are identical across epochs, so build them
+	// once up front instead of reallocating every epoch. Workers=1 keeps
+	// the unsharded path (and its byte-identical output).
+	shards := buildShards(enc, workers)
 	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		if workers == 1 {
 			t.run(enc, netutil.NewRand(cfg.Seed+uint64(epoch)*0x9e37+1))
 		} else {
-			var wg sync.WaitGroup
-			for w := 0; w < workers; w++ {
-				shard := make([][]int32, 0, len(enc)/workers+1)
-				for i := w; i < len(enc); i += workers {
-					shard = append(shard, enc[i])
-				}
-				wg.Add(1)
-				go func(shard [][]int32, seed uint64) {
-					defer wg.Done()
-					t.run(shard, netutil.NewRand(seed))
-				}(shard, cfg.Seed+uint64(epoch)*0x9e37+uint64(w)+1)
-			}
-			wg.Wait()
+			t.runEpoch(shards, func(w int) uint64 {
+				return cfg.Seed + uint64(epoch)*0x9e37 + uint64(w) + 1
+			})
 		}
 		if err := ctx.Err(); err != nil {
 			// The interrupted epoch's partial updates are discarded with
@@ -254,6 +249,42 @@ func TrainWithOptions(sentences [][]string, cfg Config, opts TrainOptions) (*Mod
 	}
 	m.Pairs = t.pairs.Load() / int64(cfg.Epochs)
 	return m, nil
+}
+
+// buildShards splits sentences across workers by stride, matching the
+// historical per-epoch sharding so multi-worker seeds stay aligned. With
+// one worker it returns the input as the single shard (no copy).
+func buildShards(enc [][]int32, workers int) [][][]int32 {
+	if workers <= 1 {
+		return [][][]int32{enc}
+	}
+	shards := make([][][]int32, workers)
+	for w := range shards {
+		shard := make([][]int32, 0, len(enc)/workers+1)
+		for i := w; i < len(enc); i += workers {
+			shard = append(shard, enc[i])
+		}
+		shards[w] = shard
+	}
+	return shards
+}
+
+// runEpoch trains one epoch: every shard on its own goroutine (Hogwild),
+// each with a private RNG seeded by seed(worker).
+func (t *trainer) runEpoch(shards [][][]int32, seed func(w int) uint64) {
+	if len(shards) == 1 {
+		t.run(shards[0], netutil.NewRand(seed(0)))
+		return
+	}
+	var wg sync.WaitGroup
+	for w, shard := range shards {
+		wg.Add(1)
+		go func(shard [][]int32, s uint64) {
+			defer wg.Done()
+			t.run(shard, netutil.NewRand(s))
+		}(shard, seed(w))
+	}
+	wg.Wait()
 }
 
 // checkResume verifies a checkpoint belongs to this corpus and config, so a
@@ -430,7 +461,9 @@ func (t *trainer) trainSkipGram(words []int32, i, window int, alpha float32, neu
 }
 
 // sgnsPair performs one positive update plus Negative sampled negatives for
-// input word a predicting output word b.
+// input word a predicting output word b. The dense work runs through the
+// vecmath kernels; note the gradient accumulation into neu1e must read
+// syn1 before it is updated, which the two Axpy calls preserve.
 func (t *trainer) sgnsPair(a, b int32, alpha float32, neu1e []float32, r *netutil.Rand) {
 	dim := t.m.Cfg.Dim
 	syn0 := t.m.Syn0[int(a)*dim : int(a)*dim+dim]
@@ -450,19 +483,11 @@ func (t *trainer) sgnsPair(a, b int32, alpha float32, neu1e []float32, r *netuti
 			label = 0
 		}
 		syn1 := t.m.syn1[int(target)*dim : int(target)*dim+dim]
-		var f float32
-		for k := 0; k < dim; k++ {
-			f += syn0[k] * syn1[k]
-		}
-		g := (label - sigmoid(f)) * alpha
-		for k := 0; k < dim; k++ {
-			neu1e[k] += g * syn1[k]
-			syn1[k] += g * syn0[k]
-		}
+		g := (label - sigmoid(vecmath.Dot(syn0, syn1))) * alpha
+		vecmath.Axpy(g, syn1, neu1e)
+		vecmath.Axpy(g, syn0, syn1)
 	}
-	for k := 0; k < dim; k++ {
-		syn0[k] += neu1e[k]
-	}
+	vecmath.Axpy(1, neu1e, syn0)
 }
 
 // hsPair performs one hierarchical-softmax update for input word a
@@ -478,19 +503,11 @@ func (t *trainer) hsPair(a, b int32, alpha float32, neu1e []float32) {
 	points := t.m.huff.points[b]
 	for i := range code {
 		l2 := t.m.synHS[int(points[i])*dim : int(points[i])*dim+dim]
-		var f float32
-		for k := 0; k < dim; k++ {
-			f += syn0[k] * l2[k]
-		}
-		g := (1 - float32(code[i]) - sigmoid(f)) * alpha
-		for k := 0; k < dim; k++ {
-			neu1e[k] += g * l2[k]
-			l2[k] += g * syn0[k]
-		}
+		g := (1 - float32(code[i]) - sigmoid(vecmath.Dot(syn0, l2))) * alpha
+		vecmath.Axpy(g, l2, neu1e)
+		vecmath.Axpy(g, syn0, l2)
 	}
-	for k := 0; k < dim; k++ {
-		syn0[k] += neu1e[k]
-	}
+	vecmath.Axpy(1, neu1e, syn0)
 }
 
 // trainCBOW averages the context vectors to predict the center word.
@@ -508,34 +525,22 @@ func (t *trainer) trainCBOW(words []int32, i, window int, alpha float32, neu1, n
 		if ctx < 0 {
 			continue
 		}
-		v := t.m.Syn0[int(ctx)*dim : int(ctx)*dim+dim]
-		for k := 0; k < dim; k++ {
-			neu1[k] += v[k]
-		}
+		vecmath.Axpy(1, t.m.Syn0[int(ctx)*dim:int(ctx)*dim+dim], neu1)
 		cw++
 	}
 	if cw == 0 {
 		return 0
 	}
-	inv := 1 / float32(cw)
-	for k := 0; k < dim; k++ {
-		neu1[k] *= inv
-	}
+	vecmath.Scale(1/float32(cw), neu1)
 	center := words[i]
 	if t.m.Cfg.HS {
 		code := t.m.huff.codes[center]
 		points := t.m.huff.points[center]
 		for ci := range code {
 			l2 := t.m.synHS[int(points[ci])*dim : int(points[ci])*dim+dim]
-			var f float32
-			for k := 0; k < dim; k++ {
-				f += neu1[k] * l2[k]
-			}
-			g := (1 - float32(code[ci]) - sigmoid(f)) * alpha
-			for k := 0; k < dim; k++ {
-				neu1e[k] += g * l2[k]
-				l2[k] += g * neu1[k]
-			}
+			g := (1 - float32(code[ci]) - sigmoid(vecmath.Dot(neu1, l2))) * alpha
+			vecmath.Axpy(g, l2, neu1e)
+			vecmath.Axpy(g, neu1, l2)
 		}
 	} else {
 		for d := 0; d <= t.m.Cfg.Negative; d++ {
@@ -551,15 +556,9 @@ func (t *trainer) trainCBOW(words []int32, i, window int, alpha float32, neu1, n
 				label = 0
 			}
 			syn1 := t.m.syn1[int(target)*dim : int(target)*dim+dim]
-			var f float32
-			for k := 0; k < dim; k++ {
-				f += neu1[k] * syn1[k]
-			}
-			g := (label - sigmoid(f)) * alpha
-			for k := 0; k < dim; k++ {
-				neu1e[k] += g * syn1[k]
-				syn1[k] += g * neu1[k]
-			}
+			g := (label - sigmoid(vecmath.Dot(neu1, syn1))) * alpha
+			vecmath.Axpy(g, syn1, neu1e)
+			vecmath.Axpy(g, neu1, syn1)
 		}
 	}
 	for j := i - window; j <= i+window; j++ {
@@ -570,10 +569,7 @@ func (t *trainer) trainCBOW(words []int32, i, window int, alpha float32, neu1, n
 		if ctx < 0 {
 			continue
 		}
-		v := t.m.Syn0[int(ctx)*dim : int(ctx)*dim+dim]
-		for k := 0; k < dim; k++ {
-			v[k] += neu1e[k]
-		}
+		vecmath.Axpy(1, neu1e, t.m.Syn0[int(ctx)*dim:int(ctx)*dim+dim])
 	}
 	return int64(cw)
 }

@@ -99,8 +99,23 @@ func (m *Model) Update(sentences [][]string, epochs int) error {
 		total:   tokens * int64(epochs),
 	}
 	t.alpha.Store(floatBits(cfg.Alpha))
+	// Incremental retraining goes through the same sharded Hogwild path as
+	// TrainWithOptions, so the rolling-window supervisor's refreshes use
+	// every configured worker instead of a single thread. Workers=1 keeps
+	// the historical single-shard seed sequence.
+	workers := cfg.Workers
+	if workers > len(enc) {
+		workers = len(enc)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	shards := buildShards(enc, workers)
 	for epoch := 0; epoch < epochs; epoch++ {
-		t.run(enc, netutil.NewRand(cfg.Seed+0xfeed+uint64(epoch)))
+		epoch := epoch
+		t.runEpoch(shards, func(w int) uint64 {
+			return cfg.Seed + 0xfeed + uint64(epoch) + uint64(w)*0x9e37
+		})
 	}
 	m.Pairs = t.pairs.Load() / int64(epochs)
 	return nil
