@@ -124,20 +124,32 @@ func BenchmarkSimulate(b *testing.B) {
 	}
 }
 
-// BenchmarkCorpusBuild measures §5.2 sequence construction.
+// BenchmarkCorpusBuild measures §5.2 sequence construction on the
+// interned integer token path: serial, parallel (GOMAXPROCS workers), and
+// parallel with a warm shared interner — the steady-state retrain cost,
+// where every recurring sender's string was interned in a previous build.
 func BenchmarkCorpusBuild(b *testing.B) {
 	env := benchEnv(b)
 	def := services.NewDomain()
 	active := env.Full.ActiveSenders(10)
 	filtered := env.Full.FilterSenders(active)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		c := corpus.Build(filtered, def, corpus.DefaultDeltaT)
-		if c.Tokens() == 0 {
-			b.Fatal("empty corpus")
+	run := func(b *testing.B, opts corpus.Options) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := corpus.BuildOpts(filtered, def, corpus.DefaultDeltaT, opts)
+			if c.Tokens() == 0 {
+				b.Fatal("empty corpus")
+			}
 		}
 	}
+	b.Run("serial", func(b *testing.B) { run(b, corpus.Options{Workers: 1}) })
+	b.Run("parallel", func(b *testing.B) { run(b, corpus.Options{}) })
+	b.Run("warm-interner", func(b *testing.B) {
+		in := corpus.NewInterner()
+		corpus.BuildOpts(filtered, def, corpus.DefaultDeltaT, corpus.Options{Interner: in})
+		run(b, corpus.Options{Interner: in})
+	})
 }
 
 // BenchmarkW2VTrainEpoch measures skip-gram training throughput

@@ -1,16 +1,21 @@
-// Command benchperf measures the throughput of the pipeline's three
-// perf-critical substrates — Word2Vec training, the batched exact k-NN
-// engine, and the parallel silhouette — at a fixed operating point, and
-// writes the numbers to a JSON file (BENCH_perf.json) so runs can be
-// compared across commits and machines.
+// Command benchperf measures the throughput of the pipeline's
+// perf-critical substrates — corpus construction, Word2Vec training, the
+// end-to-end trace→model path, the batched exact k-NN engine, and the
+// parallel silhouette — at a fixed operating point, and writes the numbers
+// to a JSON file (BENCH_perf.json) so runs can be compared across commits
+// and machines.
 //
-// For the substrates with a serial pin (k-NN, classification, silhouette)
-// both the MaxProcs=1 and the all-cores number are recorded, making the
-// parallel speedup visible directly in the report.
+// The report holds one entry per GOMAXPROCS value in its "runs" array;
+// re-running with a different -maxprocs merges into the existing file
+// instead of overwriting it, so a single BENCH_perf.json shows the serial
+// and multi-core numbers side by side. Substrates with a serial pin
+// (corpus, trace→model, k-NN, classification, silhouette) additionally
+// record their one-worker rate inside each run, making parallel speedup
+// visible directly.
 //
 // Usage:
 //
-//	benchperf [-out BENCH_perf.json] [-iters 3] [-days 8] [-scale 0.02] ...
+//	benchperf [-out BENCH_perf.json] [-iters 3] [-maxprocs N] [-days 8] ...
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"github.com/darkvec/darkvec/internal/cluster"
@@ -30,15 +36,20 @@ import (
 	"github.com/darkvec/darkvec/internal/w2v"
 )
 
-// report is the BENCH_perf.json schema.
+// report is the BENCH_perf.json schema: machine facts and options shared
+// across runs, plus one runEntry per GOMAXPROCS setting.
 type report struct {
+	GoVersion string     `json:"go_version"`
+	GOOS      string     `json:"goos"`
+	GOARCH    string     `json:"goarch"`
+	Iters     int        `json:"iters"`
+	Options   options    `json:"options"`
+	Runs      []runEntry `json:"runs"`
+}
+
+type runEntry struct {
 	GeneratedUnix int64   `json:"generated_unix"`
-	GoVersion     string  `json:"go_version"`
-	GOOS          string  `json:"goos"`
-	GOARCH        string  `json:"goarch"`
 	GoMaxProcs    int     `json:"go_max_procs"`
-	Iters         int     `json:"iters"`
-	Options       options `json:"options"`
 	Metrics       metrics `json:"metrics"`
 }
 
@@ -56,7 +67,13 @@ type options struct {
 type metrics struct {
 	SpaceRows int `json:"space_rows"`
 
+	CorpusEventsPerS       float64 `json:"corpus_events_per_s"`
+	CorpusEventsPerSSerial float64 `json:"corpus_events_per_s_serial"`
+
 	W2VPairsPerS float64 `json:"w2v_pairs_per_s"`
+
+	TraceToModelS       float64 `json:"trace_to_model_s"`
+	TraceToModelSSerial float64 `json:"trace_to_model_s_serial"`
 
 	KNNRowsPerS       float64 `json:"knn_rows_per_s"`
 	KNNRowsPerSSerial float64 `json:"knn_rows_per_s_serial"`
@@ -70,39 +87,45 @@ type metrics struct {
 
 func main() {
 	var (
-		out    = flag.String("out", "BENCH_perf.json", "output JSON path")
-		iters  = flag.Int("iters", 3, "timing iterations per substrate (best kept)")
-		days   = flag.Int("days", 8, "trace length in days")
-		scale  = flag.Float64("scale", 0.02, "population scale")
-		rate   = flag.Float64("rate", 0.05, "packet rate scale")
-		dim    = flag.Int("dim", 24, "embedding dimension V")
-		window = flag.Int("window", 10, "context window c")
-		epochs = flag.Int("epochs", 2, "training epochs")
-		k      = flag.Int("k", 7, "classifier neighbourhood size")
-		seed   = flag.Uint64("seed", 1, "run seed")
+		out      = flag.String("out", "BENCH_perf.json", "output JSON path (merged per go_max_procs)")
+		iters    = flag.Int("iters", 3, "timing iterations per substrate (best kept)")
+		maxprocs = flag.Int("maxprocs", 0, "override GOMAXPROCS for this run (0 = runtime default)")
+		days     = flag.Int("days", 8, "trace length in days")
+		scale    = flag.Float64("scale", 0.02, "population scale")
+		rate     = flag.Float64("rate", 0.05, "packet rate scale")
+		dim      = flag.Int("dim", 24, "embedding dimension V")
+		window   = flag.Int("window", 10, "context window c")
+		epochs   = flag.Int("epochs", 2, "training epochs")
+		k        = flag.Int("k", 7, "classifier neighbourhood size")
+		seed     = flag.Uint64("seed", 1, "run seed")
 	)
 	flag.Parse()
+	if *maxprocs > 0 {
+		runtime.GOMAXPROCS(*maxprocs)
+	}
 
 	opts := experiments.Options{
 		Seed: *seed, Days: *days, Scale: *scale, Rate: *rate,
 		Dim: *dim, Window: *window, Epochs: *epochs,
 	}
 	rep := report{
-		GeneratedUnix: time.Now().Unix(),
-		GoVersion:     runtime.Version(),
-		GOOS:          runtime.GOOS,
-		GOARCH:        runtime.GOARCH,
-		GoMaxProcs:    runtime.GOMAXPROCS(0),
-		Iters:         *iters,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Iters:     *iters,
 		Options: options{
 			Seed: *seed, Days: *days, Scale: *scale, Rate: *rate,
 			Dim: *dim, Window: *window, Epochs: *epochs, K: *k,
 		},
 	}
+	run := runEntry{
+		GeneratedUnix: time.Now().Unix(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+	}
 
 	start := time.Now()
-	fmt.Printf("generating dataset (days=%d scale=%g rate=%g seed=%d)...\n",
-		*days, *scale, *rate, *seed)
+	fmt.Printf("generating dataset (days=%d scale=%g rate=%g seed=%d procs=%d)...\n",
+		*days, *scale, *rate, *seed, run.GoMaxProcs)
 	env := experiments.NewEnv(opts)
 	emb, err := env.Embedding(core.ServiceDomain, *days)
 	if err != nil {
@@ -110,19 +133,39 @@ func main() {
 		os.Exit(1)
 	}
 	space, _ := emb.EvalSpace(env.Last, env.Active)
-	rep.Metrics.SpaceRows = space.Len()
+	run.Metrics.SpaceRows = space.Len()
 	fmt.Printf("dataset ready in %s: eval space %d rows x dim %d\n\n",
 		time.Since(start).Round(time.Millisecond), space.Len(), space.Dim)
 
-	// Word2Vec training throughput.
+	// Corpus construction throughput: full interned build over the active-
+	// filtered trace, fresh interner each iteration so every sender pays
+	// its one-time interning cost inside the measurement.
 	def := services.NewDomain()
 	filtered := env.Full.FilterSenders(env.Full.ActiveSenders(10))
+	events := float64(filtered.Len())
+	corpusRate := func(workers int) func() (float64, error) {
+		return func() (float64, error) {
+			t0 := time.Now()
+			c := corpus.BuildOpts(filtered, def, corpus.DefaultDeltaT, corpus.Options{Workers: workers})
+			if c.Tokens() == 0 {
+				return 0, fmt.Errorf("empty corpus")
+			}
+			return events / time.Since(t0).Seconds(), nil
+		}
+	}
+	run.Metrics.CorpusEventsPerSSerial = best(*iters, corpusRate(1))
+	run.Metrics.CorpusEventsPerS = best(*iters, corpusRate(0))
+	fmt.Printf("corpus build:   %12.0f events/s (serial %0.f, x%.2f)\n",
+		run.Metrics.CorpusEventsPerS, run.Metrics.CorpusEventsPerSSerial,
+		run.Metrics.CorpusEventsPerS/run.Metrics.CorpusEventsPerSSerial)
+
+	// Word2Vec training throughput over the interned corpus.
 	sentences := corpus.Build(filtered, def, corpus.DefaultDeltaT).Sentences()
 	cfg := w2v.Config{
 		Dim: *dim, Window: *window, Epochs: 1,
 		Workers: 1, Seed: *seed, ShrinkWindow: true, PadToken: "NULL",
 	}
-	rep.Metrics.W2VPairsPerS = best(*iters, func() (float64, error) {
+	run.Metrics.W2VPairsPerS = best(*iters, func() (float64, error) {
 		t0 := time.Now()
 		m, err := w2v.Train(sentences, cfg)
 		if err != nil {
@@ -130,7 +173,26 @@ func main() {
 		}
 		return float64(m.Pairs) / time.Since(t0).Seconds(), nil
 	})
-	fmt.Printf("w2v train:      %12.0f pairs/s\n", rep.Metrics.W2VPairsPerS)
+	fmt.Printf("w2v train:      %12.0f pairs/s\n", run.Metrics.W2VPairsPerS)
+
+	// End-to-end trace → model latency (filter, corpus, one-epoch train),
+	// the path a darkvecd retrain cycle pays. Lowest wall time kept.
+	e2eCfg := core.DefaultConfig()
+	e2eCfg.W2V = cfg
+	e2e := func(workers int) func() (float64, error) {
+		return func() (float64, error) {
+			t0 := time.Now()
+			if _, err := core.TrainEmbeddingOpts(env.Full, e2eCfg, core.TrainOpts{CorpusWorkers: workers}); err != nil {
+				return 0, err
+			}
+			return time.Since(t0).Seconds(), nil
+		}
+	}
+	run.Metrics.TraceToModelSSerial = bestLow(*iters, e2e(1))
+	run.Metrics.TraceToModelS = bestLow(*iters, e2e(0))
+	fmt.Printf("trace→model:    %12.3f s        (serial %.3f, x%.2f)\n",
+		run.Metrics.TraceToModelS, run.Metrics.TraceToModelSSerial,
+		run.Metrics.TraceToModelSSerial/run.Metrics.TraceToModelS)
 
 	// Batched k-NN engine, serial pin then all cores.
 	knnRate := func(s *embed.Space) (float64, error) {
@@ -141,12 +203,12 @@ func main() {
 		return float64(s.Len()) / time.Since(t0).Seconds(), nil
 	}
 	space.MaxProcs = 1
-	rep.Metrics.KNNRowsPerSSerial = best(*iters, func() (float64, error) { return knnRate(space) })
+	run.Metrics.KNNRowsPerSSerial = best(*iters, func() (float64, error) { return knnRate(space) })
 	space.MaxProcs = 0
-	rep.Metrics.KNNRowsPerS = best(*iters, func() (float64, error) { return knnRate(space) })
+	run.Metrics.KNNRowsPerS = best(*iters, func() (float64, error) { return knnRate(space) })
 	fmt.Printf("knn all:        %12.0f rows/s   (serial %0.f, x%.2f)\n",
-		rep.Metrics.KNNRowsPerS, rep.Metrics.KNNRowsPerSSerial,
-		rep.Metrics.KNNRowsPerS/rep.Metrics.KNNRowsPerSSerial)
+		run.Metrics.KNNRowsPerS, run.Metrics.KNNRowsPerSSerial,
+		run.Metrics.KNNRowsPerS/run.Metrics.KNNRowsPerSSerial)
 
 	// Leave-One-Out classification.
 	classifyRate := func() (float64, error) {
@@ -158,12 +220,12 @@ func main() {
 		return float64(len(preds)) / time.Since(t0).Seconds(), nil
 	}
 	space.MaxProcs = 1
-	rep.Metrics.ClassifyPredsPerSSerial = best(*iters, classifyRate)
+	run.Metrics.ClassifyPredsPerSSerial = best(*iters, classifyRate)
 	space.MaxProcs = 0
-	rep.Metrics.ClassifyPredsPerS = best(*iters, classifyRate)
+	run.Metrics.ClassifyPredsPerS = best(*iters, classifyRate)
 	fmt.Printf("classify LOO:   %12.0f preds/s  (serial %0.f, x%.2f)\n",
-		rep.Metrics.ClassifyPredsPerS, rep.Metrics.ClassifyPredsPerSSerial,
-		rep.Metrics.ClassifyPredsPerS/rep.Metrics.ClassifyPredsPerSSerial)
+		run.Metrics.ClassifyPredsPerS, run.Metrics.ClassifyPredsPerSSerial,
+		run.Metrics.ClassifyPredsPerS/run.Metrics.ClassifyPredsPerSSerial)
 
 	// Silhouette; throughput counted in pairwise cells (the n² matrix the
 	// naive algorithm would materialise).
@@ -177,13 +239,14 @@ func main() {
 		return cells / time.Since(t0).Seconds(), nil
 	}
 	space.MaxProcs = 1
-	rep.Metrics.SilhouetteCellsPerSSerial = best(*iters, silRate)
+	run.Metrics.SilhouetteCellsPerSSerial = best(*iters, silRate)
 	space.MaxProcs = 0
-	rep.Metrics.SilhouetteCellsPerS = best(*iters, silRate)
+	run.Metrics.SilhouetteCellsPerS = best(*iters, silRate)
 	fmt.Printf("silhouette:     %12.0f cells/s  (serial %0.f, x%.2f)\n",
-		rep.Metrics.SilhouetteCellsPerS, rep.Metrics.SilhouetteCellsPerSSerial,
-		rep.Metrics.SilhouetteCellsPerS/rep.Metrics.SilhouetteCellsPerSSerial)
+		run.Metrics.SilhouetteCellsPerS, run.Metrics.SilhouetteCellsPerSSerial,
+		run.Metrics.SilhouetteCellsPerS/run.Metrics.SilhouetteCellsPerSSerial)
 
+	rep.Runs = mergeRuns(*out, rep, run)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchperf:", err)
@@ -194,7 +257,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchperf:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("\nwrote %s (total %s)\n", *out, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("\nwrote %s (%d run(s), total %s)\n", *out, len(rep.Runs), time.Since(start).Round(time.Millisecond))
+}
+
+// mergeRuns folds this run into any runs already recorded in the output
+// file: an existing entry with the same GOMAXPROCS (and compatible shared
+// fields) is replaced, others are kept, and the result is sorted by
+// GOMAXPROCS. An unreadable or old-schema file just starts fresh.
+func mergeRuns(path string, rep report, run runEntry) []runEntry {
+	runs := []runEntry{run}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return runs
+	}
+	var prev report
+	if json.Unmarshal(data, &prev) != nil || prev.GoVersion != rep.GoVersion ||
+		prev.GOOS != rep.GOOS || prev.GOARCH != rep.GOARCH || prev.Options != rep.Options {
+		return runs
+	}
+	for _, r := range prev.Runs {
+		if r.GoMaxProcs != run.GoMaxProcs {
+			runs = append(runs, r)
+		}
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].GoMaxProcs < runs[j].GoMaxProcs })
+	return runs
 }
 
 // best runs fn iters times and keeps the highest throughput — the standard
@@ -212,4 +299,20 @@ func best(iters int, fn func() (float64, error)) float64 {
 		}
 	}
 	return top
+}
+
+// bestLow is best for latency metrics: lowest value kept.
+func bestLow(iters int, fn func() (float64, error)) float64 {
+	var low float64
+	for i := 0; i < iters; i++ {
+		v, err := fn()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchperf:", err)
+			os.Exit(1)
+		}
+		if i == 0 || v < low {
+			low = v
+		}
+	}
+	return low
 }

@@ -54,6 +54,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -66,6 +67,7 @@ import (
 
 	"github.com/darkvec/darkvec/internal/apiserver"
 	"github.com/darkvec/darkvec/internal/core"
+	"github.com/darkvec/darkvec/internal/corpus"
 	"github.com/darkvec/darkvec/internal/labels"
 	"github.com/darkvec/darkvec/internal/modelstore"
 	"github.com/darkvec/darkvec/internal/netutil"
@@ -90,6 +92,7 @@ type options struct {
 	maxErr      int64
 	checkpoint  string
 	resume      bool
+	pprofAddr   string // loopback-only pprof listener ("" = off)
 	reqTimeout  time.Duration
 	maxInFlight int
 	drain       time.Duration
@@ -117,6 +120,7 @@ type options struct {
 	onListen       func(addr string)                          // test hook: listener bound
 	onReady        func(addr string)                          // test hook: model serving
 	onIngestListen func(addr string)                          // test hook: ingest listener bound
+	onPprofListen  func(addr string)                          // test hook: pprof listener bound
 	onRetrain      func(error)                                // test hook: outcome of each retrain cycle
 	retrainBackoff robust.Backoff                             // test hook: deterministic backoff
 	retrainSleep   func(context.Context, time.Duration) error // test hook: no wall-clock sleeps
@@ -137,6 +141,7 @@ func main() {
 	flag.Int64Var(&o.maxErr, "maxerr", 0, "tolerate up to N malformed input records (0 = strict)")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint file written after every training epoch")
 	flag.BoolVar(&o.resume, "resume", false, "resume training from -checkpoint if it exists")
+	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty = off)")
 	flag.DurationVar(&o.reqTimeout, "timeout", apiserver.DefaultRequestTimeout, "per-request timeout (0 = none)")
 	flag.IntVar(&o.maxInFlight, "maxinflight", apiserver.DefaultMaxInFlight, "max concurrent requests before shedding (0 = unlimited)")
 	flag.DurationVar(&o.drain, "drain", 10*time.Second, "graceful shutdown drain timeout")
@@ -196,6 +201,17 @@ func (o *options) validate() error {
 	}
 	if o.resume && o.checkpoint == "" {
 		return errors.New("-resume requires -checkpoint")
+	}
+	if o.pprofAddr != "" {
+		host, _, err := net.SplitHostPort(o.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("invalid -pprof %q: %v", o.pprofAddr, err)
+		}
+		// Profiles leak memory contents; never expose them off-host.
+		ip := net.ParseIP(host)
+		if host != "localhost" && (ip == nil || !ip.IsLoopback()) {
+			return fmt.Errorf("invalid -pprof %q: host must be a loopback address", o.pprofAddr)
+		}
 	}
 	if o.retrain < 0 {
 		return fmt.Errorf("invalid -retrain %s: must be >= 0", o.retrain)
@@ -260,6 +276,28 @@ func run(ctx context.Context, o options) error {
 	}
 	if err := o.validate(); err != nil {
 		return err
+	}
+
+	if o.pprofAddr != "" {
+		// A dedicated loopback-only mux: the profiling surface must never
+		// share a listener with the public API.
+		pln, err := net.Listen("tcp", o.pprofAddr)
+		if err != nil {
+			return err
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Handler: pmux, ReadHeaderTimeout: 5 * time.Second}
+		go func() { _ = psrv.Serve(pln) }()
+		defer psrv.Close()
+		o.logf("pprof on http://%s/debug/pprof/", pln.Addr())
+		if o.onPprofListen != nil {
+			o.onPprofListen(pln.Addr().String())
+		}
 	}
 
 	feeds := map[string][]netutil.IPv4{}
@@ -387,6 +425,7 @@ func run(ctx context.Context, o options) error {
 				Context:        ctx,
 				CheckpointPath: o.checkpoint,
 				Resume:         o.resume,
+				Interner:       d.trainInterner(),
 			})
 			if err != nil {
 				httpSrv.Close()
@@ -471,6 +510,23 @@ type daemon struct {
 
 	readyOnce sync.Once
 	readyFn   func() // announced on the first model swap
+
+	internOnce sync.Once
+	intern     *corpus.Interner
+}
+
+// trainInterner returns the sender id space shared by every training run
+// of this daemon: the live window's interner when ingesting, otherwise a
+// daemon-scoped one. Sharing it keeps token ids stable across retrains so
+// recurring senders are interned exactly once per process. Training runs
+// are sequential (boot, then the retrain loop guarded by its supervisor),
+// which is the sharing discipline corpus.Interner requires.
+func (d *daemon) trainInterner() *corpus.Interner {
+	if d.ing != nil {
+		return d.ing.Window().Interner()
+	}
+	d.internOnce.Do(func() { d.intern = corpus.NewInterner() })
+	return d.intern
 }
 
 // handleReady reports serving health: 503 while the first model is still
@@ -618,7 +674,7 @@ func (d *daemon) retrainOnce(ctx context.Context) error {
 		}
 	}
 	gt := labels.Build(tr, d.feeds)
-	emb, err := core.TrainEmbeddingOpts(tr, d.cfg, core.TrainOpts{Context: ctx})
+	emb, err := core.TrainEmbeddingOpts(tr, d.cfg, core.TrainOpts{Context: ctx, Interner: d.trainInterner()})
 	if err != nil {
 		return fail(fmt.Errorf("retrain: %w", err))
 	}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestValidatePprof(t *testing.T) {
+	for _, addr := range []string{"", "127.0.0.1:6060", "127.0.0.1:0", "localhost:6060", "[::1]:6060"} {
+		o := baseOpts("trace.csv")
+		o.pprofAddr = addr
+		if err := o.validate(); err != nil {
+			t.Errorf("pprof %q rejected: %v", addr, err)
+		}
+	}
+	// Anything that could route off-host is refused: profiles expose heap
+	// contents and must stay on loopback.
+	for _, addr := range []string{"6060", "0.0.0.0:6060", ":6060", "10.1.2.3:6060", "example.com:6060", "[::]:6060"} {
+		o := baseOpts("trace.csv")
+		o.pprofAddr = addr
+		if err := o.validate(); err == nil {
+			t.Errorf("pprof %q accepted, want loopback-only rejection", addr)
+		}
+	}
+}
+
+// TestPprofEndpoint boots the daemon with -pprof and checks the profiling
+// mux answers on its own listener, separate from the API.
+func TestPprofEndpoint(t *testing.T) {
+	tracePath, _ := writeTestTrace(t, t.TempDir())
+	o := baseOpts(tracePath)
+	o.pprofAddr = "127.0.0.1:0"
+	pprofCh := make(chan string, 1)
+	o.onPprofListen = func(addr string) { pprofCh <- addr }
+	readyCh := make(chan string, 1)
+	o.onReady = func(addr string) { readyCh <- addr }
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runErr := make(chan error, 1)
+	go func() { runErr <- run(ctx, o) }()
+
+	var paddr string
+	select {
+	case paddr = <-pprofCh:
+	case err := <-runErr:
+		t.Fatalf("daemon exited before pprof bind: %v", err)
+	case <-time.After(time.Minute):
+		t.Fatal("pprof listener never bound")
+	}
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/heap"} {
+		resp, err := http.Get("http://" + paddr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+
+	select {
+	case <-readyCh:
+	case err := <-runErr:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(2 * time.Minute):
+		t.Fatal("daemon never became ready")
+	}
+	cancel()
+	if err := <-runErr; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -99,7 +99,21 @@ type (
 )
 
 // Corpus is the word-sequence training input built from a trace (§5.2).
+// Sequences carry interned integer tokens; Sentences() materialises the
+// string view on demand.
 type Corpus = corpus.Corpus
+
+// CorpusOptions tunes corpus construction: builder parallelism and an
+// optional shared SenderInterner.
+type CorpusOptions = corpus.Options
+
+// SenderInterner is an append-only sender ↔ integer-token id table. Shared
+// across corpus builds (e.g. rolling retrains) it keeps ids stable and
+// interns each distinct sender exactly once per process.
+type SenderInterner = corpus.Interner
+
+// NewSenderInterner creates an empty sender id space.
+func NewSenderInterner() *SenderInterner { return corpus.NewInterner() }
 
 // ServiceKind selects the §5.2 service definition strategy.
 type ServiceKind = core.ServiceKind
@@ -215,12 +229,19 @@ func ParseIPv4(s string) (IPv4, error) { return netutil.ParseIPv4(s) }
 // when folding fresh traffic into an existing model. deltaT <= 0 uses the
 // paper's one hour.
 func BuildCorpus(tr *Trace, kind ServiceKind, deltaT int64) (*Corpus, error) {
+	return BuildCorpusOpts(tr, kind, deltaT, CorpusOptions{})
+}
+
+// BuildCorpusOpts is BuildCorpus with explicit builder options: a worker
+// count for the parallel builder (0 = GOMAXPROCS) and an optional shared
+// interner. Output is identical at any worker count.
+func BuildCorpusOpts(tr *Trace, kind ServiceKind, deltaT int64, opts CorpusOptions) (*Corpus, error) {
 	cfg := core.Config{Services: kind}
 	def, err := cfg.Definition(tr)
 	if err != nil {
 		return nil, err
 	}
-	return corpus.Build(tr, def, deltaT), nil
+	return corpus.BuildOpts(tr, def, deltaT, opts), nil
 }
 
 // ReadTraceCSV loads a trace in the repository's CSV interchange format.

@@ -115,6 +115,13 @@ type TrainOpts struct {
 	// Resume restarts from CheckpointPath if the file exists; a missing
 	// file trains from scratch. Requires CheckpointPath.
 	Resume bool
+	// Interner, when non-nil, is the shared sender id space for corpus
+	// construction. Reusing one across retrains keeps token ids stable and
+	// skips re-interning senders seen in earlier windows. nil builds a
+	// private interner for this run.
+	Interner *corpus.Interner
+	// CorpusWorkers bounds corpus-builder parallelism; 0 means GOMAXPROCS.
+	CorpusWorkers int
 }
 
 // TrainEmbedding runs the §5 pipeline on a training trace: filter active
@@ -138,7 +145,10 @@ func TrainEmbeddingOpts(tr *trace.Trace, cfg Config, opts TrainOpts) (*Embedding
 	if err != nil {
 		return nil, err
 	}
-	corp := corpus.Build(filtered, def, cfg.DeltaT)
+	corp := corpus.BuildOpts(filtered, def, cfg.DeltaT, corpus.Options{
+		Workers:  opts.CorpusWorkers,
+		Interner: opts.Interner,
+	})
 	wopts := w2v.TrainOptions{Context: opts.Context}
 	if opts.CheckpointPath != "" {
 		wopts.Checkpoint = func(ck *w2v.Checkpoint) error {
@@ -153,7 +163,20 @@ func TrainEmbeddingOpts(tr *trace.Trace, cfg Config, opts TrainOpts) (*Embedding
 		}
 	}
 	start := time.Now()
-	model, err := w2v.TrainWithOptions(corp.Sentences(), cfg.W2V, wopts)
+	// Integer token path end-to-end: hand the trainer the interned corpus
+	// directly so no sender string is re-hashed during vocabulary building
+	// or encoding. Byte-identical to training on corp.Sentences(). A shared
+	// interner may have grown since the build; ids past len(Counts) cannot
+	// appear in this corpus, so clip the word table to match.
+	words := corp.Interner().Strings()
+	if len(words) > len(corp.Counts) {
+		words = words[:len(corp.Counts)]
+	}
+	model, err := w2v.TrainEncodedWithOptions(w2v.Encoded{
+		Sequences: corp.TokenSequences(),
+		Words:     words,
+		Counts:    corp.Counts,
+	}, cfg.W2V, wopts)
 	if err != nil {
 		return nil, err
 	}

@@ -3,21 +3,49 @@
 // service and by fixed ΔT time windows; within one (service, window) cell
 // the arrival-ordered sender addresses form one sequence. The union of all
 // sequences over all services is the corpus for a single Word2Vec model.
+//
+// The data path is integer end-to-end: sequences are []int32 of interned
+// sender ids (see Interner), built by a parallel, deterministic builder
+// that shards the event stream across workers and merges per-worker cells
+// into the stable (window, service) order. String words are materialised
+// lazily, and only for consumers that still ask for them.
 package corpus
 
 import (
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
+	"github.com/darkvec/darkvec/internal/netutil"
 	"github.com/darkvec/darkvec/internal/services"
 	"github.com/darkvec/darkvec/internal/trace"
 )
 
 // Sequence is one "sentence": the senders hitting one service during one ΔT
-// window, in arrival order.
+// window, in arrival order. Tokens holds interned sender ids; Words
+// materialises the dotted-quad strings on first use.
 type Sequence struct {
 	Service string
-	Window  int // zero-based window index from the trace start
-	Words   []string
+	Window  int     // zero-based window index from the trace start
+	Tokens  []int32 // interned sender ids, arrival order
+
+	in    *Interner
+	words []string // lazy; see Words
+}
+
+// Words returns the sequence as strings, materialising (and caching) them
+// on first call. Not safe for concurrent first use on the same Sequence;
+// Corpus.Sentences materialises every sequence once, safely.
+func (s *Sequence) Words() []string {
+	if s.words == nil && len(s.Tokens) > 0 && s.in != nil {
+		w := make([]string, len(s.Tokens))
+		for i, id := range s.Tokens {
+			w[i] = s.in.Lookup(uint32(id))
+		}
+		s.words = w
+	}
+	return s.words
 }
 
 // Corpus is the full training input.
@@ -25,49 +53,290 @@ type Corpus struct {
 	Sequences []Sequence
 	DeltaT    int64 // seconds
 	Kind      string
+	// Counts is the corpus frequency of every interned token id
+	// (len = Interner().Len()); senders the interner knows from earlier
+	// builds but that are absent here count 0.
+	Counts []int64
+
+	in        *Interner
+	sentOnce  sync.Once
+	sentences [][]string
 }
 
 // DefaultDeltaT is the paper's ΔT of one hour.
 const DefaultDeltaT = int64(3600)
 
+// Options tunes Build.
+type Options struct {
+	// Workers shards the event scan and the sequence assembly; 0 uses
+	// GOMAXPROCS, 1 is the serial reference path. Output is identical at
+	// any worker count.
+	Workers int
+	// Interner supplies (and accumulates) the sender id space; nil builds
+	// a private one. Reuse across builds keeps ids stable so a retrain
+	// skips string conversion for already-seen senders. An Interner must
+	// not be shared by concurrently running Builds.
+	Interner *Interner
+}
+
 // Build constructs the corpus for the trace under the given service
-// definition and window width in seconds.
+// definition and window width in seconds, using all cores.
 func Build(t *trace.Trace, def services.Definition, deltaT int64) *Corpus {
+	return BuildOpts(t, def, deltaT, Options{})
+}
+
+// cell keys pack (serviceID, window) into one uint64: service in the high
+// 24 bits, window in the low 40 — wide enough for any trace at any ΔT,
+// and cheap to group by in the per-worker scan.
+const windowBits = 40
+
+func packCell(svcID uint32, window int64) uint64 {
+	return uint64(svcID)<<windowBits | uint64(window)
+}
+
+// svcRegistry assigns dense ids to service names, seeded from the
+// definition's stable Names order; lookup handles (and registers) any name
+// a definition produces beyond its declared set. Grouping uses the ids,
+// final ordering uses the names, so registration order never leaks into
+// the output.
+type svcRegistry struct {
+	mu    sync.Mutex
+	id    map[string]uint32
+	names []string
+}
+
+func newSvcRegistry(def services.Definition) *svcRegistry {
+	r := &svcRegistry{id: make(map[string]uint32)}
+	for _, n := range def.Names() {
+		r.lookup(n)
+	}
+	return r
+}
+
+func (r *svcRegistry) lookup(name string) uint32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.id[name]; ok {
+		return id
+	}
+	id := uint32(len(r.names))
+	r.id[name] = id
+	r.names = append(r.names, name)
+	return id
+}
+
+// senderStat accumulates one sender's chunk-local bookkeeping: the global
+// index of its first appearance (which orders new-id assignment) and its
+// packet count (which becomes the vocabulary frequency).
+type senderStat struct {
+	first int
+	count int64
+}
+
+// partial is one worker's view of its contiguous event chunk.
+type partial struct {
+	cells map[uint64][]netutil.IPv4
+	stats map[netutil.IPv4]*senderStat
+}
+
+// scan accumulates one contiguous chunk. base is the chunk's global start
+// index; the per-chunk PortKey → packed-service cache keeps the service
+// resolution to one small-map hit per event.
+func scan(events []trace.Event, base int, def services.Definition, reg *svcRegistry, first, deltaT int64) *partial {
+	p := &partial{
+		cells: make(map[uint64][]netutil.IPv4, 64),
+		stats: make(map[netutil.IPv4]*senderStat, 256),
+	}
+	svc := make(map[trace.PortKey]uint64, 32)
+	for i := range events {
+		e := &events[i]
+		k := e.Key()
+		svcBits, ok := svc[k]
+		if !ok {
+			svcBits = uint64(reg.lookup(def.Service(k))) << windowBits
+			svc[k] = svcBits
+		}
+		key := svcBits | uint64((e.Ts-first)/deltaT)
+		p.cells[key] = append(p.cells[key], e.Src)
+		st := p.stats[e.Src]
+		if st == nil {
+			st = &senderStat{first: base + i}
+			p.stats[e.Src] = st
+		}
+		st.count++
+	}
+	return p
+}
+
+// BuildOpts is Build with explicit worker count and a shared interner.
+//
+// Determinism: events are split into contiguous, order-preserving chunks;
+// per-worker cells concatenate back in chunk order, so every cell holds
+// its senders in arrival order exactly as a serial pass would produce.
+// New sender ids are assigned by global first-appearance order (the
+// minimum event index across chunks), which is precisely the order the
+// serial pass interns them in. The corpus is therefore identical — ids,
+// sequences, counts — at any worker count.
+func BuildOpts(t *trace.Trace, def services.Definition, deltaT int64, o Options) *Corpus {
 	if deltaT <= 0 {
 		deltaT = DefaultDeltaT
 	}
-	type cell struct {
-		service string
-		window  int
+	in := o.Interner
+	if in == nil {
+		in = NewInterner()
 	}
-	first, _ := t.Span()
-	cells := make(map[cell][]string)
-	order := make([]cell, 0, 64)
-	for _, e := range t.Events {
-		c := cell{
-			service: def.Service(e.Key()),
-			window:  int((e.Ts - first) / deltaT),
+	out := &Corpus{DeltaT: deltaT, Kind: def.Kind(), in: in}
+	events := t.Events
+	if len(events) == 0 {
+		out.Counts = make([]int64, in.Len())
+		return out
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(events) {
+		workers = len(events)
+	}
+	first := events[0].Ts
+	reg := newSvcRegistry(def)
+
+	// Phase 1: parallel scan over contiguous chunks.
+	parts := make([]*partial, workers)
+	if workers == 1 {
+		parts[0] = scan(events, 0, def, reg, first, deltaT)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo, hi := len(events)*w/workers, len(events)*(w+1)/workers
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				parts[w] = scan(events[lo:hi], lo, def, reg, first, deltaT)
+			}(w, lo, hi)
 		}
-		if _, ok := cells[c]; !ok {
-			order = append(order, c)
+		wg.Wait()
+	}
+
+	// Phase 2 (serial, O(distinct senders + distinct cells)): merge sender
+	// stats, intern new senders in first-appearance order, merge cell keys
+	// into the stable (window, service) output order.
+	merged := parts[0].stats
+	for _, p := range parts[1:] {
+		for ip, st := range p.stats {
+			m := merged[ip]
+			if m == nil {
+				merged[ip] = st
+				continue
+			}
+			if st.first < m.first {
+				m.first = st.first
+			}
+			m.count += st.count
 		}
-		cells[c] = append(cells[c], e.Src.String())
+	}
+	type newSender struct {
+		ip    netutil.IPv4
+		first int
+	}
+	news := make([]newSender, 0, len(merged))
+	for ip, st := range merged {
+		if _, ok := in.ID(ip); !ok {
+			news = append(news, newSender{ip, st.first})
+		}
+	}
+	sort.Slice(news, func(i, j int) bool { return news[i].first < news[j].first })
+	for _, ns := range news {
+		in.Intern(ns.ip)
+	}
+	idOf := in.index() // read-only from here on
+	out.Counts = make([]int64, in.Len())
+	for ip, st := range merged {
+		out.Counts[idOf[ip]] = st.count
+	}
+
+	type cellMeta struct {
+		key     uint64
+		window  int
+		service string
+		total   int
+	}
+	union := make(map[uint64]*cellMeta, len(parts[0].cells)*2)
+	for _, p := range parts {
+		for key, buf := range p.cells {
+			m := union[key]
+			if m == nil {
+				m = &cellMeta{
+					key:     key,
+					window:  int(key & (1<<windowBits - 1)),
+					service: reg.names[key>>windowBits],
+				}
+				union[key] = m
+			}
+			m.total += len(buf)
+		}
+	}
+	metas := make([]*cellMeta, 0, len(union))
+	for _, m := range union {
+		metas = append(metas, m)
 	}
 	// Stable corpus order: by window then service name, so training with a
 	// fixed seed is reproducible regardless of event interleaving.
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].window != order[j].window {
-			return order[i].window < order[j].window
+	sort.Slice(metas, func(i, j int) bool {
+		if metas[i].window != metas[j].window {
+			return metas[i].window < metas[j].window
 		}
-		return order[i].service < order[j].service
+		return metas[i].service < metas[j].service
 	})
-	out := &Corpus{DeltaT: deltaT, Kind: def.Kind()}
-	for _, c := range order {
-		out.Sequences = append(out.Sequences, Sequence{
-			Service: c.service,
-			Window:  c.window,
-			Words:   cells[c],
-		})
+
+	// Phase 3: parallel sequence assembly — concatenate each cell's
+	// per-chunk buffers in chunk order, remapping IPv4 → token id.
+	out.Sequences = make([]Sequence, len(metas))
+	fill := func(si int) {
+		m := metas[si]
+		toks := make([]int32, 0, m.total)
+		for _, p := range parts {
+			for _, ip := range p.cells[m.key] {
+				toks = append(toks, int32(idOf[ip]))
+			}
+		}
+		out.Sequences[si] = Sequence{Service: m.service, Window: m.window, Tokens: toks, in: in}
+	}
+	if workers == 1 || len(metas) < 2 {
+		for si := range metas {
+			fill(si)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					si := int(next.Add(1)) - 1
+					if si >= len(metas) {
+						return
+					}
+					fill(si)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	return out
+}
+
+// Interner returns the sender id space this corpus is encoded in.
+func (c *Corpus) Interner() *Interner { return c.in }
+
+// TokenSequences exposes the interned token sequences in the shape the
+// pre-encoded Word2Vec entry point consumes. Slices are shared, not
+// copied.
+func (c *Corpus) TokenSequences() [][]int32 {
+	out := make([][]int32, len(c.Sequences))
+	for i := range c.Sequences {
+		out[i] = c.Sequences[i].Tokens
 	}
 	return out
 }
@@ -75,28 +344,34 @@ func Build(t *trace.Trace, def services.Definition, deltaT int64) *Corpus {
 // Tokens returns the total number of words across all sequences.
 func (c *Corpus) Tokens() int {
 	n := 0
-	for _, s := range c.Sequences {
-		n += len(s.Words)
+	for i := range c.Sequences {
+		n += len(c.Sequences[i].Tokens)
 	}
 	return n
 }
 
-// Sentences exposes the corpus in the [][]string shape the Word2Vec trainer
-// consumes. The inner slices are shared with the corpus, not copied.
+// Sentences exposes the corpus in the [][]string shape the string-path
+// Word2Vec trainer consumes, materialising words lazily on first call
+// (cached; safe for concurrent use).
 func (c *Corpus) Sentences() [][]string {
-	out := make([][]string, len(c.Sequences))
-	for i := range c.Sequences {
-		out[i] = c.Sequences[i].Words
-	}
-	return out
+	c.sentOnce.Do(func() {
+		out := make([][]string, len(c.Sequences))
+		for i := range c.Sequences {
+			out[i] = c.Sequences[i].Words()
+		}
+		c.sentences = out
+	})
+	return c.sentences
 }
 
-// Vocabulary returns the distinct words with their corpus frequencies.
+// Vocabulary returns the distinct words with their corpus frequencies,
+// derived from the interner's frequency table instead of re-walking every
+// token.
 func (c *Corpus) Vocabulary() map[string]int {
-	v := make(map[string]int)
-	for _, s := range c.Sequences {
-		for _, w := range s.Words {
-			v[w]++
+	v := make(map[string]int, len(c.Counts))
+	for id, n := range c.Counts {
+		if n > 0 {
+			v[c.in.Lookup(uint32(id))] = int(n)
 		}
 	}
 	return v
@@ -109,7 +384,7 @@ func (c *Corpus) Vocabulary() map[string]int {
 func (c *Corpus) SkipGrams(window int, padded bool) int64 {
 	var n int64
 	for _, s := range c.Sequences {
-		l := len(s.Words)
+		l := len(s.Tokens)
 		if l == 0 {
 			continue
 		}

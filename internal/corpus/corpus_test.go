@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -41,9 +42,9 @@ func TestBuildSplitsByServiceAndWindow(t *testing.T) {
 		}
 	}
 	// Arrival order within a cell.
-	telnet0 := c.Sequences[1]
-	if !reflect.DeepEqual(telnet0.Words, []string{"10.0.0.1", "10.0.0.2"}) {
-		t.Fatalf("telnet window 0 words = %v", telnet0.Words)
+	telnet0 := &c.Sequences[1]
+	if !reflect.DeepEqual(telnet0.Words(), []string{"10.0.0.1", "10.0.0.2"}) {
+		t.Fatalf("telnet window 0 words = %v", telnet0.Words())
 	}
 }
 
@@ -54,8 +55,8 @@ func TestBuildSameSenderMultipleServices(t *testing.T) {
 	})
 	c := Build(tr, services.NewDomain(), 3600)
 	count := 0
-	for _, s := range c.Sequences {
-		for _, w := range s.Words {
+	for i := range c.Sequences {
+		for _, w := range c.Sequences[i].Words() {
 			if w == "10.0.0.1" {
 				count++
 			}
@@ -112,9 +113,33 @@ func TestBuildDeterminism(t *testing.T) {
 	}
 	a := Build(trace.New(append([]trace.Event(nil), events...)), services.NewDomain(), 3600)
 	b := Build(trace.New(append([]trace.Event(nil), events...)), services.NewDomain(), 3600)
-	if !reflect.DeepEqual(a.Sequences, b.Sequences) {
-		t.Fatal("corpus construction must be deterministic")
+	if err := equalCorpora(a, b); err != nil {
+		t.Fatalf("corpus construction must be deterministic: %v", err)
 	}
+}
+
+// equalCorpora compares two corpora structurally: sequence order, service
+// and window labels, token ids, per-id counts and the id → word tables.
+func equalCorpora(a, b *Corpus) error {
+	if len(a.Sequences) != len(b.Sequences) {
+		return fmt.Errorf("sequences %d != %d", len(a.Sequences), len(b.Sequences))
+	}
+	for i := range a.Sequences {
+		sa, sb := &a.Sequences[i], &b.Sequences[i]
+		if sa.Service != sb.Service || sa.Window != sb.Window {
+			return fmt.Errorf("seq %d header {%s w%d} != {%s w%d}", i, sa.Service, sa.Window, sb.Service, sb.Window)
+		}
+		if !reflect.DeepEqual(sa.Tokens, sb.Tokens) {
+			return fmt.Errorf("seq %d tokens diverge: %v != %v", i, sa.Tokens, sb.Tokens)
+		}
+	}
+	if !reflect.DeepEqual(a.Counts, b.Counts) {
+		return fmt.Errorf("counts diverge: %v != %v", a.Counts, b.Counts)
+	}
+	if !reflect.DeepEqual(a.Interner().Strings(), b.Interner().Strings()) {
+		return fmt.Errorf("interner tables diverge")
+	}
+	return nil
 }
 
 func TestBuildDefaultDeltaT(t *testing.T) {

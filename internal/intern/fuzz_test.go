@@ -1,0 +1,77 @@
+package intern
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// FuzzInternRoundTrip derives a string set from the fuzz input, interns it
+// from several goroutines concurrently (each in a different order), and
+// verifies the interner invariants: Intern → ID → Lookup is the identity,
+// ids are dense, and the reverse table is stable under concurrent
+// insertion. Run with -race to catch unsynchronised paths.
+func FuzzInternRoundTrip(f *testing.F) {
+	f.Add([]byte("10.0.0.1,10.0.0.2,192.168.1.1"))
+	f.Add([]byte(",,a,,b,a,"))
+	f.Add([]byte("x"))
+	f.Add(bytes.Repeat([]byte("w,"), 300))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parts := bytes.Split(data, []byte(","))
+		words := make([]string, 0, len(parts))
+		seen := map[string]bool{}
+		for _, p := range parts {
+			s := string(p)
+			if s == "" || seen[s] {
+				continue
+			}
+			seen[s] = true
+			words = append(words, s)
+		}
+		tab := New()
+		const goroutines = 4
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := range words {
+					w := words[(i+g*13)%len(words)]
+					id := tab.Intern(w)
+					if got := tab.Lookup(id); got != w {
+						panic("Lookup(Intern(w)) != w: " + got + " != " + w)
+					}
+				}
+			}(g)
+		}
+		if len(words) > 0 {
+			wg.Wait()
+		}
+		if tab.Len() != len(words) {
+			t.Fatalf("Len = %d, want %d distinct strings", tab.Len(), len(words))
+		}
+		// Dense, stable, bijective.
+		used := make([]bool, len(words))
+		for _, w := range words {
+			id, ok := tab.ID(w)
+			if !ok {
+				t.Fatalf("ID(%q) missing", w)
+			}
+			if int(id) >= len(words) {
+				t.Fatalf("id %d out of dense range %d", id, len(words))
+			}
+			if used[id] {
+				t.Fatalf("id %d assigned twice", id)
+			}
+			used[id] = true
+			if got := tab.Lookup(id); got != w {
+				t.Fatalf("Lookup(%d) = %q, want %q", id, got, w)
+			}
+		}
+		for id, s := range tab.Strings() {
+			if !seen[s] {
+				t.Fatalf("Strings()[%d] = %q was never interned", id, s)
+			}
+		}
+	})
+}

@@ -1,0 +1,167 @@
+// Package intern provides an append-only string ↔ uint32 interner: every
+// distinct string is stored exactly once and mapped to a dense id assigned
+// in insertion order. The pipeline uses it to keep the corpus as integer
+// token sequences end-to-end — senders' IP addresses are interned once per
+// distinct sender instead of being materialised as a fresh Go string per
+// packet — while the reverse table keeps id → string resolution O(1) for
+// the places that still need words (vocabulary export, API responses).
+//
+// Concurrency model: lookups on settled keys are lock-free (they hit an
+// immutable per-shard snapshot map), insertion is sharded 64 ways so
+// concurrent writers on different keys rarely contend, and the reverse
+// table is a paged, append-only structure readable without locks. Ids are
+// dense: after n Intern calls over n distinct strings, ids are exactly
+// 0..n-1. The assignment order follows the serialization of Intern calls,
+// so a single-goroutine caller gets fully deterministic ids.
+package intern
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	nShards   = 64
+	pageSize  = 1024
+	pageShift = 10 // log2(pageSize)
+)
+
+// page is one fixed-size block of the reverse table. Slots are written
+// exactly once, before the id is published through the table counter.
+type page [pageSize]string
+
+// shard is one insertion stripe. read is an immutable snapshot map grown
+// geometrically from dirty, so settled keys resolve without taking mu;
+// dirty is the authoritative superset, guarded by mu.
+type shard struct {
+	read  atomic.Pointer[map[string]uint32]
+	mu    sync.Mutex
+	dirty map[string]uint32
+}
+
+// Table is the interner. The zero value is NOT ready; use New.
+type Table struct {
+	shards [nShards]shard
+
+	// mu serialises id assignment and reverse-table growth. It is only
+	// taken for genuinely new strings, and always after the owning
+	// shard's lock (never the other way), so the order is deadlock-free.
+	mu    sync.Mutex
+	pages atomic.Pointer[[]*page]
+	count atomic.Uint32 // published size; Lookup is valid for id < count
+}
+
+// New returns an empty interner.
+func New() *Table {
+	t := &Table{}
+	empty := []*page{}
+	t.pages.Store(&empty)
+	return t
+}
+
+// fnv1a hashes s for shard selection (FNV-1a, 32-bit).
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (t *Table) shardOf(s string) *shard { return &t.shards[fnv1a(s)%nShards] }
+
+// ID returns the id of s if it has been interned. The fast path is a
+// lock-free read of the shard snapshot; only strings interned since the
+// last snapshot promotion fall through to the shard mutex.
+func (t *Table) ID(s string) (uint32, bool) {
+	sh := t.shardOf(s)
+	if m := sh.read.Load(); m != nil {
+		if id, ok := (*m)[s]; ok {
+			return id, true
+		}
+	}
+	sh.mu.Lock()
+	id, ok := sh.dirty[s]
+	sh.mu.Unlock()
+	return id, ok
+}
+
+// Intern returns the id of s, assigning the next dense id if s is new.
+// Safe for concurrent use; the string is retained (append-only).
+func (t *Table) Intern(s string) uint32 {
+	sh := t.shardOf(s)
+	if m := sh.read.Load(); m != nil {
+		if id, ok := (*m)[s]; ok {
+			return id
+		}
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if id, ok := sh.dirty[s]; ok {
+		return id
+	}
+	id := t.assign(s)
+	if sh.dirty == nil {
+		sh.dirty = make(map[string]uint32, 8)
+	}
+	sh.dirty[s] = id
+	// Promote a fresh snapshot once dirty has outgrown it: geometric
+	// growth keeps the total copy work linear in the shard size.
+	if rm := sh.read.Load(); rm == nil || len(sh.dirty) >= 2*len(*rm)+16 {
+		snap := make(map[string]uint32, len(sh.dirty))
+		for k, v := range sh.dirty {
+			snap[k] = v
+		}
+		sh.read.Store(&snap)
+	}
+	return id
+}
+
+// assign allocates the next id and publishes s in the reverse table. The
+// caller holds the owning shard's lock; table.mu serialises id assignment
+// across shards.
+func (t *Table) assign(s string) uint32 {
+	t.mu.Lock()
+	id := t.count.Load()
+	pi := int(id >> pageShift)
+	pages := *t.pages.Load()
+	if pi == len(pages) {
+		// Copy-on-write growth: readers keep their old slice, the new
+		// one becomes visible before the id is published.
+		np := make([]*page, len(pages)+1)
+		copy(np, pages)
+		np[len(pages)] = new(page)
+		t.pages.Store(&np)
+		pages = np
+	}
+	pages[pi][id&(pageSize-1)] = s
+	t.count.Store(id + 1) // release: publishes the slot write
+	t.mu.Unlock()
+	return id
+}
+
+// Lookup resolves an id back to its string. Ids not yet assigned return
+// "". Lock-free.
+func (t *Table) Lookup(id uint32) string {
+	if id >= t.count.Load() { // acquire: pairs with the Store in assign
+		return ""
+	}
+	pages := *t.pages.Load()
+	return pages[id>>pageShift][id&(pageSize-1)]
+}
+
+// Len returns the number of interned strings (also the next id). Lock-free.
+func (t *Table) Len() int { return int(t.count.Load()) }
+
+// Strings materialises the reverse table as a fresh []string indexed by id
+// — the shape the vocabulary builder consumes. O(n) per call.
+func (t *Table) Strings() []string {
+	n := t.count.Load()
+	out := make([]string, n)
+	pages := *t.pages.Load()
+	for id := uint32(0); id < n; id++ {
+		out[id] = pages[id>>pageShift][id&(pageSize-1)]
+	}
+	return out
+}

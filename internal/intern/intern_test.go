@@ -1,0 +1,144 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternAssignsDenseIDsInOrder(t *testing.T) {
+	tab := New()
+	words := []string{"10.0.0.1", "10.0.0.2", "10.0.0.1", "192.168.0.9", "10.0.0.2"}
+	want := []uint32{0, 1, 0, 2, 1}
+	for i, w := range words {
+		if id := tab.Intern(w); id != want[i] {
+			t.Fatalf("Intern(%q) = %d, want %d", w, id, want[i])
+		}
+	}
+	if tab.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tab.Len())
+	}
+}
+
+func TestLookupRoundTrip(t *testing.T) {
+	tab := New()
+	// Enough to cross several page boundaries.
+	n := 3*pageSize + 37
+	for i := 0; i < n; i++ {
+		s := fmt.Sprintf("w%06d", i)
+		if id := tab.Intern(s); id != uint32(i) {
+			t.Fatalf("Intern(%q) = %d, want %d", s, id, i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		want := fmt.Sprintf("w%06d", i)
+		if got := tab.Lookup(uint32(i)); got != want {
+			t.Fatalf("Lookup(%d) = %q, want %q", i, got, want)
+		}
+		if id, ok := tab.ID(want); !ok || id != uint32(i) {
+			t.Fatalf("ID(%q) = %d,%v, want %d,true", want, id, ok, i)
+		}
+	}
+	if got := tab.Lookup(uint32(n)); got != "" {
+		t.Fatalf("Lookup past end = %q, want empty", got)
+	}
+}
+
+func TestIDMissing(t *testing.T) {
+	tab := New()
+	tab.Intern("present")
+	if _, ok := tab.ID("absent"); ok {
+		t.Fatal("ID reported a string that was never interned")
+	}
+}
+
+func TestStringsMatchesInsertionOrder(t *testing.T) {
+	tab := New()
+	in := []string{"c", "a", "b", "a", "d"}
+	for _, s := range in {
+		tab.Intern(s)
+	}
+	want := []string{"c", "a", "b", "d"}
+	got := tab.Strings()
+	if len(got) != len(want) {
+		t.Fatalf("Strings len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Strings[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestConcurrentIntern hammers one table from many goroutines over an
+// overlapping key set and checks the invariants that make the interner an
+// interner: one id per distinct string, dense ids, stable reverse lookups.
+// Run under -race in CI.
+func TestConcurrentIntern(t *testing.T) {
+	tab := New()
+	const goroutines = 8
+	const keys = 5000
+	var wg sync.WaitGroup
+	ids := make([][]uint32, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids[g] = make([]uint32, keys)
+			for i := 0; i < keys; i++ {
+				// Overlapping, per-goroutine-rotated insertion order.
+				k := (i + g*577) % keys
+				ids[g][k] = tab.Intern(fmt.Sprintf("key-%05d", k))
+				// Interleave reads of already-settled keys.
+				if i%64 == 0 {
+					_ = tab.Lookup(uint32(i % (tab.Len() + 1)))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tab.Len() != keys {
+		t.Fatalf("Len = %d, want %d", tab.Len(), keys)
+	}
+	for k := 0; k < keys; k++ {
+		s := fmt.Sprintf("key-%05d", k)
+		id, ok := tab.ID(s)
+		if !ok {
+			t.Fatalf("ID(%q) missing after concurrent intern", s)
+		}
+		if got := tab.Lookup(id); got != s {
+			t.Fatalf("Lookup(%d) = %q, want %q", id, got, s)
+		}
+		for g := 0; g < goroutines; g++ {
+			if ids[g][k] != id {
+				t.Fatalf("goroutine %d saw id %d for %q, final id %d", g, ids[g][k], s, id)
+			}
+		}
+	}
+}
+
+func BenchmarkInternHit(b *testing.B) {
+	tab := New()
+	words := make([]string, 1024)
+	for i := range words {
+		words[i] = fmt.Sprintf("10.%d.%d.%d", i>>8, i&0xff, i%251)
+		tab.Intern(words[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Intern(words[i&1023])
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tab := New()
+	for i := 0; i < 1024; i++ {
+		tab.Intern(fmt.Sprintf("w%d", i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tab.Lookup(uint32(i & 1023))
+	}
+}

@@ -1,0 +1,40 @@
+package stream
+
+import (
+	"testing"
+
+	"github.com/darkvec/darkvec/internal/corpus"
+	"github.com/darkvec/darkvec/internal/netutil"
+	"github.com/darkvec/darkvec/internal/services"
+	"github.com/darkvec/darkvec/internal/trace"
+)
+
+// TestWindowInternerPersists: the window hands out one interner for its
+// lifetime, and corpus builds over successive snapshots keep sender ids
+// stable — the property that makes rolling retrains cheap.
+func TestWindowInternerPersists(t *testing.T) {
+	w := NewWindow(WindowConfig{MaxEvents: 1024})
+	if w.Interner() != w.Interner() {
+		t.Fatal("interner must be a singleton per window")
+	}
+	ip := netutil.MustParseIPv4("10.9.9.9")
+	w.Add(trace.Event{Ts: 1, Src: ip, Port: 23})
+	def := services.NewDomain()
+	c := corpus.BuildOpts(w.Snapshot(), def, 3600, corpus.Options{Interner: w.Interner()})
+	if c.Interner() != w.Interner() {
+		t.Fatal("corpus must adopt the window interner")
+	}
+	id0, ok := w.Interner().ID(ip)
+	if !ok {
+		t.Fatal("sender not interned by first build")
+	}
+	// Roll the window fully past the first event; the id survives because
+	// the interner is append-only and owned by the window, not the corpus.
+	for i := 0; i < 2048; i++ {
+		w.Add(trace.Event{Ts: int64(2 + i), Src: netutil.IPv4(0x0b000000 + uint32(i)), Port: 23})
+	}
+	corpus.BuildOpts(w.Snapshot(), def, 3600, corpus.Options{Interner: w.Interner()})
+	if id, ok := w.Interner().ID(ip); !ok || id != id0 {
+		t.Fatalf("sender id drifted after eviction: %d,%v want %d", id, ok, id0)
+	}
+}

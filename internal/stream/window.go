@@ -4,6 +4,7 @@ import (
 	"io"
 	"sync"
 
+	"github.com/darkvec/darkvec/internal/corpus"
 	"github.com/darkvec/darkvec/internal/netutil"
 	"github.com/darkvec/darkvec/internal/trace"
 )
@@ -60,6 +61,9 @@ type Window struct {
 
 	evictedAge int64
 	evictedCap int64
+
+	internOnce sync.Once
+	intern     *corpus.Interner
 }
 
 // NewWindow builds a window; the ring starts small and grows geometrically
@@ -162,6 +166,17 @@ func (w *Window) ActiveSenders(minPackets int) int {
 		}
 	}
 	return n
+}
+
+// Interner returns the window's persistent sender id space, created on
+// first use. Passing it to every retrain's corpus build keeps sender →
+// token-id assignments stable across snapshots, so a recurring scanner is
+// interned once for the lifetime of the window rather than once per
+// retrain cycle. Retrain cycles run sequentially, which is exactly the
+// sharing discipline corpus.Interner requires.
+func (w *Window) Interner() *corpus.Interner {
+	w.internOnce.Do(func() { w.intern = corpus.NewInterner() })
+	return w.intern
 }
 
 // Snapshot copies the window into a time-sorted Trace — the input of a

@@ -1,0 +1,63 @@
+package w2v
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Encoded is a pre-encoded corpus: token sequences over a caller-owned
+// dense id space (the corpus interner's), plus that space's id → word and
+// id → frequency tables. It is the integer-token handoff from the corpus
+// builder — no string in the struct is ever re-hashed during training.
+//
+// Words must be distinct (an interner guarantees this); Counts[i] is the
+// corpus frequency of id i and may be 0 for ids the interner knows from
+// earlier builds but that do not appear in this corpus.
+type Encoded struct {
+	Sequences [][]int32
+	Words     []string
+	Counts    []int64
+}
+
+// TrainEncoded trains a model from a pre-encoded corpus, skipping the
+// string vocabulary pass entirely: the vocabulary is derived from the
+// frequency table and tokens are remapped caller-id → vocab-id through a
+// flat permutation slice. For a fixed seed the result is byte-identical
+// to Train over the equivalent string sentences.
+func TrainEncoded(enc Encoded, cfg Config) (*Model, error) {
+	return TrainEncodedWithOptions(enc, cfg, TrainOptions{})
+}
+
+// TrainEncodedWithOptions is TrainEncoded with cancellation, checkpointing
+// and resume.
+func TrainEncodedWithOptions(enc Encoded, cfg Config, opts TrainOptions) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if len(enc.Words) != len(enc.Counts) {
+		return nil, fmt.Errorf("w2v: encoded corpus has %d words but %d counts", len(enc.Words), len(enc.Counts))
+	}
+	vocab, perm := vocabFromCounts(enc.Words, enc.Counts, cfg.MinCount, cfg.PadToken)
+	if vocab.Size() == 0 {
+		return nil, errors.New("w2v: empty vocabulary")
+	}
+	// Remap to vocabulary ids, dropping sub-MinCount tokens — the exact
+	// filtering Vocabulary.Encode applies on the string path.
+	seqs := make([][]int32, 0, len(enc.Sequences))
+	var totalTokens int64
+	for _, s := range enc.Sequences {
+		ids := make([]int32, 0, len(s))
+		for _, id := range s {
+			if id < 0 || int(id) >= len(perm) {
+				return nil, fmt.Errorf("w2v: token id %d outside the %d-entry table", id, len(perm))
+			}
+			if nid := perm[id]; nid >= 0 {
+				ids = append(ids, nid)
+			}
+		}
+		if len(ids) == 0 {
+			continue
+		}
+		totalTokens += int64(len(ids))
+		seqs = append(seqs, ids)
+	}
+	return trainPrepared(vocab, seqs, totalTokens, cfg, opts)
+}

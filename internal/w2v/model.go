@@ -111,7 +111,10 @@ type TrainOptions struct {
 }
 
 // Train builds the vocabulary from sentences and trains a model. Sentences
-// are slices of words; out-of-vocabulary handling follows MinCount.
+// are slices of words; out-of-vocabulary handling follows MinCount. It is
+// a thin string-front wrapper over the pre-encoded training core — see
+// TrainEncoded for the integer-token entry point that skips the string
+// vocabulary pass entirely.
 func Train(sentences [][]string, cfg Config) (*Model, error) {
 	return TrainWithOptions(sentences, cfg, TrainOptions{})
 }
@@ -119,13 +122,33 @@ func Train(sentences [][]string, cfg Config) (*Model, error) {
 // TrainWithOptions is Train with cancellation, checkpointing and resume.
 func TrainWithOptions(sentences [][]string, cfg Config, opts TrainOptions) (*Model, error) {
 	cfg = cfg.withDefaults()
-	ctx := opts.Context
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	vocab := BuildVocabulary(sentences, cfg.MinCount, cfg.PadToken)
 	if vocab.Size() == 0 {
 		return nil, errors.New("w2v: empty vocabulary")
+	}
+	// Pre-encode sentences to id slices once.
+	enc := make([][]int32, 0, len(sentences))
+	var totalTokens int64
+	for _, s := range sentences {
+		ids := vocab.Encode(nil, s)
+		if len(ids) == 0 {
+			continue
+		}
+		totalTokens += int64(len(ids))
+		enc = append(enc, ids)
+	}
+	return trainPrepared(vocab, enc, totalTokens, cfg, opts)
+}
+
+// trainPrepared is the shared training core: vocabulary and id-encoded
+// sentences in hand, run the epochs. cfg must already carry defaults.
+// Both the string path (TrainWithOptions) and the interned-id path
+// (TrainEncoded) land here, which is what makes their outputs
+// byte-identical for a fixed seed.
+func trainPrepared(vocab *Vocabulary, enc [][]int32, totalTokens int64, cfg Config, opts TrainOptions) (*Model, error) {
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if cfg.Dim <= 0 || cfg.Window <= 0 {
 		return nil, fmt.Errorf("w2v: invalid dim %d / window %d", cfg.Dim, cfg.Window)
@@ -157,17 +180,6 @@ func TrainWithOptions(sentences [][]string, cfg Config, opts TrainOptions) (*Mod
 		}
 	}
 
-	// Pre-encode sentences to id slices once.
-	enc := make([][]int32, 0, len(sentences))
-	var totalTokens int64
-	for _, s := range sentences {
-		ids := vocab.Encode(nil, s)
-		if len(ids) == 0 {
-			continue
-		}
-		totalTokens += int64(len(ids))
-		enc = append(enc, ids)
-	}
 	if totalTokens == 0 {
 		return nil, errors.New("w2v: no in-vocabulary tokens")
 	}

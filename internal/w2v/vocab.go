@@ -64,6 +64,59 @@ func BuildVocabulary(sentences [][]string, minCount int, padToken string) *Vocab
 	return v
 }
 
+// vocabFromCounts builds a Vocabulary directly from an id-indexed
+// (words, counts) table — the interned-corpus fast path, which never
+// hashes a word string. Entries follow BuildVocabulary's rules exactly
+// (count >= minCount keeps a word, the pad token is always kept, order is
+// count desc then word asc), so for equal frequencies the two
+// constructors produce identical vocabularies. The second result maps the
+// caller's ids to vocabulary ids (-1 = dropped). words must be distinct.
+func vocabFromCounts(words []string, counts []int64, minCount int, padToken string) (*Vocabulary, []int32) {
+	type wc struct {
+		w  string
+		c  int64
+		id int32 // caller id; -1 for the synthetic pad entry
+	}
+	all := make([]wc, 0, len(words))
+	padSeen := false
+	for i, w := range words {
+		if w == padToken && padToken != "" {
+			padSeen = true
+		}
+		if counts[i] >= int64(minCount) || w == padToken {
+			all = append(all, wc{w, counts[i], int32(i)})
+		}
+	}
+	if padToken != "" && !padSeen {
+		all = append(all, wc{padToken, 0, -1})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].w < all[j].w
+	})
+	v := &Vocabulary{
+		ids:    make(map[string]int32, len(all)),
+		words:  make([]string, len(all)),
+		counts: make([]int64, len(all)),
+	}
+	perm := make([]int32, len(words))
+	for i := range perm {
+		perm[i] = -1
+	}
+	for i, e := range all {
+		v.ids[e.w] = int32(i)
+		v.words[i] = e.w
+		v.counts[i] = e.c
+		v.total += e.c
+		if e.id >= 0 {
+			perm[e.id] = int32(i)
+		}
+	}
+	return v, perm
+}
+
 // Size returns the number of vocabulary entries.
 func (v *Vocabulary) Size() int { return len(v.words) }
 
