@@ -258,8 +258,8 @@ func BenchmarkSilhouetteParallel(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if sil := darkvec.Silhouette(space, cl.Assign); len(sil) != space.Len() {
-			b.Fatal("length mismatch")
+		if sil, err := darkvec.Silhouette(space, cl.Assign); err != nil || len(sil) != space.Len() {
+			b.Fatalf("silhouette: %v", err)
 		}
 	}
 	n := float64(space.Len())
@@ -297,8 +297,8 @@ func BenchmarkSilhouette(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if sil := darkvec.Silhouette(space, cl.Assign); len(sil) != space.Len() {
-			b.Fatal("length mismatch")
+		if sil, err := darkvec.Silhouette(space, cl.Assign); err != nil || len(sil) != space.Len() {
+			b.Fatalf("silhouette: %v", err)
 		}
 	}
 }

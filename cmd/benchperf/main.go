@@ -1,7 +1,8 @@
 // Command benchperf measures the throughput of the pipeline's
 // perf-critical substrates — corpus construction, Word2Vec training, the
-// end-to-end trace→model path, the batched exact k-NN engine, and the
-// parallel silhouette — at a fixed operating point, and writes the numbers
+// end-to-end trace→model path, the batched exact k-NN engine, the
+// parallel silhouette, and the drift-gate check a retrain cycle pays
+// before publishing — at a fixed operating point, and writes the numbers
 // to a JSON file (BENCH_perf.json) so runs can be compared across commits
 // and machines.
 //
@@ -30,6 +31,7 @@ import (
 	"github.com/darkvec/darkvec/internal/cluster"
 	"github.com/darkvec/darkvec/internal/core"
 	"github.com/darkvec/darkvec/internal/corpus"
+	"github.com/darkvec/darkvec/internal/drift"
 	"github.com/darkvec/darkvec/internal/embed"
 	"github.com/darkvec/darkvec/internal/experiments"
 	"github.com/darkvec/darkvec/internal/services"
@@ -83,6 +85,8 @@ type metrics struct {
 
 	SilhouetteCellsPerS       float64 `json:"silhouette_cells_per_s"`
 	SilhouetteCellsPerSSerial float64 `json:"silhouette_cells_per_s_serial"`
+
+	DriftCheckS float64 `json:"drift_check_s"`
 }
 
 func main() {
@@ -233,8 +237,9 @@ func main() {
 	cells := float64(space.Len()) * float64(space.Len())
 	silRate := func() (float64, error) {
 		t0 := time.Now()
-		if sil := cluster.Silhouette(space, assign); len(sil) != space.Len() {
-			return 0, fmt.Errorf("silhouette length mismatch")
+		sil, err := cluster.Silhouette(space, assign)
+		if err != nil || len(sil) != space.Len() {
+			return 0, fmt.Errorf("silhouette: %v", err)
 		}
 		return cells / time.Since(t0).Seconds(), nil
 	}
@@ -245,6 +250,27 @@ func main() {
 	fmt.Printf("silhouette:     %12.0f cells/s  (serial %0.f, x%.2f)\n",
 		run.Metrics.SilhouetteCellsPerS, run.Metrics.SilhouetteCellsPerSSerial,
 		run.Metrics.SilhouetteCellsPerS/run.Metrics.SilhouetteCellsPerSSerial)
+
+	// Drift gate latency: what a darkvecd retrain cycle pays on top of
+	// training — freeze the candidate (clustering + silhouette) and compare
+	// it against an already-captured baseline. Lowest wall time kept.
+	baseSnap, err := drift.Capture(space, assign, "baseline", nil, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchperf:", err)
+		os.Exit(1)
+	}
+	run.Metrics.DriftCheckS = bestLow(*iters, func() (float64, error) {
+		t0 := time.Now()
+		cand, err := drift.Capture(space, assign, "candidate", nil, nil)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := drift.Compare(baseSnap, cand, drift.Options{}); err != nil {
+			return 0, err
+		}
+		return time.Since(t0).Seconds(), nil
+	})
+	fmt.Printf("drift check:    %12.3f s\n", run.Metrics.DriftCheckS)
 
 	rep.Runs = mergeRuns(*out, rep, run)
 	data, err := json.MarshalIndent(rep, "", "  ")

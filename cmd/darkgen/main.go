@@ -13,6 +13,12 @@
 // the live ingestion path:
 //
 //	darkgen -out '' -days 1 -live 127.0.0.1:9000 -speed 3600
+//
+// With -attack, an evasive scanner overlay (sybil | mimicry | jitter) is
+// appended after the base trace — sized by -attackers/-attackpps/-attackdays
+// — so the same invocation exercises the drift gate end to end:
+//
+//	darkgen -out '' -days 1 -attack sybil -attackers 200 -live 127.0.0.1:9000
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 
 	"github.com/darkvec/darkvec/internal/darksim"
 	"github.com/darkvec/darkvec/internal/labels"
+	"github.com/darkvec/darkvec/internal/trace"
 )
 
 func main() {
@@ -36,55 +43,104 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "generator seed")
 		live     = flag.String("live", "", "stream events to this darkvecd -ingest address (host:port or unix:/path)")
 		speed    = flag.Float64("speed", 0, "live pacing in event-seconds per wall-second (0 = firehose)")
+
+		attack    = flag.String("attack", "", "append an evasive overlay: sybil | mimicry | jitter")
+		attackers = flag.Int("attackers", 200, "attacking source count")
+		attackPPS = flag.Int("attackpps", 12, "packets per attacker per day")
+		attackDay = flag.Int("attackdays", 1, "attack duration in days (starts where the base trace ends)")
+		mimic     = flag.String("attackmimic", "", "mimicry: ground-truth class whose port mix to copy")
 	)
 	flag.Parse()
-	if err := run(*out, *pcapOut, *feedsDir, *days, *scale, *rate, *seed, *live, *speed); err != nil {
+	if err := run(options{
+		out: *out, pcapOut: *pcapOut, feedsDir: *feedsDir,
+		days: *days, scale: *scale, rate: *rate, seed: *seed,
+		live: *live, speed: *speed,
+		attack: *attack, attackers: *attackers, attackPPS: *attackPPS,
+		attackDays: *attackDay, mimic: *mimic,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "darkgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, pcapOut, feedsDir string, days int, scale, rate float64, seed uint64, live string, speed float64) error {
+type options struct {
+	out, pcapOut, feedsDir string
+	days                   int
+	scale, rate            float64
+	seed                   uint64
+	live                   string
+	speed                  float64
+
+	attack     string
+	attackers  int
+	attackPPS  int
+	attackDays int
+	mimic      string
+}
+
+func run(o options) error {
 	res := darksim.Generate(darksim.Config{
-		Seed: seed, Days: days, Scale: scale, Rate: rate,
+		Seed: o.seed, Days: o.days, Scale: o.scale, Rate: o.rate,
 	})
 	fmt.Printf("generated %d events from %d sources over %d days\n",
-		res.Trace.Len(), len(res.Trace.SenderCounts()), days)
+		res.Trace.Len(), len(res.Trace.SenderCounts()), o.days)
 
-	if out != "" {
-		f, err := os.Create(out)
+	tr := res.Trace
+	if o.attack != "" {
+		// The overlay starts where the base trace ends, so a live window's
+		// age horizon never evicts it before a retrain sees it.
+		end := res.Config.Start + int64(o.days)*86400
+		atk, err := darksim.Attack(darksim.AttackConfig{
+			Kind:             darksim.AttackKind(o.attack),
+			Seed:             o.seed,
+			Start:            end,
+			Days:             o.attackDays,
+			Senders:          o.attackers,
+			PacketsPerSender: o.attackPPS,
+			MimicClass:       o.mimic,
+		})
 		if err != nil {
 			return err
 		}
-		if err := res.Trace.WriteCSV(f); err != nil {
+		tr = trace.Merge(tr, atk.Trace)
+		fmt.Printf("appended %s attack: %d events from %d attackers\n",
+			o.attack, atk.Trace.Len(), len(atk.Attackers))
+	}
+
+	if o.out != "" {
+		f, err := os.Create(o.out)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteCSV(f); err != nil {
 			f.Close()
 			return err
 		}
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", out)
+		fmt.Printf("wrote %s\n", o.out)
 	}
-	if pcapOut != "" {
-		f, err := os.Create(pcapOut)
+	if o.pcapOut != "" {
+		f, err := os.Create(o.pcapOut)
 		if err != nil {
 			return err
 		}
-		if err := res.Trace.WritePCAP(f); err != nil {
+		if err := tr.WritePCAP(f); err != nil {
 			f.Close()
 			return err
 		}
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", pcapOut)
+		fmt.Printf("wrote %s\n", o.pcapOut)
 	}
-	if feedsDir != "" {
-		if err := os.MkdirAll(feedsDir, 0o755); err != nil {
+	if o.feedsDir != "" {
+		if err := os.MkdirAll(o.feedsDir, 0o755); err != nil {
 			return err
 		}
 		for class, ips := range res.Feeds {
-			path := filepath.Join(feedsDir, class+".txt")
+			path := filepath.Join(o.feedsDir, class+".txt")
 			f, err := os.Create(path)
 			if err != nil {
 				return err
@@ -99,8 +155,8 @@ func run(out, pcapOut, feedsDir string, days int, scale, rate float64, seed uint
 			fmt.Printf("wrote %s (%d senders)\n", path, len(ips))
 		}
 	}
-	if live != "" {
-		if err := runLive(live, res.Trace, speed, func(format string, args ...any) {
+	if o.live != "" {
+		if err := runLive(o.live, tr, o.speed, func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		}); err != nil {
 			return err

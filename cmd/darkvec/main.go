@@ -242,7 +242,10 @@ func run(ctx context.Context, o options) error {
 		cl := core.Cluster(space, o.kPrime, o.seed)
 		fmt.Printf("\n-- unsupervised clustering (k'=%d + Louvain) --\n", o.kPrime)
 		fmt.Printf("clusters: %d, modularity: %.3f\n", cl.Clusters, cl.Modularity)
-		sil := cluster.Silhouette(space, cl.Assign)
+		sil, serr := cluster.Silhouette(space, cl.Assign)
+		if serr != nil {
+			return serr
+		}
 		lbl := map[string]string{}
 		for _, w := range space.Words {
 			if ip, perr := netutil.ParseIPv4(w); perr == nil {

@@ -124,16 +124,25 @@ func (d *daemon) handleIngest(w http.ResponseWriter, _ *http.Request) {
 }
 
 // stale is the serving-path degradation predicate: a failed retrain (an
-// older generation deliberately kept on the air) or a stalled live feed (a
-// model aging against a silent darknet) both mark every response.
+// older generation deliberately kept on the air, with a drift rejection
+// called out specifically) or a stalled live feed (a model aging against
+// a silent darknet) mark every response; overlapping causes are joined.
 func (d *daemon) stale() (bool, string) {
+	var reasons []string
 	if d.status.stale.Load() {
-		return true, "retrain failed; serving previous generation"
+		if d.status.driftReject.Load() {
+			reasons = append(reasons, "drift gate rejected retrain; serving previous generation")
+		} else {
+			reasons = append(reasons, "retrain failed; serving previous generation")
+		}
 	}
 	if d.ing != nil && d.ing.Stalled() {
-		return true, fmt.Sprintf("live feed silent for %s", d.ing.Silence().Round(1e9))
+		reasons = append(reasons, fmt.Sprintf("live feed silent for %s", d.ing.Silence().Round(1e9)))
 	}
-	return false, ""
+	if len(reasons) == 0 {
+		return false, ""
+	}
+	return true, strings.Join(reasons, "; ")
 }
 
 // flushWindow drains the rolling window to -flush atomically (tmp +

@@ -68,6 +68,7 @@ import (
 	"github.com/darkvec/darkvec/internal/apiserver"
 	"github.com/darkvec/darkvec/internal/core"
 	"github.com/darkvec/darkvec/internal/corpus"
+	"github.com/darkvec/darkvec/internal/drift"
 	"github.com/darkvec/darkvec/internal/labels"
 	"github.com/darkvec/darkvec/internal/modelstore"
 	"github.com/darkvec/darkvec/internal/netutil"
@@ -116,6 +117,18 @@ type options struct {
 	ingestMin     int           // window events required before a retrain cycle runs
 	ingestMinPkts int           // senders need >= P buffered packets to enter a retrain
 
+	// Drift quality gate (see drift.go). Any non-zero budget arms the
+	// gate: a retrained candidate violating a budget is rejected before
+	// publish and the previous generation keeps serving.
+	driftMax     float64 // composite drift score budget (0 = no check)
+	driftChurn   float64 // vocabulary churn budget
+	driftOverlap float64 // minimum k-NN neighbourhood overlap
+	driftSilDrop float64 // silhouette regression budget
+	driftShift   float64 // per-class centroid shift budget
+	driftNew     float64 // majority-new cluster fraction budget
+	driftK       int     // neighbourhood size for the overlap metric
+	driftHist    int     // gate decisions retained (and persisted with -store)
+
 	logf           func(format string, args ...any)           // nil: stdout
 	onListen       func(addr string)                          // test hook: listener bound
 	onReady        func(addr string)                          // test hook: model serving
@@ -161,6 +174,14 @@ func main() {
 	flag.StringVar(&o.ingestPolicy, "ingestpolicy", "shed-newest", "full-queue drop policy: shed-newest or drop-oldest")
 	flag.IntVar(&o.ingestMin, "ingestmin", 100, "window events required before a retrain cycle runs")
 	flag.IntVar(&o.ingestMinPkts, "ingestminpkts", 1, "senders need >= P buffered packets to enter a retrain (the paper's active-sender filter)")
+	flag.Float64Var(&o.driftMax, "driftmax", 0, "reject a retrain whose composite drift score exceeds this (0 = off)")
+	flag.Float64Var(&o.driftChurn, "driftchurn", 0, "reject a retrain whose vocabulary churn exceeds this (0 = off)")
+	flag.Float64Var(&o.driftOverlap, "driftoverlap", 0, "reject a retrain whose k-NN neighbourhood overlap falls below this (0 = off)")
+	flag.Float64Var(&o.driftSilDrop, "driftsildrop", 0, "reject a retrain whose mean silhouette drops by more than this (0 = off)")
+	flag.Float64Var(&o.driftShift, "driftshift", 0, "reject a retrain with a per-class centroid shift above this (0 = off)")
+	flag.Float64Var(&o.driftNew, "driftnew", 0, "reject a retrain where a larger fraction of senders lives in majority-new clusters (0 = off)")
+	flag.IntVar(&o.driftK, "driftk", 10, "neighbourhood size for the drift overlap metric")
+	flag.IntVar(&o.driftHist, "drifthist", drift.DefaultHistorySize, "drift gate decisions retained (persisted with -store)")
 	flag.Parse()
 	if o.in == "" && !o.live() {
 		flag.Usage()
@@ -247,6 +268,29 @@ func (o *options) validate() error {
 		if o.ingestRate < 0 {
 			return fmt.Errorf("invalid -ingestrate %v: must be >= 0", o.ingestRate)
 		}
+	}
+	for _, b := range []struct {
+		name string
+		v    float64
+	}{
+		{"-driftmax", o.driftMax}, {"-driftchurn", o.driftChurn},
+		{"-driftoverlap", o.driftOverlap}, {"-driftsildrop", o.driftSilDrop},
+		{"-driftshift", o.driftShift}, {"-driftnew", o.driftNew},
+	} {
+		// Every drift metric lives in [0,1]; a budget outside that range is
+		// a typo that would silently never (or always) trip.
+		if b.v < 0 || b.v > 1 {
+			return fmt.Errorf("invalid %s %v: must be in [0,1]", b.name, b.v)
+		}
+	}
+	if o.driftK < 0 {
+		return fmt.Errorf("invalid -driftk %d: must be >= 0", o.driftK)
+	}
+	if o.driftHist < 0 {
+		return fmt.Errorf("invalid -drifthist %d: must be >= 0", o.driftHist)
+	}
+	if o.budgets().Enabled() && o.retrain <= 0 {
+		return errors.New("drift budgets require -retrain > 0: the gate judges retrained candidates")
 	}
 	if o.keep < 0 {
 		return fmt.Errorf("invalid -keep %d: must be >= 0", o.keep)
@@ -338,6 +382,7 @@ func run(ctx context.Context, o options) error {
 			return err
 		}
 	}
+	d.initDrift()
 
 	// The boot corpus: live mode seeds the rolling window (previous flush
 	// + optional -in base trace) and snapshots it; static mode reads -in.
@@ -375,6 +420,9 @@ func run(ctx context.Context, o options) error {
 		// still training.
 		mux.HandleFunc("GET /v1/ingest", d.handleIngest)
 	}
+	// Ungated for the same reason: the drift trajectory and gate decisions
+	// must be inspectable while a candidate is still training.
+	mux.HandleFunc("GET /v1/drift", d.handleDrift)
 	// The staleness marker wraps the gate so a degraded daemon — a failed
 	// retrain still serving the previous generation, or a live feed gone
 	// silent — is visible on every response, not just the health endpoint.
@@ -457,6 +505,9 @@ func run(ctx context.Context, o options) error {
 	}
 	if emb != nil {
 		d.serve(emb, tr, gt, version)
+		// The boot-time generation seeds the gate's baseline, so the very
+		// first retrain is already judged against it.
+		d.driftBootstrap(emb, tr, gt, version)
 	}
 	if o.retrain > 0 && (d.st != nil || o.live()) {
 		go d.retrainLoop(ctx)
@@ -491,9 +542,10 @@ func run(ctx context.Context, o options) error {
 // (0 = unmanaged), stale flips when the last retrain cycle failed and the
 // daemon is deliberately serving an older model.
 type modelStatus struct {
-	version atomic.Uint64
-	stale   atomic.Bool
-	lastErr atomic.Value // string
+	version     atomic.Uint64
+	stale       atomic.Bool
+	driftReject atomic.Bool  // stale specifically because the drift gate refused a candidate
+	lastErr     atomic.Value // string
 }
 
 // daemon carries the pieces of a running darkvecd that outlive a single
@@ -507,6 +559,7 @@ type daemon struct {
 	st     *modelstore.Store // nil when unmanaged
 	ing    *stream.Ingestor  // nil when not ingesting live
 	status modelStatus
+	drift  driftState
 
 	readyOnce sync.Once
 	readyFn   func() // announced on the first model swap
@@ -541,9 +594,15 @@ func (d *daemon) handleReady(w http.ResponseWriter, _ *http.Request) {
 	if v := d.status.version.Load(); v != 0 {
 		resp["model_version"] = modelstore.Version(v).String()
 	}
+	// Degradation causes overlap (a drift-rejected retrain while the feed
+	// is silent, say); every active one is listed so an operator sees the
+	// full picture, not just whichever cause was checked first.
+	var reasons []string
 	if d.status.stale.Load() {
-		resp["status"] = "degraded"
-		resp["stale"] = true
+		if d.status.driftReject.Load() {
+			reasons = append(reasons, "drift_rejected")
+		}
+		reasons = append(reasons, "stale_model")
 		if e, _ := d.status.lastErr.Load().(string); e != "" {
 			resp["last_error"] = e
 		}
@@ -554,10 +613,14 @@ func (d *daemon) handleReady(w http.ResponseWriter, _ *http.Request) {
 		if st.Stalled {
 			// The model still answers, but it is aging against a silent
 			// feed — degraded, with the silence spelled out.
-			resp["status"] = "degraded"
-			resp["stale"] = true
+			reasons = append(reasons, "ingest_stalled")
 			resp["ingest_stalled"] = true
 		}
+	}
+	if len(reasons) > 0 {
+		resp["status"] = "degraded"
+		resp["stale"] = true
+		resp["degraded_reasons"] = reasons
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)
@@ -635,6 +698,7 @@ func (d *daemon) serve(emb *core.Embedding, tr *trace.Trace, gt *labels.Set, v m
 	}))
 	d.status.version.Store(uint64(v))
 	d.status.stale.Store(false)
+	d.status.driftReject.Store(false)
 	d.status.lastErr.Store("")
 	d.o.logf("serving %d senders (coverage %.0f%%)", space.Len(), cov*100)
 	d.readyOnce.Do(func() {
@@ -678,6 +742,27 @@ func (d *daemon) retrainOnce(ctx context.Context) error {
 	if err != nil {
 		return fail(fmt.Errorf("retrain: %w", err))
 	}
+
+	// The quality gate runs before publish: a drifted candidate is never
+	// persisted, never swapped in, and fails the cycle exactly like a
+	// corrupt artifact — same degraded markers, same backoff, same breaker.
+	var snap *drift.Snapshot
+	var rep *drift.Report
+	if d.driftEnabled() {
+		snap, err = d.captureGeneration(emb, tr, gt, d.nextCandidateName())
+		if err != nil {
+			return fail(fmt.Errorf("drift capture: %w", err))
+		}
+		var reasons []string
+		rep, reasons, err = d.gateCheck(snap)
+		if err != nil {
+			return fail(fmt.Errorf("drift compare: %w", err))
+		}
+		if len(reasons) > 0 {
+			return fail(d.rejectCandidate(snap, rep, reasons))
+		}
+	}
+
 	var v modelstore.Version
 	if d.st != nil {
 		if v, err = d.publishVerified(emb); err != nil {
@@ -685,6 +770,11 @@ func (d *daemon) retrainOnce(ctx context.Context) error {
 		}
 	}
 	d.serve(emb, tr, gt, v)
+	ver := ""
+	if v != 0 {
+		ver = v.String()
+	}
+	d.acceptGeneration(snap, rep, ver)
 	return nil
 }
 

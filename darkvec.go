@@ -196,8 +196,11 @@ func Cluster(space *Space, kPrime int, seed uint64) Clustering {
 }
 
 // Silhouette returns per-row silhouette coefficients (cosine distance) for
-// a cluster assignment.
-func Silhouette(space *Space, assign []int) []float64 { return cluster.Silhouette(space, assign) }
+// a cluster assignment. Mismatched assignments, out-of-range class ids, or
+// non-finite vector data return an error instead of NaN scores.
+func Silhouette(space *Space, assign []int) ([]float64, error) {
+	return cluster.Silhouette(space, assign)
+}
 
 // InspectClusters profiles every cluster against the trace and ground truth
 // (port signatures, subnet concentration, dominant label).

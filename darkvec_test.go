@@ -67,7 +67,10 @@ func TestPublicUnsupervisedFlow(t *testing.T) {
 	if cl.Clusters < 2 || len(cl.Assign) != space.Len() {
 		t.Fatalf("clustering = %+v", cl.Clusters)
 	}
-	sil := darkvec.Silhouette(space, cl.Assign)
+	sil, err := darkvec.Silhouette(space, cl.Assign)
+	if err != nil {
+		t.Fatalf("silhouette: %v", err)
+	}
 	profiles := darkvec.InspectClusters(data.Trace, space, cl.Assign, sil, gt)
 	if len(profiles) == 0 {
 		t.Fatal("no profiles")

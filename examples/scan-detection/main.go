@@ -34,7 +34,10 @@ func main() {
 	cl := darkvec.Cluster(space, 3, 1)
 	fmt.Printf("detected %d clusters, modularity %.3f\n\n", cl.Clusters, cl.Modularity)
 
-	sil := darkvec.Silhouette(space, cl.Assign)
+	sil, err := darkvec.Silhouette(space, cl.Assign)
+	if err != nil {
+		log.Fatal(err)
+	}
 	profiles := darkvec.InspectClusters(data.Trace, space, cl.Assign, sil, gt)
 
 	// Rank by silhouette like the paper's Fig. 11 and describe each

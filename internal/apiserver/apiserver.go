@@ -121,9 +121,18 @@ func New(cfg Config) *Server {
 	}
 	if cfg.Space.Len() > 1 {
 		cl := core.Cluster(cfg.Space, kp, cfg.Seed)
-		sil := cluster.Silhouette(cfg.Space, cl.Assign)
-		s.assign = cl.Assign
-		s.profiles = cluster.Inspect(cfg.Trace, cfg.Space.Words, cl.Assign, sil, lbl, labels.Unknown)
+		sil, err := cluster.Silhouette(cfg.Space, cl.Assign)
+		if err != nil {
+			// Cluster profiles are advisory; a space the metric refuses to
+			// score still serves similarity and classification, it just
+			// answers /v1/clusters with nothing.
+			if cfg.Logf != nil {
+				cfg.Logf("clusters unavailable: %v", err)
+			}
+		} else {
+			s.assign = cl.Assign
+			s.profiles = cluster.Inspect(cfg.Trace, cfg.Space.Words, cl.Assign, sil, lbl, labels.Unknown)
+		}
 	}
 	s.routes()
 	timeout := cfg.RequestTimeout

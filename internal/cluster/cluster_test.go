@@ -9,6 +9,16 @@ import (
 	"github.com/darkvec/darkvec/internal/netutil"
 )
 
+// mustSil computes the silhouette, failing the test on a validation error.
+func mustSil(t *testing.T, s *embed.Space, assign []int) []float64 {
+	t.Helper()
+	sil, err := Silhouette(s, assign)
+	if err != nil {
+		t.Fatalf("Silhouette: %v", err)
+	}
+	return sil
+}
+
 // blobs builds two tight clusters on orthogonal axes.
 func blobs(t *testing.T) *embed.Space {
 	t.Helper()
@@ -27,7 +37,7 @@ func blobs(t *testing.T) *embed.Space {
 func TestSilhouetteSeparatedClusters(t *testing.T) {
 	s := blobs(t)
 	assign := []int{0, 0, 0, 1, 1, 1}
-	sil := Silhouette(s, assign)
+	sil := mustSil(t, s, assign)
 	for i, v := range sil {
 		if v < 0.8 {
 			t.Errorf("point %d silhouette %.3f, want near 1", i, v)
@@ -42,7 +52,7 @@ func TestSilhouetteBadAssignment(t *testing.T) {
 	s := blobs(t)
 	// Mix the clusters deliberately.
 	assign := []int{0, 1, 0, 1, 0, 1}
-	sil := Silhouette(s, assign)
+	sil := mustSil(t, s, assign)
 	var mean float64
 	for _, v := range sil {
 		mean += v
@@ -56,7 +66,7 @@ func TestSilhouetteBadAssignment(t *testing.T) {
 func TestSilhouetteSingletonIsZero(t *testing.T) {
 	s := blobs(t)
 	assign := []int{0, 0, 0, 1, 1, 2} // b3 is a singleton
-	sil := Silhouette(s, assign)
+	sil := mustSil(t, s, assign)
 	if sil[5] != 0 {
 		t.Fatalf("singleton silhouette = %v", sil[5])
 	}
@@ -72,7 +82,7 @@ func TestSilhouetteMatchesDirectComputation(t *testing.T) {
 		t.Fatal(err)
 	}
 	assign := []int{0, 0, 1, 1}
-	got := Silhouette(s, assign)
+	got := mustSil(t, s, assign)
 	// Direct O(n²) computation.
 	dist := func(i, j int) float64 { return 1 - s.Cosine(i, j) }
 	for i := 0; i < 4; i++ {
@@ -122,7 +132,11 @@ func TestSilhouetteRangeProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		for _, v := range Silhouette(s, assign) {
+		sil, err := Silhouette(s, assign)
+		if err != nil {
+			return false
+		}
+		for _, v := range sil {
 			if v < -1-1e-6 || v > 1+1e-6 || math.IsNaN(v) {
 				return false
 			}
@@ -137,7 +151,10 @@ func TestSilhouetteRangeProperty(t *testing.T) {
 func TestRankBySilhouette(t *testing.T) {
 	s := blobs(t)
 	assign := []int{0, 0, 0, 1, 1, 1}
-	ranked := RankBySilhouette(s, assign)
+	ranked, err := RankBySilhouette(s, assign)
+	if err != nil {
+		t.Fatalf("RankBySilhouette: %v", err)
+	}
 	if len(ranked) != 2 {
 		t.Fatalf("ranked = %+v", ranked)
 	}

@@ -6,6 +6,8 @@
 package cluster
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"sort"
 	"sync"
@@ -14,6 +16,12 @@ import (
 	"github.com/darkvec/darkvec/internal/vecmath"
 )
 
+// ErrBadInput flags silhouette inputs the metric cannot score: mismatched
+// assignment length, out-of-range class ids, or non-finite vector data.
+// Drift scoring feeds silhouettes straight into publish-gate arithmetic, so
+// these are hard errors rather than silently propagated NaNs.
+var ErrBadInput = errors.New("cluster: invalid silhouette input")
+
 // Silhouette computes the per-point silhouette coefficient of assignment
 // over the space, using cosine distance (1 - cosine similarity). Points in
 // singleton clusters score 0, the scikit-learn convention.
@@ -21,13 +29,26 @@ import (
 // Because rows are unit-normalised, the mean cosine distance from a point to
 // a cluster reduces to 1 - q·centroidSum/|C|, making the exact computation
 // O(n·k·V) instead of O(n²·V).
-func Silhouette(s *embed.Space, assign []int) []float64 {
+//
+// The input is validated: the assignment must cover every row with a class
+// id in [0, n), and the embedding rows must be finite. Violations return an
+// error wrapping ErrBadInput instead of panicking or emitting NaN scores.
+func Silhouette(s *embed.Space, assign []int) ([]float64, error) {
+	if s == nil {
+		return nil, fmt.Errorf("%w: nil space", ErrBadInput)
+	}
 	n := s.Len()
 	if len(assign) != n {
-		panic("cluster: assignment length mismatch")
+		return nil, fmt.Errorf("%w: %d assignments for %d rows", ErrBadInput, len(assign), n)
+	}
+	if n == 0 {
+		return nil, nil
 	}
 	k := 0
-	for _, c := range assign {
+	for i, c := range assign {
+		if c < 0 || c >= n {
+			return nil, fmt.Errorf("%w: class id %d at row %d out of range [0, %d)", ErrBadInput, c, i, n)
+		}
 		if c >= k {
 			k = c + 1
 		}
@@ -42,6 +63,14 @@ func Silhouette(s *embed.Space, assign []int) []float64 {
 			sums[c*dim+d] += float64(row[d])
 		}
 		sizes[c]++
+	}
+	// A NaN or ±Inf row poisons its class sum, so one O(k·V) pass over the
+	// accumulated centroids catches any non-finite input without a separate
+	// O(n·V) row scan.
+	for _, v := range sums {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: non-finite embedding data", ErrBadInput)
+		}
 	}
 	out := make([]float64, n)
 	// Per-point scores are independent, so the row loop fans out across the
@@ -96,7 +125,7 @@ func Silhouette(s *embed.Space, assign []int) []float64 {
 			}
 		}
 	})
-	return out
+	return out, nil
 }
 
 // parallelRows splits [0, n) into contiguous chunks, one per worker, and
@@ -134,8 +163,11 @@ type ClusterSilhouette struct {
 }
 
 // RankBySilhouette computes the Figure 11 series.
-func RankBySilhouette(s *embed.Space, assign []int) []ClusterSilhouette {
-	sil := Silhouette(s, assign)
+func RankBySilhouette(s *embed.Space, assign []int) ([]ClusterSilhouette, error) {
+	sil, err := Silhouette(s, assign)
+	if err != nil {
+		return nil, err
+	}
 	sums := map[int]float64{}
 	sizes := map[int]int{}
 	for i, c := range assign {
@@ -152,5 +184,5 @@ func RankBySilhouette(s *embed.Space, assign []int) []ClusterSilhouette {
 		}
 		return out[i].Cluster < out[j].Cluster
 	})
-	return out
+	return out, nil
 }

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/darkvec/darkvec/internal/embed"
+)
+
+func TestSilhouetteInputValidation(t *testing.T) {
+	s := blobs(t)
+	cases := []struct {
+		name   string
+		assign []int
+	}{
+		{"short", []int{0, 0, 1}},
+		{"long", []int{0, 0, 0, 1, 1, 1, 1}},
+		{"negative", []int{0, 0, 0, 1, 1, -1}},
+		{"out-of-range", []int{0, 0, 0, 1, 1, 1 << 30}},
+	}
+	for _, tc := range cases {
+		if _, err := Silhouette(s, tc.assign); !errors.Is(err, ErrBadInput) {
+			t.Errorf("%s: err = %v, want ErrBadInput", tc.name, err)
+		}
+	}
+	if _, err := Silhouette(nil, nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("nil space: err = %v, want ErrBadInput", err)
+	}
+	if _, err := RankBySilhouette(s, []int{0}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("rank with short assignment: err = %v, want ErrBadInput", err)
+	}
+}
+
+func TestSilhouetteNonFiniteRows(t *testing.T) {
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	for name, bad := range map[string][]float32{"nan": {nan, 0.5}, "inf": {inf, 0.5}} {
+		s, err := embed.New([]string{"a", "b", "c"}, [][]float32{{1, 0}, bad, {0, 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, serr := Silhouette(s, []int{0, 0, 1}); !errors.Is(serr, ErrBadInput) {
+			t.Errorf("%s row: err = %v, want ErrBadInput", name, serr)
+		}
+	}
+}
+
+func TestSilhouetteEmptySpace(t *testing.T) {
+	s, err := embed.New(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sil, serr := Silhouette(s, nil)
+	if serr != nil || len(sil) != 0 {
+		t.Fatalf("empty space: sil=%v err=%v", sil, serr)
+	}
+}
+
+// FuzzSilhouette feeds arbitrary vector data and assignments at the
+// metric: every outcome must be either a validation error or a slice of
+// finite scores in [-1, 1] — NaN output is a bug regardless of input.
+func FuzzSilhouette(f *testing.F) {
+	f.Add(uint16(4), []byte{0x00, 0x3f, 0x80, 0x01, 0x02, 0x03}, []byte{0, 1, 0, 1})
+	f.Add(uint16(2), []byte{0xff, 0xff, 0x7f, 0xc0}, []byte{0, 5})
+	f.Add(uint16(1), []byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, dim uint16, raw []byte, rawAssign []byte) {
+		d := int(dim%8) + 1
+		n := len(rawAssign)
+		if n > 64 {
+			n = 64
+		}
+		words := make([]string, n)
+		vecs := make([][]float32, n)
+		assign := make([]int, n)
+		for i := 0; i < n; i++ {
+			words[i] = string(rune('a'+i%26)) + string(rune('0'+i/26))
+			v := make([]float32, d)
+			for j := range v {
+				// Reinterpret fuzz bytes as float bits so NaN, Inf,
+				// subnormals, and huge magnitudes all get generated.
+				var bits uint32
+				for b := 0; b < 4; b++ {
+					bits <<= 8
+					if k := (i*d+j)*4 + b; k < len(raw) {
+						bits |= uint32(raw[k])
+					}
+				}
+				v[j] = math.Float32frombits(bits)
+			}
+			vecs[i] = v
+			assign[i] = int(rawAssign[i]) - 2 // lets negatives through
+		}
+		s, err := embed.New(words, vecs)
+		if err != nil {
+			t.Skip()
+		}
+		sil, err := Silhouette(s, assign)
+		if err != nil {
+			if !errors.Is(err, ErrBadInput) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			return
+		}
+		if len(sil) != n {
+			t.Fatalf("length %d, want %d", len(sil), n)
+		}
+		for i, v := range sil {
+			if math.IsNaN(v) || v < -1-1e-6 || v > 1+1e-6 {
+				t.Fatalf("score %d out of range: %v", i, v)
+			}
+		}
+	})
+}

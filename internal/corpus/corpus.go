@@ -68,9 +68,11 @@ const DefaultDeltaT = int64(3600)
 
 // Options tunes Build.
 type Options struct {
-	// Workers shards the event scan and the sequence assembly; 0 uses
-	// GOMAXPROCS, 1 is the serial reference path. Output is identical at
-	// any worker count.
+	// Workers shards the event scan and the sequence assembly; 0 picks
+	// automatically (GOMAXPROCS, falling back to the serial path below
+	// serialCutoff events, where goroutine and merge overheads dominate),
+	// 1 is the serial reference path. Output is identical at any worker
+	// count.
 	Workers int
 	// Interner supplies (and accumulates) the sender id space; nil builds
 	// a private one. Reuse across builds keeps ids stable so a retrain
@@ -168,6 +170,31 @@ func scan(events []trace.Event, base int, def services.Definition, reg *svcRegis
 	return p
 }
 
+// serialCutoff is the event count below which the automatic worker choice
+// takes the serial path: at benchmark scale the parallel builder's chunk
+// scans, map merges, and goroutine startup cost more than they save
+// (BENCH_perf.json showed the 4-proc corpus build slower than serial), and
+// the crossover sits well above this bound on every machine measured.
+const serialCutoff = 1 << 18
+
+// autoWorkers resolves a requested worker count against the input size.
+// Explicit requests (including 1) are honoured — identity tests rely on
+// pinning both paths — while the automatic choice (requested <= 0) only
+// pays for parallelism when the event count is large enough to amortise it.
+func autoWorkers(requested, events int) int {
+	w := requested
+	if w <= 0 {
+		if events < serialCutoff {
+			return 1
+		}
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > events {
+		w = events
+	}
+	return w
+}
+
 // BuildOpts is Build with explicit worker count and a shared interner.
 //
 // Determinism: events are split into contiguous, order-preserving chunks;
@@ -191,13 +218,7 @@ func BuildOpts(t *trace.Trace, def services.Definition, deltaT int64, o Options)
 		out.Counts = make([]int64, in.Len())
 		return out
 	}
-	workers := o.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(events) {
-		workers = len(events)
-	}
+	workers := autoWorkers(o.Workers, len(events))
 	first := events[0].Ts
 	reg := newSvcRegistry(def)
 

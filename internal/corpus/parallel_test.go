@@ -136,3 +136,25 @@ func TestBuildMatchesLegacyStringSemantics(t *testing.T) {
 		}
 	}
 }
+
+// TestAutoWorkersSerialFallback pins the automatic worker policy: explicit
+// requests are always honoured, while the automatic choice (0) takes the
+// serial path below serialCutoff — benchmarking showed parallel build
+// overheads dominate there — and only fans out on large inputs.
+func TestAutoWorkersSerialFallback(t *testing.T) {
+	if got := autoWorkers(0, serialCutoff-1); got != 1 {
+		t.Fatalf("auto below cutoff: %d workers, want 1", got)
+	}
+	if got := autoWorkers(0, serialCutoff); got < 1 {
+		t.Fatalf("auto at cutoff: %d workers", got)
+	}
+	if got := autoWorkers(4, 10); got != 4 {
+		t.Fatalf("explicit 4 on tiny input: %d workers, want 4", got)
+	}
+	if got := autoWorkers(1, serialCutoff*2); got != 1 {
+		t.Fatalf("explicit serial: %d workers, want 1", got)
+	}
+	if got := autoWorkers(8, 3); got != 3 {
+		t.Fatalf("workers must clamp to events: got %d, want 3", got)
+	}
+}

@@ -1,0 +1,132 @@
+package darksim
+
+import (
+	"testing"
+
+	"github.com/darkvec/darkvec/internal/netutil"
+	"github.com/darkvec/darkvec/internal/trace"
+)
+
+func TestAttackDeterminism(t *testing.T) {
+	for _, kind := range AttackKinds() {
+		a, err := Attack(AttackConfig{Kind: kind, Senders: 30})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		b, err := Attack(AttackConfig{Kind: kind, Senders: 30})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(a.Trace.Events) != len(b.Trace.Events) {
+			t.Fatalf("%s: %d vs %d events", kind, len(a.Trace.Events), len(b.Trace.Events))
+		}
+		for i := range a.Trace.Events {
+			if a.Trace.Events[i] != b.Trace.Events[i] {
+				t.Fatalf("%s: event %d differs", kind, i)
+			}
+		}
+	}
+}
+
+func TestAttackBudgetAndBounds(t *testing.T) {
+	for _, kind := range AttackKinds() {
+		cfg := AttackConfig{Kind: kind, Senders: 25, PacketsPerSender: 12, Days: 2}
+		out, err := Attack(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(out.Attackers) != 25 {
+			t.Fatalf("%s: %d attackers", kind, len(out.Attackers))
+		}
+		counts := map[netutil.IPv4]int{}
+		start := out.Config.Start
+		end := start + int64(out.Config.Days)*86400
+		for _, e := range out.Trace.Events {
+			counts[e.Src]++
+			if e.Ts < start || e.Ts >= end {
+				t.Fatalf("%s: event at %d outside [%d, %d)", kind, e.Ts, start, end)
+			}
+		}
+		for _, src := range out.Attackers {
+			// Exact daily budget: every sybil stays above the ≥10-packet
+			// active filter by construction.
+			if counts[src] != 12*2 {
+				t.Fatalf("%s: attacker %v sent %d packets, want 24", kind, src, counts[src])
+			}
+		}
+	}
+}
+
+func TestAttackMimicryCopiesPortMix(t *testing.T) {
+	out, err := Attack(AttackConfig{Kind: AttackMimicry, MimicClass: ClassBinaryEdge, Senders: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spec groupSpec
+	for _, s := range groupSpecs() {
+		if s.gtClass == ClassBinaryEdge {
+			spec = s
+			break
+		}
+	}
+	allowed := map[trace.PortKey]bool{}
+	for _, wp := range spec.named {
+		allowed[wp.key] = true
+	}
+	for _, k := range portPool(spec.poolSeed, spec.poolPorts) {
+		allowed[k] = true
+	}
+	for _, e := range out.Trace.Events {
+		if !allowed[e.Key()] {
+			t.Fatalf("mimicry used %v, outside the %s mix", e.Key(), ClassBinaryEdge)
+		}
+	}
+	if _, err := Attack(AttackConfig{Kind: AttackMimicry, MimicClass: "no-such-class"}); err == nil {
+		t.Fatal("unknown mimic class accepted")
+	}
+}
+
+func TestAttackJitterSpreadsClocks(t *testing.T) {
+	syb, err := Attack(AttackConfig{Kind: AttackSybil, Senders: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jit, err := Attack(AttackConfig{Kind: AttackJitter, Senders: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count distinct ΔT windows (1h) occupied: jitter must smear the
+	// cohort across strictly more windows than the synchronised sybil.
+	windows := func(tr *trace.Trace) int {
+		seen := map[int64]bool{}
+		for _, e := range tr.Events {
+			seen[e.Ts/3600] = true
+		}
+		return len(seen)
+	}
+	if wj, ws := windows(jit.Trace), windows(syb.Trace); wj <= ws {
+		t.Fatalf("jitter occupied %d windows, sybil %d — jitter must smear wider", wj, ws)
+	}
+}
+
+func TestAttackRejectsUnknownKind(t *testing.T) {
+	if _, err := Attack(AttackConfig{Kind: "ddos"}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestAttackStartAligning(t *testing.T) {
+	base := Generate(Config{Seed: 3, Days: 2, Scale: 0.005, Rate: 0.05})
+	end := base.Trace.Events[len(base.Trace.Events)-1].Ts
+	out, err := Attack(AttackConfig{Kind: AttackSybil, Start: end + 1, Senders: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first := out.Trace.Events[0].Ts; first <= end {
+		t.Fatalf("attack started at %d, before base end %d", first, end)
+	}
+	merged := trace.Merge(base.Trace, out.Trace)
+	if merged.Len() != base.Trace.Len()+out.Trace.Len() {
+		t.Fatalf("merge lost events")
+	}
+}

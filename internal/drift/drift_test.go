@@ -1,0 +1,261 @@
+package drift
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/darkvec/darkvec/internal/embed"
+)
+
+// mkSpace builds a normalised space from explicit vectors.
+func mkSpace(t *testing.T, words []string, vecs [][]float32) *embed.Space {
+	t.Helper()
+	s, err := embed.New(words, vecs)
+	if err != nil {
+		t.Fatalf("embed.New: %v", err)
+	}
+	return s
+}
+
+// twoClassData synthesises n senders split into two well-separated
+// clusters: class "alpha" near e1, class "beta" near e2, with a small
+// deterministic per-sender perturbation so every vector is distinct.
+func twoClassData(n int) (words []string, vecs [][]float32, assign []int, class map[string]string) {
+	class = map[string]string{}
+	for i := 0; i < n; i++ {
+		w := fmt.Sprintf("10.0.%d.%d", i/256, i%256)
+		words = append(words, w)
+		eps := 0.01 * float32(i%7)
+		if i%2 == 0 {
+			vecs = append(vecs, []float32{1, eps, 0.01 * float32(i%5), 0})
+			assign = append(assign, 0)
+			class[w] = "alpha"
+		} else {
+			vecs = append(vecs, []float32{eps, 1, 0, 0.01 * float32(i%5)})
+			assign = append(assign, 1)
+			class[w] = "beta"
+		}
+	}
+	return
+}
+
+func classFn(m map[string]string) func(string) string {
+	return func(w string) string { return m[w] }
+}
+
+func capture(t *testing.T, version string, words []string, vecs [][]float32, assign []int, class map[string]string) *Snapshot {
+	t.Helper()
+	snap, err := Capture(mkSpace(t, words, vecs), assign, version, classFn(class), nil)
+	if err != nil {
+		t.Fatalf("Capture(%s): %v", version, err)
+	}
+	return snap
+}
+
+func TestCompareIdenticalGenerations(t *testing.T) {
+	words, vecs, assign, class := twoClassData(40)
+	prev := capture(t, "v1", words, vecs, assign, class)
+	next := capture(t, "v2", words, vecs, assign, class)
+	r, err := Compare(prev, next, Options{})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if r.VocabChurn != 0 || r.Added != 0 || r.Removed != 0 || r.Common != 40 {
+		t.Fatalf("identical generations churned: %+v", r)
+	}
+	if r.NeighborhoodOverlap != 1 {
+		t.Fatalf("identical generations overlap = %v, want 1", r.NeighborhoodOverlap)
+	}
+	if r.SilhouetteDrop != 0 || r.NewClusterFrac != 0 {
+		t.Fatalf("unexpected drift on identical generations: %+v", r)
+	}
+	if r.Score > 1e-9 {
+		t.Fatalf("score = %v, want ~0", r.Score)
+	}
+	if len(r.Classes) != 2 {
+		t.Fatalf("classes = %d, want 2", len(r.Classes))
+	}
+}
+
+// TestCompareRotatedGeneration is the core invariance property: a rigid
+// rotation of the embedding space — exactly the freedom two independently
+// seeded Word2Vec runs have — must not register as drift.
+func TestCompareRotatedGeneration(t *testing.T) {
+	words, vecs, assign, class := twoClassData(40)
+	// Givens rotation by 30° in the (0,1) plane plus a 45° rotation in
+	// (2,3): orthogonal, so all pairwise cosines are preserved.
+	rot := func(v []float32) []float32 {
+		c1, s1 := float32(math.Cos(math.Pi/6)), float32(math.Sin(math.Pi/6))
+		c2, s2 := float32(math.Cos(math.Pi/4)), float32(math.Sin(math.Pi/4))
+		return []float32{
+			c1*v[0] - s1*v[1], s1*v[0] + c1*v[1],
+			c2*v[2] - s2*v[3], s2*v[2] + c2*v[3],
+		}
+	}
+	rvecs := make([][]float32, len(vecs))
+	for i, v := range vecs {
+		rvecs[i] = rot(v)
+	}
+	prev := capture(t, "v1", words, vecs, assign, class)
+	next := capture(t, "v2", words, rvecs, assign, class)
+	r, err := Compare(prev, next, Options{})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if r.VocabChurn != 0 {
+		t.Fatalf("rotation churned vocabulary: %+v", r)
+	}
+	if r.NeighborhoodOverlap < 0.95 {
+		t.Fatalf("rotation broke neighborhood overlap: %v", r.NeighborhoodOverlap)
+	}
+	if r.MaxClassShift > 0.02 {
+		t.Fatalf("rotation registered class shift %v", r.MaxClassShift)
+	}
+	if r.Score > 0.05 {
+		t.Fatalf("rotation scored %v as drift", r.Score)
+	}
+}
+
+// TestCompareSybilFlood checks that a flood of never-seen senders forming
+// their own cluster lights up churn and new-cluster emergence.
+func TestCompareSybilFlood(t *testing.T) {
+	words, vecs, assign, class := twoClassData(20)
+	prev := capture(t, "v1", words, vecs, assign, class)
+
+	nwords := append([]string(nil), words...)
+	nvecs := append([][]float32(nil), vecs...)
+	nassign := append([]int(nil), assign...)
+	for i := 0; i < 60; i++ {
+		nwords = append(nwords, fmt.Sprintf("203.0.%d.%d", i/256, i%256))
+		// A tight cohort along e3 — far from both existing classes.
+		nvecs = append(nvecs, []float32{0, 0.02 * float32(i%3), 0.01 * float32(i%5), 1})
+		nassign = append(nassign, 2)
+	}
+	next := capture(t, "v2", nwords, nvecs, nassign, class)
+	r, err := Compare(prev, next, Options{})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if r.Added != 60 || r.Common != 20 {
+		t.Fatalf("matching broke: %+v", r)
+	}
+	wantChurn := 60.0 / 80.0
+	if math.Abs(r.VocabChurn-wantChurn) > 1e-9 {
+		t.Fatalf("churn = %v, want %v", r.VocabChurn, wantChurn)
+	}
+	if want := 60.0 / 80.0; math.Abs(r.NewClusterFrac-want) > 1e-9 {
+		t.Fatalf("new-cluster fraction = %v, want %v", r.NewClusterFrac, want)
+	}
+	if r.Score < 0.3 {
+		t.Fatalf("sybil flood scored only %v", r.Score)
+	}
+	reasons := Budgets{MaxVocabChurn: 0.2}.Evaluate(r)
+	if len(reasons) != 1 || !strings.Contains(reasons[0], "churn") {
+		t.Fatalf("churn budget did not trip: %v", reasons)
+	}
+	if got := (Budgets{MaxScore: 0.9}).Evaluate(r); len(got) != 0 {
+		t.Fatalf("loose score budget tripped: %v", got)
+	}
+}
+
+// TestCompareInternerIDMatching verifies senders are matched by stable id
+// when an id mapping is supplied, even if generations would disagree on
+// nothing else.
+func TestCompareInternerIDMatching(t *testing.T) {
+	ids := map[string]uint32{"a": 7, "b": 9, "x": 7, "y": 9}
+	idFn := func(w string) (uint32, bool) { v, ok := ids[w]; return v, ok }
+	vecs := [][]float32{{1, 0, 0, 0}, {0, 1, 0, 0}}
+	assign := []int{0, 1}
+	prev, err := Capture(mkSpace(t, []string{"a", "b"}, vecs), assign, "v1", nil, idFn)
+	if err != nil {
+		t.Fatalf("Capture: %v", err)
+	}
+	next, err := Capture(mkSpace(t, []string{"x", "y"}, vecs), assign, "v2", nil, idFn)
+	if err != nil {
+		t.Fatalf("Capture: %v", err)
+	}
+	r, err := Compare(prev, next, Options{})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if r.Common != 2 || r.VocabChurn != 0 {
+		t.Fatalf("id matching failed: %+v", r)
+	}
+}
+
+func TestCaptureRejectsBadInput(t *testing.T) {
+	words := []string{"a", "b"}
+	vecs := [][]float32{{1, 0}, {0, 1}}
+	if _, err := Capture(mkSpace(t, words, vecs), []int{0}, "v", nil, nil); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	nan := float32(math.NaN())
+	if _, err := Capture(mkSpace(t, words, [][]float32{{nan, nan}, {0, 1}}), []int{0, 1}, "v", nil, nil); err == nil {
+		t.Fatal("NaN rows accepted")
+	}
+	if _, err := Capture(nil, nil, "v", nil, nil); err == nil {
+		t.Fatal("nil space accepted")
+	}
+}
+
+func TestBudgets(t *testing.T) {
+	if (Budgets{}).Enabled() {
+		t.Fatal("zero budgets enabled")
+	}
+	if !(Budgets{MinNeighborhoodOverlap: 0.5}).Enabled() {
+		t.Fatal("overlap budget not enabled")
+	}
+	r := &Report{
+		Score: 0.5, VocabChurn: 0.4, NeighborhoodOverlap: 0.3, OverlapSamples: 10,
+		SilhouetteDrop: 0.2, MaxClassShift: 0.6, NewClusterFrac: 0.7,
+	}
+	b := Budgets{
+		MaxScore: 0.4, MaxVocabChurn: 0.3, MinNeighborhoodOverlap: 0.5,
+		MaxSilhouetteDrop: 0.1, MaxClassShift: 0.5, MaxNewClusterFrac: 0.6,
+	}
+	if got := b.Evaluate(r); len(got) != 6 {
+		t.Fatalf("want all 6 budgets tripped, got %v", got)
+	}
+	if got := (Budgets{}).Evaluate(r); len(got) != 0 {
+		t.Fatalf("disabled budgets tripped: %v", got)
+	}
+}
+
+func TestHistoryBoundAndRoundTrip(t *testing.T) {
+	h := NewHistory(3)
+	for i := 0; i < 5; i++ {
+		h.Add(Decision{Unix: int64(i), Candidate: fmt.Sprintf("v%06d", i), Accepted: i%2 == 0})
+	}
+	if h.Len() != 3 {
+		t.Fatalf("len = %d, want 3", h.Len())
+	}
+	recs := h.Decisions()
+	if recs[0].Unix != 2 || recs[2].Unix != 4 {
+		t.Fatalf("eviction order wrong: %+v", recs)
+	}
+	last, ok := h.Last()
+	if !ok || last.Unix != 4 {
+		t.Fatalf("Last = %+v, %v", last, ok)
+	}
+
+	var buf bytes.Buffer
+	if err := h.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := LoadHistory(&buf, 3)
+	if err != nil {
+		t.Fatalf("LoadHistory: %v", err)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("loaded len = %d", got.Len())
+	}
+	if g := got.Decisions(); g[2].Candidate != "v000004" {
+		t.Fatalf("roundtrip lost tail: %+v", g)
+	}
+	if _, err := LoadHistory(strings.NewReader("{"), 3); err == nil {
+		t.Fatal("truncated history accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/darkvec/darkvec/internal/darksim"
+)
+
+// TestAdversarialGate measures the harness end to end on a tiny dataset:
+// every personality yields a comparison report, the 1:1 sybil flood must
+// trip the gate, and any rejected scenario serves the baseline accuracy.
+func TestAdversarialGate(t *testing.T) {
+	e := NewEnv(Options{
+		Seed: 3, Days: 4, Scale: 0.01, Rate: 0.05,
+		Dim: 16, Window: 8, Epochs: 2,
+	})
+	baseAcc, outcomes, err := e.adversarialOutcomes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != len(darksim.AttackKinds()) {
+		t.Fatalf("%d outcomes, want one per attack kind", len(outcomes))
+	}
+	for _, o := range outcomes {
+		if o.report == nil {
+			t.Fatalf("%s: no drift report", o.kind)
+		}
+		if o.report.Score < 0 || o.report.Score > 1 {
+			t.Errorf("%s: drift score %v outside [0,1]", o.kind, o.report.Score)
+		}
+		if len(o.reasons) > 0 && o.servedAcc != baseAcc {
+			t.Errorf("%s: rejected but served accuracy %v != baseline %v", o.kind, o.servedAcc, baseAcc)
+		}
+		if len(o.reasons) == 0 && o.servedAcc != o.accuracy {
+			t.Errorf("%s: admitted but served accuracy %v != attacked %v", o.kind, o.servedAcc, o.accuracy)
+		}
+		if o.kind == darksim.AttackSybil {
+			if len(o.reasons) == 0 {
+				t.Errorf("sybil flood admitted by the gate: %+v", o.report)
+			}
+			// A 1:1 flood of fresh senders churns at least half the vocab.
+			if o.report.VocabChurn < 0.4 {
+				t.Errorf("sybil churn %v, want >= 0.4", o.report.VocabChurn)
+			}
+		}
+	}
+
+	res, err := e.Adversarial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "attacks" || len(res.Rows) != 1+len(outcomes) {
+		t.Fatalf("result %q with %d rows", res.ID, len(res.Rows))
+	}
+	out := res.Render()
+	if !strings.Contains(out, "reject") {
+		t.Errorf("rendered table shows no rejection:\n%s", out)
+	}
+}

@@ -234,6 +234,7 @@ func All() []Runner {
 		{"incremental", "Incremental model refresh vs retrain (§8 discussion)", (*Env).Incremental},
 		{"neighbours", "Nearest-neighbour cohort purity per GT class", (*Env).MostSimilarDemo},
 		{"honeypot", "Honeypot confirmation of the SSH cluster (§7.3.3)", (*Env).HoneypotVerify},
+		{"attacks", "Evasive scanners vs the drift gate (robustness)", (*Env).Adversarial},
 	}
 }
 

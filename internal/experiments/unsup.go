@@ -57,7 +57,10 @@ func (e *Env) Fig11() (Result, error) {
 		return Result{}, err
 	}
 	cl := core.Cluster(space, e.Opts.KPrime, e.Opts.Seed)
-	ranked := cluster.RankBySilhouette(space, cl.Assign)
+	ranked, err := cluster.RankBySilhouette(space, cl.Assign)
+	if err != nil {
+		return Result{}, err
+	}
 	r := Result{
 		ID:     "fig11",
 		Title:  "Average silhouette per cluster, ranked",
@@ -84,7 +87,10 @@ func (e *Env) Table5() (Result, error) {
 		return Result{}, err
 	}
 	cl := core.Cluster(space, e.Opts.KPrime, e.Opts.Seed)
-	sil := cluster.Silhouette(space, cl.Assign)
+	sil, err := cluster.Silhouette(space, cl.Assign)
+	if err != nil {
+		return Result{}, err
+	}
 	lbl := map[string]string{}
 	for _, w := range space.Words {
 		if ip, perr := netutil.ParseIPv4(w); perr == nil {
@@ -256,7 +262,11 @@ func (e *Env) AblationClusterers() (Result, error) {
 		Header: []string{"method", "clusters", "mean-silhouette", "gt-purity", "planted-ARI", "noise"},
 	}
 	for _, m := range methods {
-		sil := metrics.Mean(cluster.Silhouette(space, m.assign))
+		perPoint, err := cluster.Silhouette(space, m.assign)
+		if err != nil {
+			return Result{}, err
+		}
+		sil := metrics.Mean(perPoint)
 		purity, noise := e.purity(space, m.assign)
 		r.Rows = append(r.Rows, []string{
 			m.name, itoa(distinct(m.assign)), f3(sil), f2(purity),

@@ -1,0 +1,141 @@
+package modelstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/darkvec/darkvec/internal/robust"
+)
+
+const auxSuffix = ".aux"
+
+// ErrNoAux is returned by OpenAux when the sidecar has never been saved.
+var ErrNoAux = errors.New("modelstore: aux record not found")
+
+// validAuxName rejects names that could collide with artifacts, the
+// MANIFEST, temp files, or escape the store directory.
+func validAuxName(name string) error {
+	if name == "" || name == "." || name == ".." ||
+		name != filepath.Base(name) || strings.ContainsAny(name, "/\\") {
+		return fmt.Errorf("modelstore: bad aux name %q", name)
+	}
+	if strings.HasPrefix(name, tmpPrefix) || strings.HasPrefix(name, "v") ||
+		name == manifestName || strings.Contains(name, artifactSuffix) {
+		return fmt.Errorf("modelstore: reserved aux name %q", name)
+	}
+	return nil
+}
+
+func (s *Store) auxPath(name string) string {
+	return filepath.Join(s.dir, name+auxSuffix)
+}
+
+// SaveAux publishes a named sidecar record next to the artifacts with the
+// same crash-safety contract: checksum-framed payload, write-to-temp →
+// fsync → atomic rename. Unlike artifacts, an aux record is a single
+// mutable slot — each save replaces the previous one. Darkvecd uses it to
+// persist the drift-gate history alongside the MANIFEST.
+func (s *Store) SaveAux(name string, write func(io.Writer) error) error {
+	if err := validAuxName(name); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(s.dir, tmpPrefix)
+	if err != nil {
+		return fmt.Errorf("modelstore: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("modelstore: aux %s: %w", name, err)
+	}
+	bw := bufio.NewWriter(f)
+	cw := robust.NewChecksumWriter(bw)
+	if err := write(cw); err != nil {
+		return fail(err)
+	}
+	if err := cw.WriteFooter(); err != nil {
+		return fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("modelstore: aux %s: %w", name, err)
+	}
+	if err := os.Rename(tmp, s.auxPath(name)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("modelstore: aux %s: %w", name, err)
+	}
+	return syncDir(s.dir)
+}
+
+// OpenAux verifies the named sidecar end to end and returns a reader over
+// its payload. ErrNoAux when it was never saved; a torn or bit-flipped
+// record reports an ErrChecksum-wrapping error (callers treat either as
+// "start fresh" — aux records are derived state, not a source of truth).
+func (s *Store) OpenAux(name string) (io.ReadCloser, error) {
+	if err := validAuxName(name); err != nil {
+		return nil, err
+	}
+	path := s.auxPath(name)
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNoAux, name)
+		}
+		return nil, fmt.Errorf("modelstore: aux %s: %w", name, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("modelstore: aux %s: %w", name, err)
+	}
+	if st.Size() < robust.FooterSize {
+		f.Close()
+		return nil, fmt.Errorf("modelstore: aux %s: %w: file is %d bytes, smaller than the footer",
+			name, robust.ErrChecksum, st.Size())
+	}
+	var footer [robust.FooterSize]byte
+	if _, err := f.ReadAt(footer[:], st.Size()-robust.FooterSize); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("modelstore: aux %s: reading footer: %w", name, err)
+	}
+	length, crc, err := robust.ParseFooter(footer[:])
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("modelstore: aux %s: %w", name, err)
+	}
+	if length != uint64(st.Size()-robust.FooterSize) {
+		f.Close()
+		return nil, fmt.Errorf("modelstore: aux %s: %w: footer declares %d payload bytes, file has %d",
+			name, robust.ErrChecksum, length, st.Size()-robust.FooterSize)
+	}
+	cr := robust.NewChecksumReader(io.LimitReader(bufio.NewReader(f), int64(length)))
+	if _, err := io.Copy(io.Discard, cr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("modelstore: aux %s: %w", name, err)
+	}
+	if _, got := cr.Sum(); got != crc {
+		f.Close()
+		return nil, fmt.Errorf("modelstore: aux %s: %w: CRC32C %08x, footer declares %08x",
+			name, robust.ErrChecksum, got, crc)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("modelstore: aux %s: %w", name, err)
+	}
+	return &payloadReader{
+		Reader: io.LimitReader(bufio.NewReader(f), int64(length)),
+		f:      f,
+	}, nil
+}

@@ -1,0 +1,107 @@
+package modelstore
+
+import (
+	"errors"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/darkvec/darkvec/internal/robust"
+)
+
+func auxStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func saveAux(t *testing.T, s *Store, name, body string) {
+	t.Helper()
+	if err := s.SaveAux(name, func(w io.Writer) error {
+		_, err := io.WriteString(w, body)
+		return err
+	}); err != nil {
+		t.Fatalf("SaveAux(%s): %v", name, err)
+	}
+}
+
+func TestAuxRoundTripAndReplace(t *testing.T) {
+	s := auxStore(t)
+	saveAux(t, s, "drift", "generation one")
+	saveAux(t, s, "drift", "generation two")
+	rc, err := s.OpenAux("drift")
+	if err != nil {
+		t.Fatalf("OpenAux: %v", err)
+	}
+	defer rc.Close()
+	b, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(b) != "generation two" {
+		t.Fatalf("payload = %q, want the replacing save", b)
+	}
+}
+
+func TestAuxMissing(t *testing.T) {
+	s := auxStore(t)
+	if _, err := s.OpenAux("drift"); !errors.Is(err, ErrNoAux) {
+		t.Fatalf("err = %v, want ErrNoAux", err)
+	}
+}
+
+func TestAuxDetectsCorruption(t *testing.T) {
+	s := auxStore(t)
+	saveAux(t, s, "drift", strings.Repeat("records ", 64))
+	path := s.auxPath("drift")
+
+	// Bit flip in the payload.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := append([]byte(nil), b...)
+	flipped[10] ^= 0x40
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.OpenAux("drift"); !errors.Is(err, robust.ErrChecksum) {
+		t.Fatalf("bit flip: err = %v, want ErrChecksum", err)
+	}
+
+	// Torn write: truncate mid-payload.
+	if err := os.WriteFile(path, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.OpenAux("drift"); !errors.Is(err, robust.ErrChecksum) {
+		t.Fatalf("truncation: err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestAuxNameValidation(t *testing.T) {
+	s := auxStore(t)
+	for _, name := range []string{"", "a/b", "..", "v000001", "MANIFEST", ".tmp-x", "x.model"} {
+		if err := s.SaveAux(name, func(io.Writer) error { return nil }); err == nil {
+			t.Errorf("SaveAux(%q) accepted", name)
+		}
+		if _, err := s.OpenAux(name); err == nil || errors.Is(err, ErrNoAux) {
+			t.Errorf("OpenAux(%q) did not reject the name", name)
+		}
+	}
+}
+
+func TestAuxInvisibleToVersionScan(t *testing.T) {
+	s := auxStore(t)
+	saveAux(t, s, "drift", "x")
+	if _, err := s.Latest(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("aux file leaked into the version scan: %v", err)
+	}
+	vs, err := s.Versions()
+	if err != nil || len(vs) != 0 {
+		t.Fatalf("Versions = %v, %v", vs, err)
+	}
+}
