@@ -1,0 +1,183 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/darkvec/darkvec/internal/apiserver"
+	"github.com/darkvec/darkvec/internal/core"
+	"github.com/darkvec/darkvec/internal/embed"
+	"github.com/darkvec/darkvec/internal/experiments"
+	"github.com/darkvec/darkvec/internal/federation"
+	"github.com/darkvec/darkvec/internal/intern"
+	"github.com/darkvec/darkvec/internal/knn"
+)
+
+// benchFleet is the 3-vantage federation bench rig: three HTTP vantage
+// stand-ins (real intern-export handlers over real tables, canned classify
+// answers precomputed from the real model) and a real aggregator in front.
+// Both federation metrics run against the exact client/aggregator code
+// darkfed ships, so what's measured is the federation machinery plus the
+// HTTP hops, not the (already separately benchmarked) k-NN.
+type benchFleet struct {
+	servers  []*httptest.Server
+	clients  []*federation.Client
+	front    *httptest.Server
+	queries  []string
+	tableLen int
+}
+
+func newBenchFleet(env *experiments.Env, space *embed.Space, k int) *benchFleet {
+	f := &benchFleet{}
+	names := []string{"north", "south", "west"}
+
+	// Every vantage's intern table holds the full sender population — the
+	// worst-case (fully overlapping) merge volume.
+	senders := make([]string, 0, len(space.Words))
+	for ip := range env.Full.SenderCounts() {
+		senders = append(senders, ip.String())
+	}
+	sort.Strings(senders)
+	f.tableLen = len(senders)
+
+	// Canned classify answers from the real LOO predictions; each sender is
+	// known to 2 of the 3 vantages, so every federated query exercises both
+	// the merge and the unknown-sender path.
+	preds := map[string]knn.Prediction{}
+	for _, p := range core.Predictions(space, env.GT, k) {
+		preds[p.Word] = p
+	}
+	shard := make([]map[string]knn.Prediction, 3)
+	for i := range shard {
+		shard[i] = map[string]knn.Prediction{}
+	}
+	i := 0
+	for w, p := range preds {
+		shard[i%3][w] = p
+		shard[(i+1)%3][w] = p
+		if i%5 == 0 {
+			f.queries = append(f.queries, w)
+		}
+		i++
+	}
+	sort.Strings(f.queries)
+
+	var cfgs []federation.VantageConfig
+	for vi, name := range names {
+		table := intern.New()
+		for _, s := range senders {
+			table.Intern(s)
+		}
+		mine := shard[vi]
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /healthz/ready", func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprintln(w, `{"status":"ready"}`)
+		})
+		mux.Handle("GET /v1/intern", federation.NewInternHandler(federation.InternSource{
+			Vantage: name, Epoch: federation.NewEpoch(), Table: table,
+			Generation: func() string { return "v000001" },
+		}))
+		mux.HandleFunc("GET /v1/classify", func(w http.ResponseWriter, r *http.Request) {
+			p, ok := mine[r.URL.Query().Get("ip")]
+			w.Header().Set("Content-Type", "application/json")
+			if !ok {
+				w.WriteHeader(http.StatusNotFound)
+				fmt.Fprintln(w, `{"error":"sender not in embedding"}`)
+				return
+			}
+			_ = json.NewEncoder(w).Encode(apiserver.ClassifyResponse{
+				IP: p.Word, Class: p.Label, Support: p.Support, AvgSim: p.AvgSim,
+			})
+		})
+		srv := httptest.NewServer(mux)
+		f.servers = append(f.servers, srv)
+		f.clients = append(f.clients, federation.NewClient(name, srv.URL, federation.ClientConfig{
+			Timeout: 5 * time.Second,
+		}))
+		cfgs = append(cfgs, federation.VantageConfig{Name: name, URL: srv.URL})
+	}
+
+	agg, err := federation.NewAggregator(federation.Config{
+		Vantages: cfgs, Poll: time.Hour, Timeout: 5 * time.Second, K: k,
+		Logf: func(string, ...any) {},
+	})
+	if err != nil {
+		panic(err)
+	}
+	agg.PollNow(context.Background())
+	f.front = httptest.NewServer(agg)
+	return f
+}
+
+// mergeOnce cold-syncs all three vantage intern mirrors in parallel — the
+// admission work the aggregator performs when a fleet (re)starts.
+func (f *benchFleet) mergeOnce() (float64, error) {
+	ctx := context.Background()
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, len(f.clients))
+	for i, c := range f.clients {
+		wg.Add(1)
+		go func(i int, c *federation.Client) {
+			defer wg.Done()
+			synced, _, err := c.SyncIntern(ctx, "", nil)
+			if err == nil && len(synced) != f.tableLen {
+				err = fmt.Errorf("synced %d of %d senders", len(synced), f.tableLen)
+			}
+			errs[i] = err
+		}(i, c)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return elapsed, nil
+}
+
+// queryP99 runs n sequential federated classifies per round and returns the
+// lowest p99 latency (ms) across rounds.
+func (f *benchFleet) queryP99(rounds, n int) (float64, error) {
+	var best float64
+	client := &http.Client{Timeout: 10 * time.Second}
+	for r := 0; r < rounds; r++ {
+		lat := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			q := f.queries[i%len(f.queries)]
+			t0 := time.Now()
+			resp, err := client.Get(f.front.URL + "/v1/federated/classify?ip=" + q)
+			if err != nil {
+				return 0, err
+			}
+			code := resp.StatusCode
+			_, _ = io.Copy(io.Discard, resp.Body) // drain so keep-alive reuses the conn
+			resp.Body.Close()
+			if code != http.StatusOK {
+				return 0, fmt.Errorf("federated classify %s -> %d", q, code)
+			}
+			lat = append(lat, float64(time.Since(t0).Microseconds())/1000)
+		}
+		sort.Float64s(lat)
+		p99 := lat[(len(lat)*99+99)/100-1]
+		if r == 0 || p99 < best {
+			best = p99
+		}
+	}
+	return best, nil
+}
+
+func (f *benchFleet) close() {
+	f.front.Close()
+	for _, s := range f.servers {
+		s.Close()
+	}
+}

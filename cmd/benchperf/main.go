@@ -87,6 +87,9 @@ type metrics struct {
 	SilhouetteCellsPerSSerial float64 `json:"silhouette_cells_per_s_serial"`
 
 	DriftCheckS float64 `json:"drift_check_s"`
+
+	FedMergeS     float64 `json:"fed_merge_s"`
+	FedQueryP99Ms float64 `json:"fed_query_p99_ms"`
 }
 
 func main() {
@@ -271,6 +274,24 @@ func main() {
 		return time.Since(t0).Seconds(), nil
 	})
 	fmt.Printf("drift check:    %12.3f s\n", run.Metrics.DriftCheckS)
+
+	// Federation substrates: the aggregator's two hot paths against a
+	// 3-vantage fleet of HTTP stand-ins. fed_merge_s is a cold intern-mirror
+	// sync of all three vantages in parallel (what admission after a restart
+	// costs); fed_query_p99_ms is the tail latency of a federated classify —
+	// two HTTP hops, 3-way fan-out, vote merge.
+	fleet := newBenchFleet(env, space, *k)
+	defer fleet.close()
+	run.Metrics.FedMergeS = bestLow(*iters, fleet.mergeOnce)
+	fmt.Printf("fed merge:      %12.3f s        (3 vantages, %d senders each)\n",
+		run.Metrics.FedMergeS, fleet.tableLen)
+	p99, err := fleet.queryP99(*iters, 200)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchperf:", err)
+		os.Exit(1)
+	}
+	run.Metrics.FedQueryP99Ms = p99
+	fmt.Printf("fed query p99:  %12.3f ms       (200 federated classifies)\n", run.Metrics.FedQueryP99Ms)
 
 	rep.Runs = mergeRuns(*out, rep, run)
 	data, err := json.MarshalIndent(rep, "", "  ")

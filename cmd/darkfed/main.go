@@ -1,0 +1,189 @@
+// Command darkfed federates a fleet of darkvecd vantage daemons behind one
+// degradation-aware endpoint. Each vantage point — one darknet telescope —
+// runs its own darkvecd with its own window, interner, retrain loop and
+// model store; darkfed polls them over their existing HTTP API, mirrors
+// each one's sender id space locally, and answers cross-vantage questions.
+//
+// Usage:
+//
+//	darkfed -listen 127.0.0.1:8090 \
+//	    -vantage north=http://127.0.0.1:8081 \
+//	    -vantage south=http://127.0.0.1:8082
+//
+// Robustness model: every vantage is an isolated failure domain. A vantage
+// crashing, hanging past -timeout, or refusing connections degrades the
+// federated answer — it never fails it while any peer still serves. Each
+// vantage client runs behind backed-off retries and a circuit breaker, so a
+// dead daemon costs one probe per poll interval, not a hammering. A vantage
+// returning from a kill -9 is re-admitted only after its model generation
+// and intern table are re-synced (a restart re-mints the id space; the
+// export's epoch detects it). /healthz/ready composes per-vantage state
+// into deterministically ordered (cause-name sorted) degraded_reasons.
+//
+// Endpoints:
+//
+//	GET /healthz/live            — process is up
+//	GET /healthz/ready           — ready | degraded (+ sorted degraded_reasons); 503 when no vantage is admitted
+//	GET /v1/federated/classify?ip=1.2.3.4&k=7
+//	GET /v1/federated/senders?ip=1.2.3.4
+//	GET /v1/federated/vantages   — per-vantage admission state
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/darkvec/darkvec/internal/apiserver"
+	"github.com/darkvec/darkvec/internal/federation"
+)
+
+// vantageFlags collects repeatable -vantage name=url definitions.
+type vantageFlags []federation.VantageConfig
+
+func (v *vantageFlags) String() string {
+	var parts []string
+	for _, vc := range *v {
+		parts = append(parts, vc.Name+"="+vc.URL)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (v *vantageFlags) Set(s string) error {
+	name, url, ok := strings.Cut(s, "=")
+	if !ok || name == "" || url == "" {
+		return fmt.Errorf("want name=url, got %q", s)
+	}
+	if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
+		url = "http://" + url
+	}
+	*v = append(*v, federation.VantageConfig{Name: name, URL: url})
+	return nil
+}
+
+// options carries every knob of an aggregator run; main fills it from
+// flags, tests construct it directly.
+type options struct {
+	listen      string
+	vantages    []federation.VantageConfig
+	poll        time.Duration
+	timeout     time.Duration
+	k           int
+	reqTimeout  time.Duration
+	maxInFlight int
+	drain       time.Duration
+
+	logf     func(format string, args ...any) // nil: stdout
+	onListen func(addr string)                // test hook: listener bound
+}
+
+func main() {
+	var o options
+	var vf vantageFlags
+	flag.StringVar(&o.listen, "listen", "127.0.0.1:8090", "HTTP listen address")
+	flag.Var(&vf, "vantage", "vantage daemon as name=url (repeatable)")
+	flag.DurationVar(&o.poll, "poll", federation.DefaultPollInterval, "vantage health/sync poll interval")
+	flag.DurationVar(&o.timeout, "timeout", federation.DefaultQueryTimeout, "per-vantage request timeout")
+	flag.IntVar(&o.k, "k", 0, "default k forwarded to vantage classifiers (0 = vantage default)")
+	flag.DurationVar(&o.reqTimeout, "reqtimeout", apiserver.DefaultRequestTimeout, "per-request timeout on the aggregator's own API (0 = none)")
+	flag.IntVar(&o.maxInFlight, "maxinflight", apiserver.DefaultMaxInFlight, "max concurrent requests before shedding (0 = unlimited)")
+	flag.DurationVar(&o.drain, "drain", 10*time.Second, "graceful shutdown drain timeout")
+	flag.Parse()
+	o.vantages = vf
+	if len(o.vantages) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, o); err != nil {
+		fmt.Fprintln(os.Stderr, "darkfed:", err)
+		os.Exit(1)
+	}
+}
+
+func (o *options) validate() error {
+	if len(o.vantages) == 0 {
+		return errors.New("no -vantage configured")
+	}
+	if o.poll < 0 || o.timeout < 0 {
+		return errors.New("-poll and -timeout must be >= 0")
+	}
+	if _, _, err := net.SplitHostPort(o.listen); err != nil {
+		return fmt.Errorf("invalid -listen %q: %v", o.listen, err)
+	}
+	return nil
+}
+
+func run(ctx context.Context, o options) error {
+	if o.logf == nil {
+		o.logf = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := o.validate(); err != nil {
+		return err
+	}
+	agg, err := federation.NewAggregator(federation.Config{
+		Vantages:       o.vantages,
+		Poll:           o.poll,
+		Timeout:        o.timeout,
+		K:              o.k,
+		RequestTimeout: o.reqTimeout,
+		MaxInFlight:    o.maxInFlight,
+		Logf:           o.logf,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Bind before the first poll completes: the aggregator is useful the
+	// moment it is up — /healthz/live answers immediately, federated
+	// queries shed cleanly with 503 until a vantage is admitted.
+	ln, err := net.Listen("tcp", o.listen)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           agg,
+		ReadTimeout:       10 * time.Second,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      o.reqTimeout + 5*time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	o.logf("federating %d vantages on http://%s", len(o.vantages), ln.Addr())
+	if o.onListen != nil {
+		o.onListen(ln.Addr().String())
+	}
+
+	pollDone := make(chan struct{})
+	go func() {
+		defer close(pollDone)
+		agg.Run(ctx)
+	}()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+		o.logf("shutting down (draining up to %s)...", o.drain)
+		sctx, cancel := context.WithTimeout(context.Background(), o.drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			return fmt.Errorf("drain incomplete: %w", err)
+		}
+		<-serveErr // http.ErrServerClosed
+		<-pollDone
+		return nil
+	}
+}

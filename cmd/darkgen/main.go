@@ -19,6 +19,18 @@
 // — so the same invocation exercises the drift gate end to end:
 //
 //	darkgen -out '' -days 1 -attack sybil -attackers 200 -live 127.0.0.1:9000
+//
+// With -vantage (repeatable, name=cidr[@addr]), the darknet is viewed as
+// several telescopes: events are tagged with the vantage whose block their
+// destination falls in, and destinations no vantage monitors are dropped.
+// Each vantage develops its own personality — the sub-block it watches sees
+// a distinct slice of every scanner's sweep. A spec with @addr streams that
+// vantage's view to its own darkvecd -ingest listener, one connection per
+// vantage, which is the load generator for federation chaos drills:
+//
+//	darkgen -out '' -days 1 \
+//	    -vantage north=198.18.0.0/26@127.0.0.1:9001 \
+//	    -vantage south=198.18.0.64/26@127.0.0.1:9002
 package main
 
 import (
@@ -26,11 +38,55 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 
 	"github.com/darkvec/darkvec/internal/darksim"
 	"github.com/darkvec/darkvec/internal/labels"
+	"github.com/darkvec/darkvec/internal/netutil"
 	"github.com/darkvec/darkvec/internal/trace"
 )
+
+// vantageSpec is one -vantage definition: the telescope geometry plus an
+// optional live streaming target for that vantage's view.
+type vantageSpec struct {
+	v    darksim.Vantage
+	addr string // "" when this vantage only tags, never streams
+}
+
+// vantageSpecs collects repeatable -vantage name=cidr[@addr] flags.
+type vantageSpecs []vantageSpec
+
+func (s *vantageSpecs) String() string {
+	var parts []string
+	for _, spec := range *s {
+		p := spec.v.Name + "=" + spec.v.Block.String()
+		if spec.addr != "" {
+			p += "@" + spec.addr
+		}
+		parts = append(parts, p)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (s *vantageSpecs) Set(arg string) error {
+	name, rest, ok := strings.Cut(arg, "=")
+	if !ok || name == "" || rest == "" {
+		return fmt.Errorf("want name=cidr[@addr], got %q", arg)
+	}
+	cidr, addr, _ := strings.Cut(rest, "@")
+	block, err := netutil.ParseSubnet(cidr)
+	if err != nil {
+		return fmt.Errorf("vantage %s: %v", name, err)
+	}
+	for _, prev := range *s {
+		if prev.v.Name == name {
+			return fmt.Errorf("duplicate vantage %q", name)
+		}
+	}
+	*s = append(*s, vantageSpec{v: darksim.Vantage{Name: name, Block: block}, addr: addr})
+	return nil
+}
 
 func main() {
 	var (
@@ -44,17 +100,20 @@ func main() {
 		live     = flag.String("live", "", "stream events to this darkvecd -ingest address (host:port or unix:/path)")
 		speed    = flag.Float64("speed", 0, "live pacing in event-seconds per wall-second (0 = firehose)")
 
+		vantages vantageSpecs
+
 		attack    = flag.String("attack", "", "append an evasive overlay: sybil | mimicry | jitter")
 		attackers = flag.Int("attackers", 200, "attacking source count")
 		attackPPS = flag.Int("attackpps", 12, "packets per attacker per day")
 		attackDay = flag.Int("attackdays", 1, "attack duration in days (starts where the base trace ends)")
 		mimic     = flag.String("attackmimic", "", "mimicry: ground-truth class whose port mix to copy")
 	)
+	flag.Var(&vantages, "vantage", "vantage telescope as name=cidr[@addr] (repeatable; @addr streams that view live)")
 	flag.Parse()
 	if err := run(options{
 		out: *out, pcapOut: *pcapOut, feedsDir: *feedsDir,
 		days: *days, scale: *scale, rate: *rate, seed: *seed,
-		live: *live, speed: *speed,
+		live: *live, speed: *speed, vantages: vantages,
 		attack: *attack, attackers: *attackers, attackPPS: *attackPPS,
 		attackDays: *attackDay, mimic: *mimic,
 	}); err != nil {
@@ -70,6 +129,7 @@ type options struct {
 	seed                   uint64
 	live                   string
 	speed                  float64
+	vantages               []vantageSpec
 
 	attack     string
 	attackers  int
@@ -105,6 +165,17 @@ func run(o options) error {
 		tr = trace.Merge(tr, atk.Trace)
 		fmt.Printf("appended %s attack: %d events from %d attackers\n",
 			o.attack, atk.Trace.Len(), len(atk.Attackers))
+	}
+
+	if len(o.vantages) > 0 {
+		blocks := make([]darksim.Vantage, len(o.vantages))
+		for i, spec := range o.vantages {
+			blocks[i] = spec.v
+		}
+		before := tr.Len()
+		tr = darksim.TagVantages(tr, blocks)
+		fmt.Printf("tagged %d of %d events across %d vantages (%d aimed at unmonitored space)\n",
+			tr.Len(), before, len(blocks), before-tr.Len())
 	}
 
 	if o.out != "" {
@@ -155,11 +226,51 @@ func run(o options) error {
 			fmt.Printf("wrote %s (%d senders)\n", path, len(ips))
 		}
 	}
+	logf := func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
 	if o.live != "" {
-		if err := runLive(o.live, tr, o.speed, func(format string, args ...any) {
-			fmt.Printf(format+"\n", args...)
-		}); err != nil {
+		if err := runLive(o.live, tr, o.speed, logf); err != nil {
 			return err
+		}
+	}
+
+	// Per-vantage live feeds: each @addr vantage streams its own view over
+	// its own connection, concurrently — one failing feed does not stop its
+	// peers, but the run reports every failure.
+	var targets []vantageSpec
+	for _, spec := range o.vantages {
+		if spec.addr != "" {
+			targets = append(targets, spec)
+		}
+	}
+	if len(targets) > 0 {
+		blocks := make([]darksim.Vantage, len(o.vantages))
+		for i, spec := range o.vantages {
+			blocks[i] = spec.v
+		}
+		views := darksim.SplitVantages(tr, blocks)
+		errs := make([]error, len(targets))
+		var wg sync.WaitGroup
+		for i, spec := range targets {
+			wg.Add(1)
+			go func(i int, spec vantageSpec) {
+				defer wg.Done()
+				view := views[spec.v.Name]
+				if view.Len() == 0 {
+					logf("vantage %s: nothing to stream", spec.v.Name)
+					return
+				}
+				if err := runLive(spec.addr, view, o.speed, func(format string, args ...any) {
+					logf("vantage "+spec.v.Name+": "+format, args...)
+				}); err != nil {
+					errs[i] = fmt.Errorf("vantage %s: %w", spec.v.Name, err)
+				}
+			}(i, spec)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"github.com/darkvec/darkvec/internal/robust"
@@ -54,6 +55,7 @@ func (d *daemon) startIngest() error {
 	d.ing = stream.New(stream.Config{
 		QueueSize: o.ingestQueue,
 		Policy:    policy,
+		Vantage:   o.vantage,
 		Window: stream.WindowConfig{
 			MaxEvents: o.ingestCap,
 			MaxAge:    int64(o.ingestAge.Seconds()),
@@ -126,23 +128,31 @@ func (d *daemon) handleIngest(w http.ResponseWriter, _ *http.Request) {
 // stale is the serving-path degradation predicate: a failed retrain (an
 // older generation deliberately kept on the air, with a drift rejection
 // called out specifically) or a stalled live feed (a model aging against
-// a silent darknet) mark every response; overlapping causes are joined.
+// a silent darknet) mark every response. Overlapping causes are joined
+// with "; " in cause-name order — the same ordering /healthz/ready's
+// degraded_reasons uses — so the header is deterministic and scriptable.
 func (d *daemon) stale() (bool, string) {
-	var reasons []string
+	type cause struct{ name, detail string }
+	var causes []cause
 	if d.status.stale.Load() {
 		if d.status.driftReject.Load() {
-			reasons = append(reasons, "drift gate rejected retrain; serving previous generation")
+			causes = append(causes, cause{"drift_rejected", "drift gate rejected retrain (serving previous generation)"})
 		} else {
-			reasons = append(reasons, "retrain failed; serving previous generation")
+			causes = append(causes, cause{"stale_model", "retrain failed (serving previous generation)"})
 		}
 	}
 	if d.ing != nil && d.ing.Stalled() {
-		reasons = append(reasons, fmt.Sprintf("live feed silent for %s", d.ing.Silence().Round(1e9)))
+		causes = append(causes, cause{"ingest_stalled", fmt.Sprintf("live feed silent for %s", d.ing.Silence().Round(1e9))})
 	}
-	if len(reasons) == 0 {
+	if len(causes) == 0 {
 		return false, ""
 	}
-	return true, strings.Join(reasons, "; ")
+	sort.Slice(causes, func(i, j int) bool { return causes[i].name < causes[j].name })
+	details := make([]string, len(causes))
+	for i, c := range causes {
+		details[i] = c.detail
+	}
+	return true, strings.Join(details, "; ")
 }
 
 // flushWindow drains the rolling window to -flush atomically (tmp +

@@ -58,6 +58,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -69,6 +70,7 @@ import (
 	"github.com/darkvec/darkvec/internal/core"
 	"github.com/darkvec/darkvec/internal/corpus"
 	"github.com/darkvec/darkvec/internal/drift"
+	"github.com/darkvec/darkvec/internal/federation"
 	"github.com/darkvec/darkvec/internal/labels"
 	"github.com/darkvec/darkvec/internal/modelstore"
 	"github.com/darkvec/darkvec/internal/netutil"
@@ -101,6 +103,7 @@ type options struct {
 	retrain     time.Duration // background retrain interval (0 = never)
 	keep        int           // store generations kept after publish
 	retrainFail int           // breaker threshold for consecutive retrain failures
+	vantage     string        // vantage point name ("" = single-vantage)
 
 	// Live ingestion (see ingest.go). Either source makes the daemon
 	// retrain on the rolling window instead of re-reading -in.
@@ -162,6 +165,7 @@ func main() {
 	flag.DurationVar(&o.retrain, "retrain", 0, "background retrain interval (0 = never; requires -store)")
 	flag.IntVar(&o.keep, "keep", 3, "model store generations kept after each publish")
 	flag.IntVar(&o.retrainFail, "retrainfail", 5, "consecutive retrain failures before the circuit breaker gives up")
+	flag.StringVar(&o.vantage, "vantage", "", "vantage point name: tags untagged live events and the /v1/intern export")
 	flag.StringVar(&o.ingest, "ingest", "", "live-feed listener (host:port or unix:/path) speaking the CSV line protocol")
 	flag.StringVar(&o.follow, "follow", "", "tail-follow this file as a live event source")
 	flag.StringVar(&o.flush, "flush", "", "drain the live window to this CSV on shutdown and re-seed from it on boot")
@@ -298,6 +302,11 @@ func (o *options) validate() error {
 	if o.retrainFail < 0 {
 		return fmt.Errorf("invalid -retrainfail %d: must be >= 0", o.retrainFail)
 	}
+	// The vantage name travels inside CSV lines and "; "-joined headers;
+	// separators in it would corrupt both framings.
+	if strings.ContainsAny(o.vantage, ",;\r\n") {
+		return fmt.Errorf("invalid -vantage %q: must not contain ',', ';' or line breaks", o.vantage)
+	}
 	host, port, err := net.SplitHostPort(o.listen)
 	if err != nil {
 		return fmt.Errorf("invalid -listen %q: %v", o.listen, err)
@@ -373,7 +382,7 @@ func run(ctx context.Context, o options) error {
 	cfg.W2V.Epochs = o.epochs
 	cfg.W2V.Seed = o.seed
 
-	d := &daemon{o: o, cfg: cfg, feeds: feeds, gate: robust.NewGate()}
+	d := &daemon{o: o, cfg: cfg, feeds: feeds, gate: robust.NewGate(), epoch: federation.NewEpoch()}
 	d.status.lastErr.Store("")
 	var err error
 	if o.store != "" {
@@ -423,6 +432,20 @@ func run(ctx context.Context, o options) error {
 	// Ungated for the same reason: the drift trajectory and gate decisions
 	// must be inspectable while a candidate is still training.
 	mux.HandleFunc("GET /v1/drift", d.handleDrift)
+	// Ungated too: the federation aggregator mirrors the sender id space
+	// while the first model is still training, and pages stay stable under
+	// concurrent retrains because the table is append-only.
+	mux.Handle("GET /v1/intern", federation.NewInternHandler(federation.InternSource{
+		Vantage: o.vantage,
+		Epoch:   d.epoch,
+		Table:   d.trainInterner().Table(),
+		Generation: func() string {
+			if v := d.status.version.Load(); v != 0 {
+				return modelstore.Version(v).String()
+			}
+			return ""
+		},
+	}))
 	// The staleness marker wraps the gate so a degraded daemon — a failed
 	// retrain still serving the previous generation, or a live feed gone
 	// silent — is visible on every response, not just the health endpoint.
@@ -560,6 +583,7 @@ type daemon struct {
 	ing    *stream.Ingestor  // nil when not ingesting live
 	status modelStatus
 	drift  driftState
+	epoch  string // intern-export process-instance id (see federation.InternPage)
 
 	readyOnce sync.Once
 	readyFn   func() // announced on the first model swap
@@ -617,6 +641,9 @@ func (d *daemon) handleReady(w http.ResponseWriter, _ *http.Request) {
 			resp["ingest_stalled"] = true
 		}
 	}
+	// Sorted by cause name, so the list is deterministic however the causes
+	// accumulated — aggregators and alert rules can match on position.
+	sort.Strings(reasons)
 	if len(reasons) > 0 {
 		resp["status"] = "degraded"
 		resp["stale"] = true
@@ -650,7 +677,22 @@ func (d *daemon) bootFromStore(tr *trace.Trace) (*core.Embedding, modelstore.Ver
 			continue
 		}
 		d.o.logf("booted from store generation %s; skipping initial training", v)
+		d.seedInterner(m.Words())
 		return core.EmbeddingFromModel(m, tr, d.cfg), v, true
+	}
+}
+
+// seedInterner interns the IP-shaped vocabulary of a store-booted model so
+// the exported id space covers the generation actually serving, not just
+// senders seen since boot. Synthetic tokens (the pad word, service markers)
+// are skipped — the export is a sender table. Ids differ from the previous
+// process's anyway; the fresh epoch forces mirrors to re-sync regardless.
+func (d *daemon) seedInterner(words []string) {
+	in := d.trainInterner()
+	for _, w := range words {
+		if ip, err := netutil.ParseIPv4(w); err == nil {
+			in.Intern(ip)
+		}
 	}
 }
 

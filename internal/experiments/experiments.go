@@ -231,6 +231,7 @@ func All() []Runner {
 		{"ablation-w2v", "Word2Vec architecture ablation (§5.3 choice)", (*Env).AblationArchitecture},
 		{"ablation-deltat", "Impact of the sequence window ΔT (footnote 5)", (*Env).AblationDeltaT},
 		{"transfer", "Cross-darknet embedding transfer (§8 open question)", (*Env).Transfer},
+		{"federation", "Multi-vantage federation vs single darknet (§8, federated)", (*Env).Federation},
 		{"incremental", "Incremental model refresh vs retrain (§8 discussion)", (*Env).Incremental},
 		{"neighbours", "Nearest-neighbour cohort purity per GT class", (*Env).MostSimilarDemo},
 		{"honeypot", "Honeypot confirmation of the SSH cluster (§7.3.3)", (*Env).HoneypotVerify},

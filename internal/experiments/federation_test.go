@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestFederationWithinTwoPoints pins the PR's acceptance bar: sharding the
+// darknet into two /25 vantage daemons and merging their votes stays within
+// 2 accuracy points of the single-darknet baseline. The operating point is
+// the cheapest one where the /25 views converge — each vantage sees half of
+// every sender's packets, so per-sender density (Rate), not population
+// (Scale), is what buys convergence; tinyEnv is below that regime.
+func TestFederationWithinTwoPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains four embeddings at a converged operating point")
+	}
+	e := NewEnv(Options{
+		Seed: 1, Days: 10, Scale: 0.02, Rate: 0.3,
+		Dim: 32, Window: 15, Epochs: 4,
+	})
+	res, err := e.Federation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want baseline + 2 vantages + merge", len(res.Rows))
+	}
+	acc := func(row []string) float64 {
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("accuracy cell %q: %v", row[2], err)
+		}
+		return v
+	}
+	base, fed := acc(res.Rows[0]), acc(res.Rows[3])
+	if fed < base-0.02 {
+		t.Fatalf("federated %.2f fell more than 2 points under baseline %.2f", fed, base)
+	}
+	if !strings.Contains(res.Rows[3][0], "federated") {
+		t.Fatalf("last row is %q, want the federated merge", res.Rows[3][0])
+	}
+}

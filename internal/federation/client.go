@@ -1,0 +1,168 @@
+package federation
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"github.com/darkvec/darkvec/internal/apiserver"
+	"github.com/darkvec/darkvec/internal/robust"
+)
+
+// ErrUnknownSender marks a classify answer where the vantage responded but
+// has never embedded the sender — an answer about coverage, not a failure.
+var ErrUnknownSender = errors.New("federation: sender not in this vantage's embedding")
+
+// Client talks to one vantage daemon. Every request runs through a
+// robust.RetryClient — per-attempt timeout, backed-off retries, and a
+// per-vantage circuit breaker — so one misbehaving vantage consumes a
+// bounded slice of the aggregator's time and is probed, not hammered, while
+// down.
+type Client struct {
+	// Name is the vantage name (diagnostics only).
+	Name string
+	// BaseURL roots the daemon's API, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP performs the requests; NewClient installs sane defaults.
+	HTTP *robust.RetryClient
+}
+
+// ClientConfig tunes NewClient.
+type ClientConfig struct {
+	// Timeout bounds each individual attempt (default 5s).
+	Timeout time.Duration
+	// BreakerCooldown is the open → half-open probe delay (default 1s).
+	// Match it to the aggregator's poll interval so a dead vantage costs
+	// one probe per poll.
+	BreakerCooldown time.Duration
+}
+
+// NewClient builds a vantage client with the federation retry defaults:
+// two attempts spaced by a short backoff, and a breaker that trips after
+// three consecutive failures.
+func NewClient(name, baseURL string, cfg ClientConfig) *Client {
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	cooldown := cfg.BreakerCooldown
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Client{
+		Name:    name,
+		BaseURL: strings.TrimRight(baseURL, "/"),
+		HTTP: &robust.RetryClient{
+			Client:      &http.Client{Timeout: timeout},
+			Backoff:     robust.Backoff{Base: 50 * time.Millisecond, Max: time.Second},
+			Breaker:     &robust.Breaker{Threshold: 3, Cooldown: cooldown},
+			MaxAttempts: 2,
+		},
+	}
+}
+
+// get fetches path and decodes the JSON body into out. A non-2xx status is
+// an error carrying the code.
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	resp, err := c.HTTP.Get(ctx, c.BaseURL+path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return &StatusError{Vantage: c.Name, Path: path, Code: resp.StatusCode}
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// StatusError is a non-200 answer from a vantage.
+type StatusError struct {
+	Vantage string
+	Path    string
+	Code    int
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("federation: vantage %s: %s returned %d", e.Vantage, e.Path, e.Code)
+}
+
+// Ready fetches the vantage's readiness. A 503 (still training) is returned
+// as a StatusError; reachable-but-degraded vantages report status
+// "degraded" with a nil error — they still serve answers.
+func (c *Client) Ready(ctx context.Context) (*ReadyStatus, error) {
+	var st ReadyStatus
+	if err := c.get(ctx, "/healthz/ready", &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// InternPage fetches one page of the vantage's intern table.
+func (c *Client) InternPage(ctx context.Context, offset, limit int) (*InternPage, error) {
+	var page InternPage
+	path := fmt.Sprintf("/v1/intern?offset=%d&limit=%d", offset, limit)
+	if err := c.get(ctx, path, &page); err != nil {
+		return nil, err
+	}
+	return &page, nil
+}
+
+// SyncIntern pages the vantage's intern table from offset `from` to its
+// current end, appending into dst (id → sender). It returns the page
+// metadata of the final fetch — epoch and generation — and the new table
+// length. If the vantage's epoch differs from `epoch` (a restart happened),
+// sync restarts from 0 into a fresh slice; the caller detects this by the
+// returned epoch. The table is append-only, so a sync that straddles a
+// retrain is still consistent.
+func (c *Client) SyncIntern(ctx context.Context, epoch string, dst []string) ([]string, *InternPage, error) {
+	var last *InternPage
+	for {
+		page, err := c.InternPage(ctx, len(dst), DefaultInternPageLimit)
+		if err != nil {
+			return dst, last, err
+		}
+		if page.Epoch != epoch {
+			// Restart detected: the id space was re-minted, the mirror is
+			// void. Start over against the new epoch.
+			epoch = page.Epoch
+			dst = dst[:0]
+			if page.Offset != 0 {
+				continue // refetch from 0 under the new epoch
+			}
+		}
+		dst = append(dst, page.Senders...)
+		last = page
+		if len(dst) >= page.Total || len(page.Senders) == 0 {
+			return dst, last, nil
+		}
+	}
+}
+
+// Classify asks the vantage to classify ip with its local k-NN. A 404 maps
+// to ErrUnknownSender.
+func (c *Client) Classify(ctx context.Context, ip string, k int) (*VantageAnswer, error) {
+	var resp apiserver.ClassifyResponse
+	path := "/v1/classify?ip=" + url.QueryEscape(ip)
+	if k > 0 {
+		path += fmt.Sprintf("&k=%d", k)
+	}
+	if err := c.get(ctx, path, &resp); err != nil {
+		var se *StatusError
+		if errors.As(err, &se) && se.Code == http.StatusNotFound {
+			return nil, ErrUnknownSender
+		}
+		return nil, err
+	}
+	return &VantageAnswer{
+		Vantage: c.Name, Class: resp.Class, Votes: resp.Support, AvgSim: resp.AvgSim,
+	}, nil
+}

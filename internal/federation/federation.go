@@ -1,0 +1,135 @@
+// Package federation turns a fleet of single-vantage darkvecd daemons into
+// one queryable system. Each vantage point (one darknet telescope) runs its
+// own daemon — own rolling window, own interner, own retrain loop, own model
+// store — and stays an isolated failure domain. An aggregator polls every
+// vantage over the existing HTTP API, mirrors each vantage's intern table
+// locally (aligned by the exported id space), and answers cross-vantage
+// questions: which vantages saw a sender, and what does the fleet think a
+// sender is.
+//
+// Robustness is the design driver, in the same spirit the paper argues a
+// darknet monitor must run unattended (§5): a vantage crashing, hanging or
+// serving stale answers degrades the federated answer — it never takes the
+// aggregator down. Every response names the vantages that contributed and
+// the ones that could not, health composes per-vantage state into
+// deterministically ordered degraded_reasons, and a vantage returning from
+// a kill -9 is re-admitted only after its model generation and intern table
+// have been re-synced.
+package federation
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sort"
+)
+
+// InternPage is one page of a vantage's exported intern table. The table is
+// append-only with dense ids, so a page at a given offset is immutable: ids
+// below Total never change meaning, and a reader can resume pagination
+// mid-retrain without ever seeing a shifted id.
+type InternPage struct {
+	// Vantage is the exporting vantage's name.
+	Vantage string `json:"vantage"`
+	// Epoch identifies the exporting process instance. Ids are only stable
+	// within one epoch: a daemon restart re-interns from its seed corpus and
+	// may assign different ids, so a changed epoch tells the reader to
+	// discard its mirror and re-sync from offset 0.
+	Epoch string `json:"epoch"`
+	// Generation is the model generation currently serving ("" when the
+	// daemon is unmanaged or still training).
+	Generation string `json:"generation"`
+	// Total is the table length when the page was cut; it only grows.
+	Total int `json:"total"`
+	// Offset is the id of the first sender in Senders.
+	Offset int `json:"offset"`
+	// Senders holds the words at ids [Offset, Offset+len(Senders)).
+	Senders []string `json:"senders"`
+}
+
+// NewEpoch returns a fresh process-instance identifier for intern exports.
+func NewEpoch() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// A zero epoch still forces a resync against any prior epoch; the
+		// randomness only guards against two restarts colliding.
+		return "epoch-0"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ReadyStatus is the subset of a daemon's /healthz/ready payload the
+// aggregator acts on.
+type ReadyStatus struct {
+	Status          string   `json:"status"`
+	ModelVersion    string   `json:"model_version"`
+	DegradedReasons []string `json:"degraded_reasons"`
+}
+
+// VantageAnswer is one vantage's contribution to a federated classification.
+type VantageAnswer struct {
+	Vantage string  `json:"vantage"`
+	Class   string  `json:"class"`
+	Votes   int     `json:"votes"`
+	AvgSim  float64 `json:"avg_similarity"`
+}
+
+// ClassifyResponse is the /v1/federated/classify payload. Degradation is
+// explicit: Vantages lists who answered, Unknown who answered but has never
+// embedded the sender, and DegradedReasons (sorted) who could not be asked.
+type ClassifyResponse struct {
+	IP              string          `json:"ip"`
+	Class           string          `json:"class"`
+	Votes           int             `json:"votes"`
+	Vantages        []VantageAnswer `json:"vantages"`
+	Unknown         []string        `json:"unknown,omitempty"`
+	DegradedReasons []string        `json:"degraded_reasons,omitempty"`
+}
+
+// SendersResponse is the /v1/federated/senders payload: which vantages have
+// observed a sender, answered from the aggregator's local intern mirrors —
+// no vantage round trip, so it works even while every vantage is down.
+type SendersResponse struct {
+	IP              string   `json:"ip"`
+	Vantages        []string `json:"vantages"`
+	DegradedReasons []string `json:"degraded_reasons,omitempty"`
+}
+
+// MergeAnswers combines per-vantage k-NN answers into one federated verdict
+// by summed vote count — the natural extension of the paper's majority-vote
+// k-NN classifier across telescopes. Ties break on higher mean similarity,
+// then lexicographically, so the merge is deterministic. The winning class
+// and its summed votes are returned; an empty input yields ("", 0).
+func MergeAnswers(answers []VantageAnswer) (string, int) {
+	type tally struct {
+		votes int
+		sim   float64
+	}
+	sums := map[string]*tally{}
+	for _, a := range answers {
+		t := sums[a.Class]
+		if t == nil {
+			t = &tally{}
+			sums[a.Class] = t
+		}
+		t.votes += a.Votes
+		t.sim += a.AvgSim * float64(a.Votes)
+	}
+	classes := make([]string, 0, len(sums))
+	for c := range sums {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool {
+		a, b := sums[classes[i]], sums[classes[j]]
+		if a.votes != b.votes {
+			return a.votes > b.votes
+		}
+		if a.sim != b.sim {
+			return a.sim > b.sim
+		}
+		return classes[i] < classes[j]
+	})
+	if len(classes) == 0 {
+		return "", 0
+	}
+	return classes[0], sums[classes[0]].votes
+}

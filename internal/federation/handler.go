@@ -1,0 +1,90 @@
+package federation
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"github.com/darkvec/darkvec/internal/intern"
+)
+
+// Intern-export paging bounds.
+const (
+	DefaultInternPageLimit = 4096
+	MaxInternPageLimit     = 65536
+)
+
+// InternSource describes the intern table a daemon exports at /v1/intern.
+type InternSource struct {
+	// Vantage names the exporting vantage point.
+	Vantage string
+	// Epoch identifies this process instance (see InternPage.Epoch); use
+	// NewEpoch at boot.
+	Epoch string
+	// Table is the live interner. It is append-only, so pages are served
+	// directly off it without snapshotting.
+	Table *intern.Table
+	// Generation, when non-nil, reports the serving model generation; nil
+	// exports "".
+	Generation func() string
+}
+
+// NewInternHandler serves paged reads of an append-only intern table:
+//
+//	GET /v1/intern?offset=0&limit=4096
+//
+// Ids are dense and immutable, so pagination is stable under concurrent
+// interning — a page fetched mid-retrain is identical to the same page
+// fetched after, only Total moves. The handler is cheap enough to stay
+// ungated: the aggregator needs it while the first model is still training.
+func NewInternHandler(src InternSource) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		offset := 0
+		if s := q.Get("offset"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				badRequest(w, "invalid offset %q", s)
+				return
+			}
+			offset = v
+		}
+		limit := DefaultInternPageLimit
+		if s := q.Get("limit"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v <= 0 {
+				badRequest(w, "invalid limit %q", s)
+				return
+			}
+			limit = min(v, MaxInternPageLimit)
+		}
+		// Reading Total first makes the page self-consistent: everything
+		// below Total is already immutable when the loop runs.
+		total := src.Table.Len()
+		page := InternPage{
+			Vantage: src.Vantage,
+			Epoch:   src.Epoch,
+			Total:   total,
+			Offset:  min(offset, total),
+		}
+		if src.Generation != nil {
+			page.Generation = src.Generation()
+		}
+		end := min(page.Offset+limit, total)
+		if end > page.Offset {
+			page.Senders = make([]string, 0, end-page.Offset)
+			for id := page.Offset; id < end; id++ {
+				page.Senders = append(page.Senders, src.Table.Lookup(uint32(id)))
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(page)
+	})
+}
+
+func badRequest(w http.ResponseWriter, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadRequest)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,78 @@
+// HTTP-side faults: handler wrappers that make a test server flaky in the
+// ways a remote vantage daemon actually fails — transient 5xx bursts, hangs
+// past the client timeout, connections dropped mid-request — so client
+// retry/breaker paths can be proved against real wire behaviour instead of
+// mocked errors.
+package faultio
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// FailFirst serves status for the first n requests, then delegates to h —
+// the transient-outage fault a restarting daemon produces. The counter is
+// shared across all paths and safe for concurrent use.
+func FailFirst(h http.Handler, n int64, status int) http.Handler {
+	var served int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt64(&served, 1) <= n {
+			http.Error(w, "injected fault", status)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// FailEvery serves status for every every-th request (1-based: every=3 fails
+// requests 3, 6, 9, ...), delegating the rest to h — the intermittent-flake
+// fault of an overloaded daemon. every <= 0 injects nothing.
+func FailEvery(h http.Handler, every int64, status int) http.Handler {
+	var served int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if every > 0 && atomic.AddInt64(&served, 1)%every == 0 {
+			http.Error(w, "injected fault", status)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// Hang sleeps d before delegating to h, or until the request context dies —
+// the stalled-dependency fault a client-side timeout must cut short.
+func Hang(h http.Handler, d time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-r.Context().Done():
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// DropConn kills the first n connections without writing a response — the
+// kill -9 fault: the client sees a reset, not a status code. Later requests
+// delegate to h. Requires the ResponseWriter to support http.Hijacker (the
+// stock net/http server does).
+func DropConn(h http.Handler, n int64) http.Handler {
+	var served int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt64(&served, 1) <= n {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				http.Error(w, "injected fault", http.StatusInternalServerError)
+				return
+			}
+			conn, _, err := hj.Hijack()
+			if err == nil {
+				conn.Close()
+			}
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}

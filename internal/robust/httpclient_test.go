@@ -1,0 +1,298 @@
+package robust_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/darkvec/darkvec/internal/robust"
+	"github.com/darkvec/darkvec/internal/robust/faultio"
+)
+
+// okHandler counts hits and answers 200 "ok".
+func okHandler(hits *int64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(hits, 1)
+		io.WriteString(w, "ok")
+	})
+}
+
+// noSleep is an injected clock that records requested delays and returns
+// immediately, so retry timing is asserted without wall-clock waits.
+func noSleep(delays *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(_ context.Context, d time.Duration) error {
+		*delays = append(*delays, d)
+		return nil
+	}
+}
+
+// TestRetryClientRetriesUntilSuccess: a server that 503s twice then recovers
+// is transparent to the caller — three attempts, one good response, backoff
+// slept between attempts.
+func TestRetryClientRetriesUntilSuccess(t *testing.T) {
+	var hits int64
+	srv := httptest.NewServer(faultio.FailFirst(okHandler(&hits), 2, http.StatusServiceUnavailable))
+	defer srv.Close()
+
+	var delays []time.Duration
+	rc := &robust.RetryClient{
+		Backoff: robust.Backoff{Base: 10 * time.Millisecond, Jitter: -1},
+		Sleep:   noSleep(&delays),
+	}
+	resp, err := rc.Get(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("body = %q", body)
+	}
+	if hits != 1 {
+		t.Fatalf("backend hits = %d, want 1 (faults absorbed by wrapper)", hits)
+	}
+	if len(delays) != 2 || delays[0] != 10*time.Millisecond || delays[1] != 20*time.Millisecond {
+		t.Fatalf("backoff delays = %v, want [10ms 20ms]", delays)
+	}
+}
+
+// TestRetryClientExhaustsAttempts: a persistently failing server exhausts
+// MaxAttempts and the final error names the last status.
+func TestRetryClientExhaustsAttempts(t *testing.T) {
+	var hits int64
+	srv := httptest.NewServer(faultio.FailFirst(okHandler(&hits), 1<<30, http.StatusBadGateway))
+	defer srv.Close()
+
+	var delays []time.Duration
+	rc := &robust.RetryClient{
+		MaxAttempts: 3,
+		Backoff:     robust.Backoff{Base: time.Millisecond, Jitter: -1},
+		Sleep:       noSleep(&delays),
+	}
+	_, err := rc.Get(context.Background(), srv.URL)
+	if err == nil {
+		t.Fatal("want error after exhausted attempts")
+	}
+	if !strings.Contains(err.Error(), "502") {
+		t.Fatalf("error %v does not name the failing status", err)
+	}
+	if len(delays) != 2 {
+		t.Fatalf("slept %d times, want 2 (between 3 attempts)", len(delays))
+	}
+}
+
+// TestRetryClientNonRetryableStatus: a 4xx is the server's final word — no
+// retries, and the response is handed back for inspection.
+func TestRetryClientNonRetryableStatus(t *testing.T) {
+	var hits int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(&hits, 1)
+		http.Error(w, "no", http.StatusNotFound)
+	}))
+	defer srv.Close()
+
+	rc := &robust.RetryClient{Sleep: noSleep(new([]time.Duration))}
+	resp, err := rc.Get(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if hits != 1 {
+		t.Fatalf("hits = %d, want 1", hits)
+	}
+}
+
+// TestRetryClientBreakerTrips: failures accumulate in the shared breaker
+// across Do calls; once open, calls are refused with ErrBreakerOpen without
+// touching the wire.
+func TestRetryClientBreakerTrips(t *testing.T) {
+	var wire int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(&wire, 1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	br := &robust.Breaker{Threshold: 3}
+	rc := &robust.RetryClient{
+		Breaker:     br,
+		MaxAttempts: 2,
+		Backoff:     robust.Backoff{Base: time.Millisecond, Jitter: -1},
+		Sleep:       noSleep(new([]time.Duration)),
+	}
+	// First call: 2 attempts, 2 failures. Second call: 1 attempt trips the
+	// breaker (3rd consecutive failure), then the breaker refuses attempt 2.
+	if _, err := rc.Get(context.Background(), srv.URL); err == nil {
+		t.Fatal("want failure")
+	}
+	if _, err := rc.Get(context.Background(), srv.URL); !errors.Is(err, robust.ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen after trip", err)
+	}
+	if br.State() != robust.BreakerOpen {
+		t.Fatalf("breaker = %s, want open", br.State())
+	}
+	onWire := atomic.LoadInt64(&wire)
+	// Open breaker: no wire traffic at all.
+	if _, err := rc.Get(context.Background(), srv.URL); !errors.Is(err, robust.ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	if atomic.LoadInt64(&wire) != onWire {
+		t.Fatal("open breaker still sent a request")
+	}
+}
+
+// TestRetryClientBreakerReopenThenRecover is the full half-open cycle: the
+// breaker trips, a cooldown admits one probe which fails against the still
+// dead server and re-opens the breaker; after the server recovers, the next
+// cooldown's probe succeeds and the breaker closes.
+func TestRetryClientBreakerReopenThenRecover(t *testing.T) {
+	var healthy atomic.Bool
+	var wire int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(&wire, 1)
+		if !healthy.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	now := time.Unix(0, 0)
+	br := &robust.Breaker{
+		Threshold: 2,
+		Cooldown:  time.Second,
+		Now:       func() time.Time { return now },
+	}
+	rc := &robust.RetryClient{
+		Breaker:     br,
+		MaxAttempts: 1, // one attempt per call: the breaker drives recovery
+		Sleep:       noSleep(new([]time.Duration)),
+	}
+	get := func() error { _, err := rc.Get(context.Background(), srv.URL); return err }
+
+	// Two failures trip the breaker.
+	get()
+	get()
+	if br.State() != robust.BreakerOpen {
+		t.Fatalf("breaker = %s, want open", br.State())
+	}
+	// Before the cooldown: refused without wire traffic.
+	onWire := atomic.LoadInt64(&wire)
+	if err := get(); !errors.Is(err, robust.ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	if atomic.LoadInt64(&wire) != onWire {
+		t.Fatal("open breaker sent a request before cooldown")
+	}
+	// Cooldown elapses; the half-open probe hits the still-dead server and
+	// the breaker re-opens.
+	now = now.Add(time.Second)
+	if err := get(); err == nil || errors.Is(err, robust.ErrBreakerOpen) {
+		t.Fatalf("probe err = %v, want a real failure", err)
+	}
+	if br.State() != robust.BreakerOpen {
+		t.Fatalf("breaker = %s, want re-opened after failed probe", br.State())
+	}
+	if atomic.LoadInt64(&wire) != onWire+1 {
+		t.Fatalf("wire = %d, want exactly one probe", atomic.LoadInt64(&wire))
+	}
+	// The server recovers; the next cooldown's probe closes the breaker.
+	healthy.Store(true)
+	now = now.Add(time.Second)
+	if err := get(); err != nil {
+		t.Fatalf("probe after recovery: %v", err)
+	}
+	if br.State() != robust.BreakerClosed {
+		t.Fatalf("breaker = %s, want closed after successful probe", br.State())
+	}
+	// Fully recovered: calls flow normally again.
+	if err := get(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetryClientTimeoutPerAttempt: a hang longer than the client timeout
+// fails that attempt only; the retry (server recovered) succeeds.
+func TestRetryClientTimeoutPerAttempt(t *testing.T) {
+	var hits int64
+	hang := faultio.Hang(okHandler(new(int64)), 5*time.Second)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt64(&hits, 1) == 1 {
+			hang.ServeHTTP(w, r) // first attempt stalls past the client timeout
+			return
+		}
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	rc := &robust.RetryClient{
+		Client:  &http.Client{Timeout: 100 * time.Millisecond},
+		Backoff: robust.Backoff{Base: time.Millisecond, Jitter: -1},
+		Sleep:   noSleep(new([]time.Duration)),
+	}
+	resp, err := rc.Get(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatalf("timeout was not retried: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+// TestRetryClientDropConn: a connection killed without a response (the
+// kill -9 shape) is a transport error and is retried like any other
+// transient fault.
+func TestRetryClientDropConn(t *testing.T) {
+	var hits int64
+	srv := httptest.NewServer(faultio.DropConn(okHandler(&hits), 2))
+	defer srv.Close()
+
+	rc := &robust.RetryClient{
+		Backoff: robust.Backoff{Base: time.Millisecond, Jitter: -1},
+		Sleep:   noSleep(new([]time.Duration)),
+	}
+	resp, err := rc.Get(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hits != 1 {
+		t.Fatalf("backend hits = %d, want 1", hits)
+	}
+}
+
+// TestRetryClientContextCancel: a dead context stops the retry loop
+// immediately with the context's error.
+func TestRetryClientContextCancel(t *testing.T) {
+	srv := httptest.NewServer(faultio.FailFirst(okHandler(new(int64)), 1<<30, http.StatusInternalServerError))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	rc := &robust.RetryClient{
+		Backoff: robust.Backoff{Base: time.Millisecond, Jitter: -1},
+		Sleep: func(ctx context.Context, _ time.Duration) error {
+			calls++
+			cancel()
+			return ctx.Err()
+		},
+	}
+	_, err := rc.Get(ctx, srv.URL)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("kept retrying after cancel: %d sleeps", calls)
+	}
+}

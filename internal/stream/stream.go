@@ -63,6 +63,11 @@ type Config struct {
 	// StallAfter flips the watchdog when no event has been accepted for
 	// this long (default 2m; negative disables).
 	StallAfter time.Duration
+	// Vantage, when non-empty, tags every untagged event admitted by this
+	// ingestor with the named vantage point. Events whose line already
+	// carries a tag keep it — a relay forwarding several telescopes into
+	// one listener stays attributable per event.
+	Vantage string
 	// Logf, when non-nil, receives operational events (connections cut,
 	// budget blown).
 	Logf func(format string, args ...any)
@@ -332,6 +337,9 @@ func (in *Ingestor) consumeLine(line, name string, bucket *tokenBucket) error {
 			return berr
 		}
 		return nil
+	}
+	if e.Vantage == "" {
+		e.Vantage = in.cfg.Vantage
 	}
 	in.report.Record()
 	if bucket != nil {

@@ -1,0 +1,126 @@
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/darkvec/darkvec/internal/robust"
+	"github.com/darkvec/darkvec/internal/trace"
+)
+
+// vantageOf collects src → vantage from a snapshot.
+func vantageOf(tr *trace.Trace) map[string]string {
+	m := map[string]string{}
+	for _, e := range tr.Events {
+		m[e.Src.String()] = e.Vantage
+	}
+	return m
+}
+
+// TestIngestorVantageTagging: one listener receiving a mix of tagged and
+// untagged lines applies the ingestor's default tag only to the untagged
+// ones; explicit per-line tags win.
+func TestIngestorVantageTagging(t *testing.T) {
+	in, addr := startTCP(t, Config{Vantage: "north", Budget: robust.Budget{MaxErrors: 10}})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "%s\n", line(1, "1.1.1.1"))       // untagged → default
+	fmt.Fprintf(conn, "%s,south\n", line(2, "2.2.2.2")) // tagged → kept
+	fmt.Fprintf(conn, "2,3.3.3.3,10.0.0.1,23,tcp,0,\n") // empty tag → default
+	conn.Close()
+	waitFor(t, 2*time.Second, func() bool { return in.Window().Len() == 3 }, "3 events in window")
+	got := vantageOf(in.Window().Snapshot())
+	want := map[string]string{"1.1.1.1": "north", "2.2.2.2": "south", "3.3.3.3": "north"}
+	for src, v := range want {
+		if got[src] != v {
+			t.Errorf("vantage[%s] = %q, want %q", src, got[src], v)
+		}
+	}
+}
+
+// TestIngestorVantageNoDefault: without a configured default, untagged
+// lines stay untagged — nothing invents provenance.
+func TestIngestorVantageNoDefault(t *testing.T) {
+	in, addr := startTCP(t, Config{Budget: robust.Budget{MaxErrors: 10}})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "%s\n%s,west\n", line(1, "1.1.1.1"), line(2, "2.2.2.2"))
+	conn.Close()
+	waitFor(t, 2*time.Second, func() bool { return in.Window().Len() == 2 }, "2 events in window")
+	got := vantageOf(in.Window().Snapshot())
+	if got["1.1.1.1"] != "" || got["2.2.2.2"] != "west" {
+		t.Fatalf("vantages = %v", got)
+	}
+}
+
+// TestWindowVantageFlushRebootSeed is the restart invariant: vantage tags
+// survive the window snapshot, the CSV flush file, and the reboot re-seed
+// into a fresh window — the exact path darkvecd's -flush takes across a
+// SIGTERM restart.
+func TestWindowVantageFlushRebootSeed(t *testing.T) {
+	w := NewWindow(WindowConfig{})
+	mk := func(ts int64, src, vantage string) trace.Event {
+		e, err := trace.ParseCSVLine(fmt.Sprintf("%d,%s,10.0.0.1,23,tcp,0", ts, src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Vantage = vantage
+		return e
+	}
+	w.Add(mk(1, "1.1.1.1", "north"))
+	w.Add(mk(2, "2.2.2.2", "south"))
+	w.Add(mk(3, "3.3.3.3", ""))
+
+	// Flush: the drain-to-CSV path.
+	var buf bytes.Buffer
+	if err := w.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Reboot: seed a fresh window from the flush file, as startIngest does.
+	seed, err := trace.ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := NewWindow(WindowConfig{})
+	w2.AddBatch(seed.Events)
+
+	got := vantageOf(w2.Snapshot())
+	want := map[string]string{"1.1.1.1": "north", "2.2.2.2": "south", "3.3.3.3": ""}
+	var keys []string
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, src := range keys {
+		if got[src] != want[src] {
+			t.Errorf("after reboot seed: vantage[%s] = %q, want %q", src, got[src], want[src])
+		}
+	}
+	if w2.Len() != 3 {
+		t.Fatalf("reboot window holds %d events, want 3", w2.Len())
+	}
+}
+
+// TestIngestorVantageOnReaderSource: the Consume (io.Reader) source path
+// shares the tagging behaviour of the wire sources.
+func TestIngestorVantageOnReaderSource(t *testing.T) {
+	in := New(Config{Vantage: "east", Budget: robust.Budget{MaxErrors: 10}})
+	defer in.Close()
+	input := trace.CSVHeaderLine + "\n" + line(1, "1.1.1.1") + "\n" + line(2, "2.2.2.2") + ",far\n"
+	if err := in.Consume(bytes.NewReader([]byte(input)), "rdr"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return in.Window().Len() == 2 }, "2 events in window")
+	got := vantageOf(in.Window().Snapshot())
+	if got["1.1.1.1"] != "east" || got["2.2.2.2"] != "far" {
+		t.Fatalf("vantages = %v", got)
+	}
+}

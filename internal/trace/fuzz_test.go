@@ -23,6 +23,8 @@ func FuzzParseCSVRecord(f *testing.F) {
 	f.Add("1,1.2.3.4,5.6.7.8,99999,tcp,0")
 	f.Add("1,999.2.3.4,5.6.7.8,23,tcp,0")
 	f.Add("1,1.2.3.4,5.6.7.8,23,sctp,0")
+	f.Add("100,1.1.1.1,198.18.0.1,23,tcp,0,north")
+	f.Add("100,1.1.1.1,198.18.0.1,23,tcp,0,")
 	f.Add(strings.Repeat(",", 1000))
 	f.Fuzz(func(t *testing.T, line string) {
 		e, err := ParseCSVLine(line)

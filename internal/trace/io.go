@@ -19,18 +19,45 @@ import (
 // labeled experiments don't need the raw payloads.
 var csvHeader = []string{"ts", "src_ip", "dst_ip", "dst_port", "proto", "mirai"}
 
+// csvHeaderV is csvHeader extended with the optional vantage column used
+// by multi-vantage traces. Readers accept either layout; writers pick the
+// extended one only when at least one event carries a tag, so
+// single-vantage files stay byte-identical to the historical format.
+var csvHeaderV = []string{"ts", "src_ip", "dst_ip", "dst_port", "proto", "mirai", "vantage"}
+
 // CSVHeaderLine is the header row of the CSV interchange format, which is
 // also the line protocol spoken by live stream sources (one record per
 // line, header optional).
 const CSVHeaderLine = "ts,src_ip,dst_ip,dst_port,proto,mirai"
 
+// CSVHeaderLineVantage is the header row of the vantage-tagged variant.
+const CSVHeaderLineVantage = "ts,src_ip,dst_ip,dst_port,proto,mirai,vantage"
+
+// Tagged reports whether any event carries a vantage tag.
+func (t *Trace) Tagged() bool {
+	for _, e := range t.Events {
+		if e.Vantage != "" {
+			return true
+		}
+	}
+	return false
+}
+
 // WriteCSV writes the trace in the repository's CSV interchange format.
+// A trace holding at least one vantage-tagged event is written with the
+// extended seven-column header; untagged traces keep the historical
+// six-column layout byte for byte.
 func (t *Trace) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write(csvHeader); err != nil {
+	hdr := csvHeader
+	tagged := t.Tagged()
+	if tagged {
+		hdr = csvHeaderV
+	}
+	if err := cw.Write(hdr); err != nil {
 		return err
 	}
-	rec := make([]string, 6)
+	rec := make([]string, len(hdr))
 	for _, e := range t.Events {
 		rec[0] = strconv.FormatInt(e.Ts, 10)
 		rec[1] = e.Src.String()
@@ -41,6 +68,9 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 			rec[5] = "1"
 		} else {
 			rec[5] = "0"
+		}
+		if tagged {
+			rec[6] = e.Vantage
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -67,6 +97,10 @@ func (e Event) AppendCSV(dst []byte) []byte {
 		dst = append(dst, ",1"...)
 	} else {
 		dst = append(dst, ",0"...)
+	}
+	if e.Vantage != "" {
+		dst = append(dst, ',')
+		dst = append(dst, e.Vantage...)
 	}
 	return dst
 }
@@ -115,11 +149,15 @@ func streamCSV(r io.Reader, budget *robust.Budget, fn func(Event) error) (*robus
 	rep := &robust.IngestReport{}
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
+	// Records validate their own field count (6 or 7 columns): a tagged
+	// trace may legitimately mix vantage-tagged and untagged rows, which
+	// the reader's per-file count enforcement would reject wholesale.
+	cr.FieldsPerRecord = -1
 	hdr, err := cr.Read()
 	if err != nil {
 		return rep, fmt.Errorf("trace: reading csv header: %w", err)
 	}
-	if len(hdr) != len(csvHeader) || hdr[0] != "ts" {
+	if (len(hdr) != len(csvHeader) && len(hdr) != len(csvHeaderV)) || hdr[0] != "ts" {
 		return rep, fmt.Errorf("trace: unexpected csv header %v", hdr)
 	}
 	// pend holds one record read ahead of the loop: distinguishing a
@@ -169,6 +207,19 @@ func streamCSV(r io.Reader, budget *robust.Budget, fn func(Event) error) (*robus
 		if err != nil {
 			err = fmt.Errorf("trace: csv line %d: %w", line, err)
 			if budget != nil {
+				// A wrong field count on the input's final record is a line
+				// cut off mid-write (the csv.Reader no longer enforces the
+				// count itself, so the shape error surfaces here): the
+				// intact prefix is a successful ingest, exactly like the
+				// ParseError branch above.
+				if errors.Is(err, errFieldCount) {
+					pendRec, pendErr = cr.Read()
+					if pendErr == io.EOF {
+						rep.Truncate(err)
+						return rep, nil
+					}
+					havePend = true
+				}
 				if berr := rep.Skip(*budget, err); berr != nil {
 					return rep, fmt.Errorf("trace: %w", berr)
 				}
@@ -200,32 +251,37 @@ func ReadCSVTolerant(r io.Reader, budget robust.Budget) (*Trace, *robust.IngestR
 	return New(events), rep, nil
 }
 
-// IsCSVHeader reports whether line is the interchange format's header row,
-// so line-oriented sources can skip a header pasted into a live stream
+// IsCSVHeader reports whether line is the interchange format's header row
+// (either the six-column layout or the vantage-tagged seven-column one), so
+// line-oriented sources can skip a header pasted into a live stream
 // (e.g. `netcat < trace.csv`).
 func IsCSVHeader(line string) bool {
-	return strings.TrimSuffix(line, "\r") == CSVHeaderLine
+	line = strings.TrimSuffix(line, "\r")
+	return line == CSVHeaderLine || line == CSVHeaderLineVantage
 }
 
 // ParseCSVLine parses one line of the CSV interchange format (no header,
 // no trailing newline) — the per-line entry point of the live stream
 // sources, which frame records themselves and cannot afford a csv.Reader
-// per connection. A trailing \r (CRLF framing) is tolerated.
+// per connection. A trailing \r (CRLF framing) is tolerated. A seventh
+// field, when present, is the sender-side vantage tag.
 func ParseCSVLine(line string) (Event, error) {
 	line = strings.TrimSuffix(line, "\r")
 	fields := strings.Split(line, ",")
-	if len(fields) != len(csvHeader) {
-		return Event{}, fmt.Errorf("trace: %d fields, want %d", len(fields), len(csvHeader))
-	}
 	return parseCSVRecord(fields)
 }
 
+// errFieldCount marks a record whose very shape is wrong (field count),
+// as opposed to one whose values do not parse. The tolerant scanner uses
+// the distinction to tell a mid-write truncation from a dirty line.
+var errFieldCount = errors.New("wrong field count")
+
 func parseCSVRecord(rec []string) (Event, error) {
 	var e Event
-	if len(rec) != len(csvHeader) {
-		// The csv.Reader enforces the field count against the header, but
-		// the line-protocol path and fuzzers reach here directly.
-		return e, fmt.Errorf("%d fields, want %d", len(rec), len(csvHeader))
+	if len(rec) != len(csvHeader) && len(rec) != len(csvHeaderV) {
+		// The line-protocol path, fuzzers, and (with per-record count
+		// enforcement off) the csv.Reader path all land here.
+		return e, fmt.Errorf("%w: %d fields, want %d or %d", errFieldCount, len(rec), len(csvHeader), len(csvHeaderV))
 	}
 	ts, err := strconv.ParseInt(rec[0], 10, 64)
 	if err != nil {
@@ -254,12 +310,20 @@ func parseCSVRecord(rec []string) (Event, error) {
 	default:
 		return e, fmt.Errorf("bad proto %q", rec[4])
 	}
+	vantage := ""
+	if len(rec) == len(csvHeaderV) {
+		vantage = rec[6]
+		if strings.ContainsAny(vantage, ",\n\r") {
+			return e, fmt.Errorf("bad vantage %q", vantage)
+		}
+	}
 	return Event{
-		Ts:    ts,
-		Src:   src,
-		Dst:   dst,
-		Port:  uint16(port),
-		Proto: proto,
-		Mirai: rec[5] == "1",
+		Ts:      ts,
+		Src:     src,
+		Dst:     dst,
+		Port:    uint16(port),
+		Proto:   proto,
+		Mirai:   rec[5] == "1",
+		Vantage: vantage,
 	}, nil
 }

@@ -88,13 +88,21 @@ func TestParseCSVLine(t *testing.T) {
 	if _, err := ParseCSVLine("100,1.1.1.1,198.18.0.1,23,tcp,1\r"); err != nil {
 		t.Fatalf("CRLF line rejected: %v", err)
 	}
+	// A seventh field is the vantage tag.
+	e, err = ParseCSVLine("100,1.1.1.1,198.18.0.1,23,tcp,1,north")
+	if err != nil {
+		t.Fatalf("tagged line rejected: %v", err)
+	}
+	if e.Vantage != "north" {
+		t.Fatalf("vantage = %q, want north", e.Vantage)
+	}
 	for _, bad := range []string{
 		"", "100", "100,1.1.1.1,198.18.0.1,23,tcp", // short
-		"100,1.1.1.1,198.18.0.1,23,tcp,1,extra",      // long
-		"x,1.1.1.1,198.18.0.1,23,tcp,1",              // bad ts
-		"100,1.1.1,198.18.0.1,23,tcp,1",              // bad src
-		"100,1.1.1.1,198.18.0.1,70000,tcp,1",         // bad port
-		"100,1.1.1.1,198.18.0.1,23,gre,1",            // bad proto
+		"100,1.1.1.1,198.18.0.1,23,tcp,1,v,extra", // long
+		"x,1.1.1.1,198.18.0.1,23,tcp,1",           // bad ts
+		"100,1.1.1,198.18.0.1,23,tcp,1",           // bad src
+		"100,1.1.1.1,198.18.0.1,70000,tcp,1",      // bad port
+		"100,1.1.1.1,198.18.0.1,23,gre,1",         // bad proto
 	} {
 		if _, err := ParseCSVLine(bad); err == nil {
 			t.Errorf("ParseCSVLine(%q) accepted", bad)

@@ -24,6 +24,10 @@ type Event struct {
 	Port  uint16            // destination port (0 for ICMP)
 	Proto packet.IPProtocol // tcp/udp/icmp
 	Mirai bool              // packet carries the Mirai fingerprint (TCP seq == dst IP)
+	// Vantage names the telescope that observed the packet ("" for a
+	// single-vantage trace). Multi-vantage deployments tag events at the
+	// edge so a merged or flushed trace keeps which darknet saw what.
+	Vantage string
 }
 
 // PortKey identifies a transport port including its protocol, e.g. 23/tcp.

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/darkvec/darkvec/internal/robust"
+)
+
+// tagged returns a small mixed trace: two vantage-tagged events and one
+// untagged one.
+func taggedTrace() *Trace {
+	a, _ := ParseCSVLine("100,1.1.1.1,198.18.0.1,23,tcp,0,north")
+	b, _ := ParseCSVLine("200,2.2.2.2,198.18.0.130,445,tcp,1,south")
+	c, _ := ParseCSVLine("300,3.3.3.3,198.18.0.3,53,udp,0")
+	return New([]Event{a, b, c})
+}
+
+// TestWriteCSVTaggedRoundTrip: a trace holding vantage tags writes the
+// extended header and round-trips tags (and the untagged row's absence of
+// one) exactly.
+func TestWriteCSVTaggedRoundTrip(t *testing.T) {
+	tr := taggedTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), CSVHeaderLineVantage+"\n") {
+		t.Fatalf("tagged trace must write the extended header, got %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	got, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("round trip %d events, want %d", got.Len(), tr.Len())
+	}
+	for i := range tr.Events {
+		if got.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got.Events[i], tr.Events[i])
+		}
+	}
+}
+
+// TestWriteCSVUntaggedUnchanged: a single-vantage trace keeps the
+// historical six-column layout byte for byte.
+func TestWriteCSVUntaggedUnchanged(t *testing.T) {
+	e, _ := ParseCSVLine("100,1.1.1.1,198.18.0.1,23,tcp,0")
+	var buf bytes.Buffer
+	if err := New([]Event{e}).WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := CSVHeaderLine + "\n100,1.1.1.1,198.18.0.1,23,tcp,0\n"
+	if buf.String() != want {
+		t.Fatalf("untagged trace = %q, want %q", buf.String(), want)
+	}
+}
+
+// TestReadCSVMixedFieldCounts: a file whose rows mix tagged and untagged
+// layouts parses in strict mode — the shape the aggregator's merged
+// flush files take.
+func TestReadCSVMixedFieldCounts(t *testing.T) {
+	in := CSVHeaderLineVantage + "\n" +
+		"100,1.1.1.1,198.18.0.1,23,tcp,0,north\n" +
+		"200,2.2.2.2,198.18.0.2,445,tcp,1\n"
+	tr, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 || tr.Events[0].Vantage != "north" || tr.Events[1].Vantage != "" {
+		t.Fatalf("events = %+v", tr.Events)
+	}
+	// The historical header over tagged rows also parses.
+	in = CSVHeaderLine + "\n" + "100,1.1.1.1,198.18.0.1,23,tcp,0,north\n"
+	tr, err = ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 || tr.Events[0].Vantage != "north" {
+		t.Fatalf("events = %+v", tr.Events)
+	}
+}
+
+// TestParseCSVLineBadVantage: separators inside a vantage tag would
+// corrupt the line framing, so they are rejected at parse time.
+func TestParseCSVLineBadVantage(t *testing.T) {
+	if _, err := ParseCSVLine("100,1.1.1.1,198.18.0.1,23,tcp,0,a\rb"); err == nil {
+		t.Fatal("vantage with embedded CR accepted")
+	}
+}
+
+// TestStreamCSVTolerantTaggedTruncation: the partial-final-line truncation
+// semantics survive the variable-field-count reader — a seven-field file
+// cut mid-record is a truncation, not a budget hit.
+func TestStreamCSVTolerantTaggedTruncation(t *testing.T) {
+	in := CSVHeaderLineVantage + "\n" +
+		"100,1.1.1.1,198.18.0.1,23,tcp,0,north\n" +
+		"200,2.2.2.2,198.18" // cut mid-record
+	var events []Event
+	rep, err := StreamCSVTolerant(strings.NewReader(in), robust.Budget{}, func(e Event) error {
+		events = append(events, e)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("tolerant scan: %v", err)
+	}
+	if len(events) != 1 || events[0].Vantage != "north" {
+		t.Fatalf("intact prefix = %+v", events)
+	}
+	if !rep.Truncated() || rep.Skipped() != 0 {
+		t.Fatalf("rep = %s, want truncation with no skips", rep)
+	}
+}
