@@ -35,7 +35,9 @@ import (
 	"github.com/darkvec/darkvec/internal/embed"
 	"github.com/darkvec/darkvec/internal/experiments"
 	"github.com/darkvec/darkvec/internal/services"
+	"github.com/darkvec/darkvec/internal/trace"
 	"github.com/darkvec/darkvec/internal/w2v"
+	"github.com/darkvec/darkvec/internal/wal"
 )
 
 // report is the BENCH_perf.json schema: machine facts and options shared
@@ -87,6 +89,14 @@ type metrics struct {
 	SilhouetteCellsPerSSerial float64 `json:"silhouette_cells_per_s_serial"`
 
 	DriftCheckS float64 `json:"drift_check_s"`
+
+	// Durable-ingestion substrate: group-commit append throughput per fsync
+	// policy (the price of each durability level on the hot ingest path)
+	// and the boot-replay latency of the resulting log.
+	WALAppendAlwaysPerS   float64 `json:"wal_append_events_per_s_always"`
+	WALAppendIntervalPerS float64 `json:"wal_append_events_per_s_interval"`
+	WALAppendOffPerS      float64 `json:"wal_append_events_per_s_off"`
+	WALReplayS            float64 `json:"wal_replay_s"`
 
 	FedMergeS     float64 `json:"fed_merge_s"`
 	FedQueryP99Ms float64 `json:"fed_query_p99_ms"`
@@ -274,6 +284,80 @@ func main() {
 		return time.Since(t0).Seconds(), nil
 	})
 	fmt.Printf("drift check:    %12.3f s\n", run.Metrics.DriftCheckS)
+
+	// Durable ingestion: WAL append throughput under each fsync policy,
+	// batched exactly like the ingest consumer (commit per 256 events), and
+	// the boot replay over the full log. Fresh directory per iteration so
+	// every run pays segment creation; the replay log is built once.
+	walBench := func(policy wal.SyncPolicy) func() (float64, error) {
+		return func() (float64, error) {
+			dir, err := os.MkdirTemp("", "benchwal-*")
+			if err != nil {
+				return 0, err
+			}
+			defer os.RemoveAll(dir)
+			l, err := wal.Open(dir, wal.Options{Policy: policy})
+			if err != nil {
+				return 0, err
+			}
+			t0 := time.Now()
+			for i, e := range env.Full.Events {
+				if err := l.Append(e); err != nil {
+					return 0, err
+				}
+				if (i+1)%256 == 0 {
+					if err := l.Commit(); err != nil {
+						return 0, err
+					}
+				}
+			}
+			if err := l.Commit(); err != nil {
+				return 0, err
+			}
+			rate := float64(env.Full.Len()) / time.Since(t0).Seconds()
+			return rate, l.Close()
+		}
+	}
+	run.Metrics.WALAppendAlwaysPerS = best(*iters, walBench(wal.SyncAlways))
+	run.Metrics.WALAppendIntervalPerS = best(*iters, walBench(wal.SyncInterval))
+	run.Metrics.WALAppendOffPerS = best(*iters, walBench(wal.SyncOff))
+	fmt.Printf("wal append:     %12.0f events/s (always; interval %0.f, off %0.f)\n",
+		run.Metrics.WALAppendAlwaysPerS, run.Metrics.WALAppendIntervalPerS, run.Metrics.WALAppendOffPerS)
+
+	walDir, err := os.MkdirTemp("", "benchwal-replay-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchperf:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(walDir)
+	replayLog, err := wal.Open(walDir, wal.Options{Policy: wal.SyncOff})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchperf:", err)
+		os.Exit(1)
+	}
+	for _, e := range env.Full.Events {
+		if err := replayLog.Append(e); err != nil {
+			fmt.Fprintln(os.Stderr, "benchperf:", err)
+			os.Exit(1)
+		}
+	}
+	if err := replayLog.Commit(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchperf:", err)
+		os.Exit(1)
+	}
+	run.Metrics.WALReplayS = bestLow(*iters, func() (float64, error) {
+		t0 := time.Now()
+		n := 0
+		if err := replayLog.Replay(func(trace.Event) error { n++; return nil }); err != nil {
+			return 0, err
+		}
+		if n != env.Full.Len() {
+			return 0, fmt.Errorf("replay returned %d of %d events", n, env.Full.Len())
+		}
+		return time.Since(t0).Seconds(), nil
+	})
+	replayLog.Close()
+	fmt.Printf("wal replay:     %12.3f s        (%d events)\n", run.Metrics.WALReplayS, env.Full.Len())
 
 	// Federation substrates: the aggregator's two hot paths against a
 	// 3-vantage fleet of HTTP stand-ins. fed_merge_s is a cold intern-mirror

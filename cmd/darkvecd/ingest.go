@@ -13,6 +13,7 @@ import (
 	"github.com/darkvec/darkvec/internal/robust"
 	"github.com/darkvec/darkvec/internal/stream"
 	"github.com/darkvec/darkvec/internal/trace"
+	"github.com/darkvec/darkvec/internal/wal"
 )
 
 // live reports whether the daemon ingests a live feed instead of (or in
@@ -52,7 +53,7 @@ func (d *daemon) startIngest() error {
 	if err != nil {
 		return err
 	}
-	d.ing = stream.New(stream.Config{
+	cfg := stream.Config{
 		QueueSize: o.ingestQueue,
 		Policy:    policy,
 		Vantage:   o.vantage,
@@ -65,13 +66,75 @@ func (d *daemon) startIngest() error {
 		Rate:        o.ingestRate,
 		StallAfter:  o.ingestStall,
 		Logf:        o.logf,
-	})
+	}
+	if o.wal != "" {
+		fsync := o.walFsync
+		if fsync == "" {
+			fsync = "always" // options built in code default like the CLI
+		}
+		pol, err := wal.ParseSyncPolicy(fsync)
+		if err != nil {
+			return err
+		}
+		d.walLog, err = wal.Open(o.wal, wal.Options{
+			SegmentBytes: o.walSeg,
+			Policy:       pol,
+			// The window's hard age cap is the compaction bound: a sealed
+			// segment whose newest event the window would evict on sight
+			// can never matter to a reboot. Evaluated lazily so it is safe
+			// before the ingestor exists.
+			Horizon: func() int64 {
+				if d.ing == nil {
+					return 0
+				}
+				return d.ing.Window().AgeHorizon()
+			},
+			// A CRC-intact record that does not decode as an event goes
+			// through the same quarantine budget as a malformed wire line:
+			// replay admits exactly what ingestion would have.
+			Quarantine: func(derr error) error {
+				d.walQuarantined++
+				return d.ing.Report().Skip(robust.Budget{MaxErrors: o.maxErr}, fmt.Errorf("wal replay: %w", derr))
+			},
+			Logf: o.logf,
+			Wrap: o.walWrap,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Log = d.walLog
+	}
+	d.ing = stream.New(cfg)
+
+	// Rebuild the window from the WAL first: it holds everything accepted
+	// up to the crash (per fsync policy), a strict superset of what a
+	// clean shutdown would have flushed. Replayed events are accounted as
+	// parsed records so /v1/ingest shows parsed = replayed + quarantined
+	// exactly after a recovery boot.
+	if d.walLog != nil {
+		win, rep := d.ing.Window(), d.ing.Report()
+		if err := d.walLog.Replay(func(e trace.Event) error {
+			rep.Record()
+			win.Add(e)
+			d.walReplayed++
+			return nil
+		}); err != nil {
+			d.ing.Close()
+			d.closeWAL()
+			return fmt.Errorf("wal replay: %w", err)
+		}
+		if d.walReplayed > 0 || d.walQuarantined > 0 {
+			o.logf("wal: rebuilt window from %s: %d events replayed, %d quarantined", o.wal, d.walReplayed, d.walQuarantined)
+		}
+	}
 
 	// Seed the window so a restart (or a static -in base corpus) does not
-	// begin from an empty model horizon: first the previous run's flushed
-	// window, then the -in trace. Seeds bypass the wire pipeline — the
-	// ingest counters account live traffic only.
-	if o.flush != "" {
+	// begin from an empty model horizon: the previous run's flushed window
+	// — unless the WAL already rebuilt it, which supersedes the flush (the
+	// flush is at best a clean-shutdown subset of the log) — then the -in
+	// trace. Seeds bypass the wire pipeline and the WAL: the log holds
+	// live-accepted events only, so replay never doubles a seed.
+	if o.flush != "" && d.walReplayed == 0 {
 		if st, err := os.Stat(o.flush); err == nil && st.Size() > 0 {
 			tr, rep, err := trace.ReadFile(o.flush, o.maxErr)
 			if err != nil {
@@ -118,11 +181,41 @@ func (d *daemon) startIngest() error {
 }
 
 // handleIngest serves /v1/ingest: the pipeline's full counter set —
-// accept/drop/quarantine accounting, window bounds, stall state. Ungated:
-// it must answer while the first model is still training.
+// accept/drop/quarantine accounting, window bounds, stall state, and (when
+// WAL-backed) the durability log's counters including boot replay. The
+// stream.Stats fields stay at the top level, so consumers predating the
+// WAL decode unchanged. Ungated: it must answer while the first model is
+// still training.
 func (d *daemon) handleIngest(w http.ResponseWriter, _ *http.Request) {
+	type walStatus struct {
+		wal.Stats
+		Replayed          int64 `json:"replayed"`
+		ReplayQuarantined int64 `json:"replay_quarantined"`
+	}
+	resp := struct {
+		stream.Stats
+		WAL *walStatus `json:"wal,omitempty"`
+	}{Stats: d.ing.Stats()}
+	if d.walLog != nil {
+		resp.WAL = &walStatus{
+			Stats:             d.walLog.Stats(),
+			Replayed:          d.walReplayed,
+			ReplayQuarantined: d.walQuarantined,
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(d.ing.Stats())
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// closeWAL flushes and closes the durability log; the segments stay on
+// disk for the next boot's replay. Safe on a nil log and idempotent.
+func (d *daemon) closeWAL() {
+	if d.walLog == nil {
+		return
+	}
+	if err := d.walLog.Close(); err != nil {
+		d.o.logf("wal: close: %v", err)
+	}
 }
 
 // stale is the serving-path degradation predicate: a failed retrain (an
@@ -143,6 +236,11 @@ func (d *daemon) stale() (bool, string) {
 	}
 	if d.ing != nil && d.ing.Stalled() {
 		causes = append(causes, cause{"ingest_stalled", fmt.Sprintf("live feed silent for %s", d.ing.Silence().Round(1e9))})
+	}
+	if d.walLog != nil {
+		if n := d.ing.Stats().LogFailed; n > 0 {
+			causes = append(causes, cause{"wal_degraded", fmt.Sprintf("%d events in the window lack durability (WAL append/fsync failed)", n)})
+		}
 	}
 	if len(causes) == 0 {
 		return false, ""

@@ -78,6 +78,7 @@ import (
 	"github.com/darkvec/darkvec/internal/stream"
 	"github.com/darkvec/darkvec/internal/trace"
 	"github.com/darkvec/darkvec/internal/w2v"
+	"github.com/darkvec/darkvec/internal/wal"
 )
 
 // options carries every knob of a daemon run; main fills it from flags,
@@ -120,6 +121,13 @@ type options struct {
 	ingestMin     int           // window events required before a retrain cycle runs
 	ingestMinPkts int           // senders need >= P buffered packets to enter a retrain
 
+	// Durable ingestion (see ingest.go): every event the queue accepts is
+	// appended to a crash-consistent write-ahead log before it enters the
+	// window, and boot replays the log to rebuild the window.
+	wal      string // WAL directory ("" = window is memory-only between flushes)
+	walFsync string // fsync policy: always | interval | off
+	walSeg   int64  // segment rotation size, bytes (0 = default 64 MiB)
+
 	// Drift quality gate (see drift.go). Any non-zero budget arms the
 	// gate: a retrained candidate violating a budget is rejected before
 	// publish and the previous generation keeps serving.
@@ -141,6 +149,7 @@ type options struct {
 	retrainBackoff robust.Backoff                             // test hook: deterministic backoff
 	retrainSleep   func(context.Context, time.Duration) error // test hook: no wall-clock sleeps
 	trainWrap      func(io.Writer) io.Writer                  // test hook: fault injection on publish
+	walWrap        func(wal.SyncWriter) wal.SyncWriter        // test hook: fault injection on WAL segments
 }
 
 func main() {
@@ -178,6 +187,9 @@ func main() {
 	flag.StringVar(&o.ingestPolicy, "ingestpolicy", "shed-newest", "full-queue drop policy: shed-newest or drop-oldest")
 	flag.IntVar(&o.ingestMin, "ingestmin", 100, "window events required before a retrain cycle runs")
 	flag.IntVar(&o.ingestMinPkts, "ingestminpkts", 1, "senders need >= P buffered packets to enter a retrain (the paper's active-sender filter)")
+	flag.StringVar(&o.wal, "wal", "", "write-ahead log directory: accepted live events are durable before entering the window, and boot replays them")
+	flag.StringVar(&o.walFsync, "walfsync", "always", "WAL fsync policy: always (zero loss), interval (bounded loss) or off (OS-decided)")
+	flag.Int64Var(&o.walSeg, "walseg", 0, "WAL segment rotation size in bytes (0 = 64 MiB)")
 	flag.Float64Var(&o.driftMax, "driftmax", 0, "reject a retrain whose composite drift score exceeds this (0 = off)")
 	flag.Float64Var(&o.driftChurn, "driftchurn", 0, "reject a retrain whose vocabulary churn exceeds this (0 = off)")
 	flag.Float64Var(&o.driftOverlap, "driftoverlap", 0, "reject a retrain whose k-NN neighbourhood overlap falls below this (0 = off)")
@@ -272,6 +284,17 @@ func (o *options) validate() error {
 		if o.ingestRate < 0 {
 			return fmt.Errorf("invalid -ingestrate %v: must be >= 0", o.ingestRate)
 		}
+	}
+	if o.wal != "" && !o.live() {
+		return errors.New("-wal logs accepted live events; it requires a live source (-ingest / -follow)")
+	}
+	if o.wal != "" {
+		if _, err := wal.ParseSyncPolicy(o.walFsync); err != nil {
+			return fmt.Errorf("invalid -walfsync: %w", err)
+		}
+	}
+	if o.walSeg < 0 {
+		return fmt.Errorf("invalid -walseg %d: must be >= 0", o.walSeg)
 	}
 	for _, b := range []struct {
 		name string
@@ -400,6 +423,9 @@ func run(ctx context.Context, o options) error {
 		if err := d.startIngest(); err != nil {
 			return err
 		}
+		// LIFO: the ingestor closes (draining the queue through the WAL)
+		// before the WAL itself is flushed and closed.
+		defer d.closeWAL()
 		defer d.ing.Close() // idempotent; the drain path closes earlier, explicitly
 		tr = d.ing.Window().Snapshot()
 	} else {
@@ -555,6 +581,7 @@ func run(ctx context.Context, o options) error {
 			if err := d.flushWindow(); err != nil {
 				return fmt.Errorf("window flush: %w", err)
 			}
+			d.closeWAL()
 		}
 		return nil
 	}
@@ -581,7 +608,14 @@ type daemon struct {
 	gate   *robust.Gate
 	st     *modelstore.Store // nil when unmanaged
 	ing    *stream.Ingestor  // nil when not ingesting live
+	walLog *wal.Log          // nil when ingestion is not WAL-backed
 	status modelStatus
+
+	// Boot replay accounting, fixed before the listener binds: how much of
+	// the window was rebuilt from the WAL and how many records were framed
+	// intact but undecodable (charged to the shared quarantine budget).
+	walReplayed    int64
+	walQuarantined int64
 	drift  driftState
 	epoch  string // intern-export process-instance id (see federation.InternPage)
 
@@ -639,6 +673,13 @@ func (d *daemon) handleReady(w http.ResponseWriter, _ *http.Request) {
 			// feed — degraded, with the silence spelled out.
 			reasons = append(reasons, "ingest_stalled")
 			resp["ingest_stalled"] = true
+		}
+		if d.walLog != nil && st.LogFailed > 0 {
+			// Events reached the window without confirmed durability (a
+			// failed append or fsync): serving continues, but a crash now
+			// would lose them — degraded, not dead.
+			reasons = append(reasons, "wal_degraded")
+			resp["wal_failed"] = st.LogFailed
 		}
 	}
 	// Sorted by cause name, so the list is deterministic however the causes

@@ -1,0 +1,386 @@
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/darkvec/darkvec/internal/netutil"
+	"github.com/darkvec/darkvec/internal/packet"
+	"github.com/darkvec/darkvec/internal/robust/faultio"
+	"github.com/darkvec/darkvec/internal/stream"
+	"github.com/darkvec/darkvec/internal/trace"
+	"github.com/darkvec/darkvec/internal/wal"
+)
+
+// walOpts is liveOpts with a WAL directory under dir and the zero-loss
+// fsync policy.
+func walOpts(dir string) options {
+	o := liveOpts()
+	o.wal = filepath.Join(dir, "wal")
+	o.walFsync = "always"
+	return o
+}
+
+// walTrace builds n deterministic events across 10 senders (dense enough
+// per sender to clear the trainer's min-count), ts stepping by step seconds.
+func walTrace(n int, step int64) *trace.Trace {
+	events := make([]trace.Event, n)
+	for i := range events {
+		events[i] = trace.Event{
+			Ts:    1700000000 + int64(i)*step,
+			Src:   netutil.IPv4(0x0a000000 + uint32(i%10)),
+			Dst:   netutil.IPv4(0xc0a80001),
+			Port:  uint16(23 + i%3),
+			Proto: packet.IPProtocolTCP,
+		}
+	}
+	return trace.New(events)
+}
+
+// walIngestStats is /v1/ingest's WAL-extended shape.
+type walIngestStats struct {
+	stream.Stats
+	WAL *struct {
+		wal.Stats
+		Replayed          int64 `json:"replayed"`
+		ReplayQuarantined int64 `json:"replay_quarantined"`
+	} `json:"wal"`
+}
+
+func getIngestWAL(t *testing.T, base string) walIngestStats {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/ingest")
+	if err != nil {
+		t.Fatalf("/v1/ingest: %v", err)
+	}
+	defer resp.Body.Close()
+	var st walIngestStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("/v1/ingest decode: %v", err)
+	}
+	return st
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// newestSegment returns the highest-numbered segment file in the WAL dir.
+func newestSegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no WAL segments in %s (%v)", dir, err)
+	}
+	sort.Strings(segs)
+	return segs[len(segs)-1]
+}
+
+// TestWALCrashReplayStorm is the kill -9 chaos arc: a WAL-backed daemon
+// takes an ingest storm, dies abruptly (crash simulated by a torn tail cut
+// into the on-disk log — the bytes a kill -9 mid-append leaves behind),
+// and reboots. Recovery must truncate the torn record without refusing to
+// boot, replay must rebuild the window, and /v1/ingest accounting must be
+// exact: parsed = replayed + quarantined, with zero loss beyond the single
+// torn record under -walfsync=always.
+func TestWALCrashReplayStorm(t *testing.T) {
+	dir := t.TempDir()
+	o := walOpts(dir)
+	const storm = 300
+
+	ctx, cancel := context.WithCancel(context.Background())
+	httpAddr, ingestAddr, _, runErr := startLive(t, ctx, o)
+	base := "http://" + httpAddr
+	streamTrace(t, ingestAddr, walTrace(storm, 1))
+	waitFor(t, "storm accepted", func() bool { return getIngestStats(t, base).Accepted == storm })
+	if st := getIngestWAL(t, base); st.WAL == nil || st.WAL.Appended != storm || st.WAL.Policy != "always" {
+		t.Fatalf("pre-crash WAL stats: %+v", st.WAL)
+	}
+	cancel()
+	if err := <-runErr; err != nil {
+		t.Fatalf("daemon A: %v", err)
+	}
+
+	// The kill -9 moment: the last record on disk is cut mid-payload.
+	seg := newestSegment(t, o.wal)
+	info, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	httpAddr2, _, _, runErr2 := startLive(t, ctx2, o)
+	base2 := "http://" + httpAddr2
+	st := getIngestWAL(t, base2)
+	if st.WAL == nil {
+		t.Fatal("rebooted daemon reports no WAL")
+	}
+	if st.WAL.TornTails != 1 {
+		t.Errorf("torn tails = %d, want 1", st.WAL.TornTails)
+	}
+	// Zero loss beyond the torn record: 299 of 300 replayed, none quarantined.
+	if st.WAL.Replayed != storm-1 || st.WAL.ReplayQuarantined != 0 {
+		t.Errorf("replayed %d, quarantined %d; want %d and 0", st.WAL.Replayed, st.WAL.ReplayQuarantined, storm-1)
+	}
+	// parsed = replayed + quarantined, exact.
+	if st.Parse.Read != st.WAL.Replayed || st.Parse.Skipped != st.WAL.ReplayQuarantined {
+		t.Errorf("parse accounting: read %d skipped %d vs replayed %d quarantined %d",
+			st.Parse.Read, st.Parse.Skipped, st.WAL.Replayed, st.WAL.ReplayQuarantined)
+	}
+	if st.Window.Events != storm-1 {
+		t.Errorf("rebuilt window holds %d events, want %d", st.Window.Events, storm-1)
+	}
+	cancel2()
+	if err := <-runErr2; err != nil {
+		t.Fatalf("daemon B: %v", err)
+	}
+}
+
+// TestWALPrecedenceOverFlush: when both a -flush seed and a WAL exist, the
+// WAL wins — it is a superset of any clean-shutdown flush, and seeding
+// both would double-count.
+func TestWALPrecedenceOverFlush(t *testing.T) {
+	dir := t.TempDir()
+	o := walOpts(dir)
+
+	// A flush file with 5 events...
+	o.flush = filepath.Join(dir, "flush.csv")
+	ff, err := os.Create(o.flush)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := walTrace(5, 1).WriteCSV(ff); err != nil {
+		t.Fatal(err)
+	}
+	ff.Close()
+
+	// ...and a WAL with 3 different ones.
+	log, err := wal.Open(o.wal, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range walTrace(3, 7).Events {
+		if err := log.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	httpAddr, _, _, runErr := startLive(t, ctx, o)
+	st := getIngestWAL(t, "http://"+httpAddr)
+	if st.WAL == nil || st.WAL.Replayed != 3 {
+		t.Fatalf("replayed = %+v, want 3", st.WAL)
+	}
+	if st.Window.Events != 3 {
+		t.Errorf("window holds %d events, want 3 (WAL must supersede the flush seed)", st.Window.Events)
+	}
+	cancel()
+	if err := <-runErr; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALReplayQuarantineBudget: a CRC-intact record whose payload is not
+// an event goes through the shared quarantine budget, and the accounting
+// still closes: parsed = replayed + quarantined.
+func TestWALReplayQuarantineBudget(t *testing.T) {
+	dir := t.TempDir()
+	o := walOpts(dir)
+	o.maxErr = 2
+
+	log, err := wal.Open(o.wal, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range walTrace(3, 1).Events {
+		if err := log.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Plant a validly framed garbage record by hand.
+	f, err := os.OpenFile(newestSegment(t, o.wal), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("not an event, but the frame is fine")
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)))
+	if _, err := f.Write(append(hdr[:], payload...)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	httpAddr, _, _, runErr := startLive(t, ctx, o)
+	st := getIngestWAL(t, "http://"+httpAddr)
+	if st.WAL == nil || st.WAL.Replayed != 3 || st.WAL.ReplayQuarantined != 1 {
+		t.Fatalf("replayed/quarantined = %+v, want 3/1", st.WAL)
+	}
+	if st.Parse.Read != 3 || st.Parse.Skipped != 1 {
+		t.Errorf("parse accounting: read %d skipped %d, want 3 and 1", st.Parse.Read, st.Parse.Skipped)
+	}
+	if st.Window.Events != 3 {
+		t.Errorf("window holds %d events, want 3", st.Window.Events)
+	}
+	cancel()
+	if err := <-runErr; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALDegradedReason: a WAL whose fsync barrier fails keeps the daemon
+// serving — events still reach the window — but /healthz/ready must list
+// wal_degraded, name-sorted with the other active causes.
+func TestWALDegradedReason(t *testing.T) {
+	dir := t.TempDir()
+	o := walOpts(dir)
+	o.ingestStall = 200 * time.Millisecond // trip a second cause alongside
+	o.walWrap = func(w wal.SyncWriter) wal.SyncWriter {
+		return faultio.ErrSyncAfter(w, 0, errors.New("injected EIO"))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	httpAddr, ingestAddr, readyCh, runErr := startLive(t, ctx, o)
+	base := "http://" + httpAddr
+	streamTrace(t, ingestAddr, walTrace(120, 1))
+	select {
+	case <-readyCh:
+	case err := <-runErr:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(2 * time.Minute):
+		t.Fatal("daemon never became ready")
+	}
+
+	waitFor(t, "events applied despite failing WAL", func() bool {
+		return getIngestStats(t, base).Accepted == 120
+	})
+	if st := getIngestStats(t, base); st.LogFailed == 0 {
+		t.Fatalf("LogFailed = 0 with a failing fsync barrier: %+v", st)
+	}
+	waitFor(t, "degraded reasons", func() bool {
+		body := readyBody(t, base)
+		return hasReason(body, "wal_degraded") && hasReason(body, "ingest_stalled")
+	})
+	body := readyBody(t, base)
+	if body["status"] != "degraded" {
+		t.Errorf("status = %v, want degraded", body["status"])
+	}
+	list, _ := body["degraded_reasons"].([]any)
+	names := make([]string, len(list))
+	for i, r := range list {
+		names[i] = fmt.Sprint(r)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("degraded_reasons not name-sorted: %v", names)
+	}
+	cancel()
+	if err := <-runErr; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALCompactionBoundedByWindowAge: segments whose newest event has
+// aged past the window's hard age cap are deleted as the daemon runs, so
+// the on-disk WAL tracks the window instead of growing forever.
+func TestWALCompactionBoundedByWindowAge(t *testing.T) {
+	dir := t.TempDir()
+	o := walOpts(dir)
+	o.walSeg = 256                 // rotate every handful of records
+	o.ingestAge = 100 * time.Second // window age cap = compaction horizon
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	httpAddr, ingestAddr, _, runErr := startLive(t, ctx, o)
+	base := "http://" + httpAddr
+
+	// Stream in chunks so each lands in its own commit (and can rotate);
+	// ts advances 10s per event, sweeping far past the 100s age cap.
+	tr := walTrace(200, 10)
+	for chunk := 0; chunk < 10; chunk++ {
+		sub := trace.New(append([]trace.Event(nil), tr.Events[chunk*20:(chunk+1)*20]...))
+		streamTrace(t, ingestAddr, sub)
+		want := int64((chunk + 1) * 20)
+		waitFor(t, "chunk accepted", func() bool { return getIngestStats(t, base).Accepted == want })
+	}
+
+	st := getIngestWAL(t, base)
+	if st.WAL == nil || st.WAL.Rotations == 0 {
+		t.Fatalf("no rotations with 256-byte segments: %+v", st.WAL)
+	}
+	if st.WAL.Compacted == 0 {
+		t.Fatalf("no compaction despite events aged past the window cap: %+v", st.WAL)
+	}
+	segs, err := filepath.Glob(filepath.Join(o.wal, "*.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) > int(st.WAL.Rotations) {
+		t.Errorf("on-disk WAL unbounded: %d segments after %d rotations and %d compactions",
+			len(segs), st.WAL.Rotations, st.WAL.Compacted)
+	}
+	cancel()
+	if err := <-runErr; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateWALFlags(t *testing.T) {
+	good := walOpts(t.TempDir())
+	if err := good.validate(); err != nil {
+		t.Fatalf("valid WAL options rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*options)
+	}{
+		{"wal without live source", func(o *options) { o.ingest, o.follow, o.in = "", "", "t.csv" }},
+		{"bad fsync policy", func(o *options) { o.walFsync = "fsync" }},
+		{"negative segment size", func(o *options) { o.walSeg = -1 }},
+	}
+	for _, tc := range cases {
+		o := walOpts(t.TempDir())
+		tc.mutate(&o)
+		if err := o.validate(); err == nil {
+			t.Errorf("%s: validate accepted", tc.name)
+		}
+	}
+}

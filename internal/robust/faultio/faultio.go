@@ -124,6 +124,82 @@ func ShortWriter(w io.Writer, n int64) io.Writer {
 	return &errWriter{w: w, left: n, err: io.ErrShortWrite}
 }
 
+// SyncWriter is a writer with a durability barrier — the shape of an
+// *os.File as a write-ahead log sees it. The sync-fault injectors below
+// wrap one so recovery tests can fail the barrier itself, not just the
+// writes.
+type SyncWriter interface {
+	io.Writer
+	Sync() error
+}
+
+// NopSync adapts a plain io.Writer to SyncWriter with a Sync that always
+// succeeds — for composing the sync-fault injectors over buffers in tests.
+func NopSync(w io.Writer) SyncWriter { return nopSync{w} }
+
+type nopSync struct{ io.Writer }
+
+func (nopSync) Sync() error { return nil }
+
+// ErrSyncAfter passes writes through untouched and fails the nth Sync call
+// (1-based) and every later one with err — the fsync-failure fault: a disk
+// that accepts data into its cache but cannot make it durable. Writes keep
+// succeeding after the failed barrier, exactly like a real file descriptor
+// whose fsync returned EIO.
+func ErrSyncAfter(w SyncWriter, n int64, err error) SyncWriter {
+	return &errSyncWriter{w: w, left: n, err: err}
+}
+
+type errSyncWriter struct {
+	w    SyncWriter
+	left int64 // successful Syncs remaining before failures start
+	err  error
+}
+
+func (e *errSyncWriter) Write(p []byte) (int, error) { return e.w.Write(p) }
+
+func (e *errSyncWriter) Sync() error {
+	if e.left <= 0 {
+		return e.err
+	}
+	e.left--
+	return e.w.Sync()
+}
+
+// TornWriter accepts the first n bytes and silently discards everything
+// after — the kill -9 fault: the process keeps writing (and believes the
+// writes landed) but nothing past the cut ever reaches the file, so a
+// record straddling the boundary is left torn for recovery to truncate.
+// Sync calls pass through and succeed: durability of the delivered prefix
+// is real, the loss is everything behind it.
+func TornWriter(w SyncWriter, n int64) SyncWriter {
+	return &tornWriter{w: w, left: n}
+}
+
+type tornWriter struct {
+	w    SyncWriter
+	left int64
+}
+
+func (t *tornWriter) Write(p []byte) (int, error) {
+	if t.left <= 0 {
+		return len(p), nil
+	}
+	if int64(len(p)) <= t.left {
+		n, err := t.w.Write(p)
+		t.left -= int64(n)
+		return n, err
+	}
+	n, err := t.w.Write(p[:t.left])
+	t.left -= int64(n)
+	if err != nil {
+		return n, err
+	}
+	return len(p), nil
+}
+
+func (t *tornWriter) Sync() error { return t.w.Sync() }
+
 // CorruptWriter flips mask into the single byte at absolute stream offset
 // off on its way to w, simulating bit rot introduced at write time. The
 // caller's buffer is never mutated. off < 0 corrupts nothing.

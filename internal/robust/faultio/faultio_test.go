@@ -138,3 +138,51 @@ func TestCorruptWriterDisabled(t *testing.T) {
 		t.Fatalf("contents %q", sink.String())
 	}
 }
+
+func TestErrSyncAfter(t *testing.T) {
+	eio := errors.New("input/output error")
+	var sink bytes.Buffer
+	w := ErrSyncAfter(NopSync(&sink), 2, eio)
+	if _, err := w.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	// The first two barriers hold, the third and every later one fail.
+	if err := w.Sync(); err != nil {
+		t.Fatalf("sync 1 = %v", err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("sync 2 = %v", err)
+	}
+	if err := w.Sync(); !errors.Is(err, eio) {
+		t.Fatalf("sync 3 = %v, want injected error", err)
+	}
+	if err := w.Sync(); !errors.Is(err, eio) {
+		t.Fatalf("sync 4 = %v, want injected error", err)
+	}
+	// Writes keep landing after the failed barrier.
+	if _, err := w.Write([]byte("def")); err != nil {
+		t.Fatal(err)
+	}
+	if sink.String() != "abcdef" {
+		t.Fatalf("contents %q", sink.String())
+	}
+}
+
+func TestTornWriter(t *testing.T) {
+	var sink bytes.Buffer
+	w := TornWriter(NopSync(&sink), 5)
+	// Straddling write: the prefix lands, the rest silently vanishes, and
+	// the caller is told everything succeeded — the kill -9 illusion.
+	if n, err := w.Write([]byte("abcdefg")); n != 7 || err != nil {
+		t.Fatalf("Write = %d, %v, want full success reported", n, err)
+	}
+	if n, err := w.Write([]byte("hij")); n != 3 || err != nil {
+		t.Fatalf("post-cut Write = %d, %v, want silent success", n, err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("Sync through the cut = %v", err)
+	}
+	if sink.String() != "abcde" {
+		t.Fatalf("contents %q, want only the 5-byte prefix", sink.String())
+	}
+}

@@ -88,6 +88,28 @@ func (q *queue) pop() (e trace.Event, ok bool) {
 	return e, true
 }
 
+// popBatch blocks like pop until at least one event is available, then
+// drains up to max events into dst (reused, returned re-sliced) without
+// blocking again. The consumer uses it to amortise the durability cost —
+// one WAL commit (one fsync under the always policy) covers the whole
+// batch. ok == false means closed and drained.
+func (q *queue) popBatch(dst []trace.Event, max int) (batch []trace.Event, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.n == 0 {
+		return dst, false
+	}
+	for q.n > 0 && len(dst) < max {
+		dst = append(dst, q.buf[q.head])
+		q.head = (q.head + 1) % len(q.buf)
+		q.n--
+	}
+	return dst, true
+}
+
 // close stops admission; buffered events remain poppable (the drain).
 func (q *queue) close() {
 	q.mu.Lock()

@@ -36,6 +36,19 @@ const (
 	DefaultFollowPoll   = 200 * time.Millisecond
 )
 
+// EventLog is the write surface of a durability log (internal/wal
+// satisfies it): Append stages one accepted event, Commit makes every
+// staged append durable. Kept as an interface so the stream layer never
+// depends on the on-disk format.
+type EventLog interface {
+	Append(e trace.Event) error
+	Commit() error
+}
+
+// logBatchMax caps one consumer drain: the group-commit unit. Bigger
+// batches amortise the fsync further but hold the window back longer.
+const logBatchMax = 256
+
 // Config assembles an Ingestor.
 type Config struct {
 	// QueueSize caps the source→window hand-off queue (default 4096).
@@ -63,6 +76,14 @@ type Config struct {
 	// StallAfter flips the watchdog when no event has been accepted for
 	// this long (default 2m; negative disables).
 	StallAfter time.Duration
+	// Log, when non-nil, is the durability hook between the queue and the
+	// window: the consumer appends every popped batch and commits once
+	// before any of its events become visible in the window, so everything
+	// the queue accepted is on disk (per the log's fsync policy) before it
+	// can influence a retrain. Log failures degrade — events still reach
+	// the window and LogFailed counts them — because serving from a
+	// slightly-less-durable window beats refusing traffic.
+	Log EventLog
 	// Vantage, when non-empty, tags every untagged event admitted by this
 	// ingestor with the named vantage point. Events whose line already
 	// carries a tag keep it — a relay forwarding several telescopes into
@@ -109,6 +130,7 @@ type Stats struct {
 	OpenConns     int64              `json:"open_conns"`
 	TotalConns    int64              `json:"total_conns"`
 	KilledConns   int64              `json:"killed_conns"`
+	LogFailed     int64              `json:"log_failed"`
 	QueueDepth    int                `json:"queue_depth"`
 	Parse         robust.IngestStats `json:"parse"`
 	Window        WindowStats        `json:"window"`
@@ -128,6 +150,7 @@ type Ingestor struct {
 	watchdog *Watchdog
 
 	accepted      atomic.Int64
+	logFailed     atomic.Int64
 	droppedNewest atomic.Int64
 	droppedOldest atomic.Int64
 	throttled     atomic.Int64
@@ -187,6 +210,7 @@ func (in *Ingestor) Stats() Stats {
 		OpenConns:     in.openConns.Load(),
 		TotalConns:    in.totalConns.Load(),
 		KilledConns:   in.killedConns.Load(),
+		LogFailed:     in.logFailed.Load(),
 		QueueDepth:    in.q.len(),
 		Parse:         in.report.Snapshot(),
 		Window:        in.window.Stats(),
@@ -210,17 +234,44 @@ func (in *Ingestor) Push(e trace.Event) bool {
 	return true
 }
 
-// consume is the single drain: queue → window, feeding the watchdog.
+// consume is the single drain: queue → (durability log) → window, feeding
+// the watchdog. Batching is what makes durability affordable: one Commit —
+// one fsync under the always policy — covers every event popped in the
+// drain, and no event is applied to the window before the commit returns.
 func (in *Ingestor) consume() {
 	defer close(in.consumerDone)
+	batch := make([]trace.Event, 0, logBatchMax)
 	for {
-		e, ok := in.q.pop()
+		var ok bool
+		batch, ok = in.q.popBatch(batch[:0], logBatchMax)
 		if !ok {
 			return
 		}
-		in.window.Add(e)
-		in.accepted.Add(1)
+		if in.cfg.Log != nil {
+			in.logBatch(batch)
+		}
+		in.window.AddBatch(batch)
+		in.accepted.Add(int64(len(batch)))
 		in.watchdog.Touch()
+	}
+}
+
+// logBatch appends and commits one drained batch. A failure — a full disk,
+// a failed fsync — degrades rather than crashes: every event in the batch
+// still reaches the window, LogFailed records how many lost their
+// durability claim, and darkvecd surfaces the condition as a degraded
+// reason.
+func (in *Ingestor) logBatch(batch []trace.Event) {
+	for i, e := range batch {
+		if err := in.cfg.Log.Append(e); err != nil {
+			in.logFailed.Add(int64(len(batch) - i))
+			in.cfg.Logf("stream: durability log append failed (%d events undurable): %v", len(batch)-i, err)
+			return
+		}
+	}
+	if err := in.cfg.Log.Commit(); err != nil {
+		in.logFailed.Add(int64(len(batch)))
+		in.cfg.Logf("stream: durability log commit failed (%d events undurable): %v", len(batch), err)
 	}
 }
 

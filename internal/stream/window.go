@@ -140,6 +140,20 @@ func (w *Window) evictLocked() {
 	}
 }
 
+// AgeHorizon returns the event-time horizon (Unix seconds) below which the
+// hard age cap would evict an event on sight: newest − MaxAge. Anything
+// older is useless to a reboot, which makes this the WAL's compaction
+// bound. Returns 0 — "no horizon yet" — while the window is empty or when
+// the age bound is disabled.
+func (w *Window) AgeHorizon() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.n == 0 || w.cfg.MaxAge <= 0 {
+		return 0
+	}
+	return w.newest - w.cfg.MaxAge
+}
+
 // Len returns the number of buffered events.
 func (w *Window) Len() int {
 	w.mu.Lock()
