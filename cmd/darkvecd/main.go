@@ -43,6 +43,16 @@
 //	GET /v1/classify?ip=1.2.3.4&k=7
 //	GET /v1/clusters?min=3
 //	GET /v1/sender?ip=1.2.3.4
+//	GET /v1/model      — serving generation, space size, exact-vs-IVF mode
+//
+// At scale, similarity and classification queries can ride an IVF
+// cell-probe index instead of the exact scan: -ann auto (default) builds it
+// when the space reaches -annmin senders, -ann on forces it, -ann off pins
+// exact search. The index is rebuilt for every generation inside the
+// retrain cycle before the atomic swap; -annprobe 0 auto-calibrates the
+// probed cell count to a 0.95 sampled recall. A failed index build serves
+// the generation exactly instead (degradation visible on /v1/model and
+// /healthz/ready), never refusing traffic.
 package main
 
 import (
@@ -70,6 +80,7 @@ import (
 	"github.com/darkvec/darkvec/internal/core"
 	"github.com/darkvec/darkvec/internal/corpus"
 	"github.com/darkvec/darkvec/internal/drift"
+	"github.com/darkvec/darkvec/internal/embed"
 	"github.com/darkvec/darkvec/internal/federation"
 	"github.com/darkvec/darkvec/internal/labels"
 	"github.com/darkvec/darkvec/internal/modelstore"
@@ -106,6 +117,16 @@ type options struct {
 	retrainFail int           // breaker threshold for consecutive retrain failures
 	vantage     string        // vantage point name ("" = single-vantage)
 
+	// Approximate k-NN serving (the IVF cell-probe index, internal/embed).
+	// The index is rebuilt for every generation inside the retrain cycle,
+	// before the atomic gate swap; a failed build degrades to exact search,
+	// it never blocks serving.
+	ann      string // auto | on | off: when the index is built
+	annMin   int    // auto mode builds the index only at >= this many senders
+	annCells int    // coarse cells (0 = sqrt of the space size)
+	annProbe int    // cells probed per query (0 = calibrate to 0.95 recall)
+	annQuant bool   // scan members through the int8-quantized sidecar
+
 	// Live ingestion (see ingest.go). Either source makes the daemon
 	// retrain on the rolling window instead of re-reading -in.
 	ingest        string        // live-feed listener: host:port or unix:/path ("" = off)
@@ -140,16 +161,17 @@ type options struct {
 	driftK       int     // neighbourhood size for the overlap metric
 	driftHist    int     // gate decisions retained (and persisted with -store)
 
-	logf           func(format string, args ...any)           // nil: stdout
-	onListen       func(addr string)                          // test hook: listener bound
-	onReady        func(addr string)                          // test hook: model serving
-	onIngestListen func(addr string)                          // test hook: ingest listener bound
-	onPprofListen  func(addr string)                          // test hook: pprof listener bound
-	onRetrain      func(error)                                // test hook: outcome of each retrain cycle
-	retrainBackoff robust.Backoff                             // test hook: deterministic backoff
-	retrainSleep   func(context.Context, time.Duration) error // test hook: no wall-clock sleeps
-	trainWrap      func(io.Writer) io.Writer                  // test hook: fault injection on publish
-	walWrap        func(wal.SyncWriter) wal.SyncWriter        // test hook: fault injection on WAL segments
+	logf           func(format string, args ...any)                         // nil: stdout
+	onListen       func(addr string)                                        // test hook: listener bound
+	onReady        func(addr string)                                        // test hook: model serving
+	onIngestListen func(addr string)                                        // test hook: ingest listener bound
+	onPprofListen  func(addr string)                                        // test hook: pprof listener bound
+	onRetrain      func(error)                                              // test hook: outcome of each retrain cycle
+	retrainBackoff robust.Backoff                                           // test hook: deterministic backoff
+	retrainSleep   func(context.Context, time.Duration) error               // test hook: no wall-clock sleeps
+	trainWrap      func(io.Writer) io.Writer                                // test hook: fault injection on publish
+	walWrap        func(wal.SyncWriter) wal.SyncWriter                      // test hook: fault injection on WAL segments
+	annBuild       func(*embed.Space, embed.IVFOptions) (*embed.IVF, error) // test hook: fault injection on index builds
 }
 
 func main() {
@@ -175,6 +197,11 @@ func main() {
 	flag.IntVar(&o.keep, "keep", 3, "model store generations kept after each publish")
 	flag.IntVar(&o.retrainFail, "retrainfail", 5, "consecutive retrain failures before the circuit breaker gives up")
 	flag.StringVar(&o.vantage, "vantage", "", "vantage point name: tags untagged live events and the /v1/intern export")
+	flag.StringVar(&o.ann, "ann", "auto", "approximate k-NN index: auto (build at >= -annmin senders), on, or off")
+	flag.IntVar(&o.annMin, "annmin", 16384, "auto ANN threshold: build the index when the space holds at least this many senders")
+	flag.IntVar(&o.annCells, "anncells", 0, "ANN coarse cells (0 = sqrt of the space size)")
+	flag.IntVar(&o.annProbe, "annprobe", 0, "ANN cells probed per query (0 = calibrate to 0.95 sampled recall)")
+	flag.BoolVar(&o.annQuant, "annquant", false, "ANN scans through the int8-quantized vector sidecar (4x less memory traffic)")
 	flag.StringVar(&o.ingest, "ingest", "", "live-feed listener (host:port or unix:/path) speaking the CSV line protocol")
 	flag.StringVar(&o.follow, "follow", "", "tail-follow this file as a live event source")
 	flag.StringVar(&o.flush, "flush", "", "drain the live window to this CSV on shutdown and re-seed from it on boot")
@@ -325,6 +352,20 @@ func (o *options) validate() error {
 	if o.retrainFail < 0 {
 		return fmt.Errorf("invalid -retrainfail %d: must be >= 0", o.retrainFail)
 	}
+	switch o.ann {
+	case "", "auto", "on", "off":
+	default:
+		return fmt.Errorf("invalid -ann %q: must be auto, on or off", o.ann)
+	}
+	if o.annMin < 0 {
+		return fmt.Errorf("invalid -annmin %d: must be >= 0", o.annMin)
+	}
+	if o.annCells < 0 {
+		return fmt.Errorf("invalid -anncells %d: must be >= 0", o.annCells)
+	}
+	if o.annProbe < 0 {
+		return fmt.Errorf("invalid -annprobe %d: must be >= 0", o.annProbe)
+	}
 	// The vantage name travels inside CSV lines and "; "-joined headers;
 	// separators in it would corrupt both framings.
 	if strings.ContainsAny(o.vantage, ",;\r\n") {
@@ -407,6 +448,7 @@ func run(ctx context.Context, o options) error {
 
 	d := &daemon{o: o, cfg: cfg, feeds: feeds, gate: robust.NewGate(), epoch: federation.NewEpoch()}
 	d.status.lastErr.Store("")
+	d.status.annErr.Store("")
 	var err error
 	if o.store != "" {
 		d.st, err = modelstore.Open(o.store, modelstore.Options{Keep: o.keep, Logf: o.logf})
@@ -596,6 +638,7 @@ type modelStatus struct {
 	stale       atomic.Bool
 	driftReject atomic.Bool  // stale specifically because the drift gate refused a candidate
 	lastErr     atomic.Value // string
+	annErr      atomic.Value // string: why this generation serves exact despite ANN being requested
 }
 
 // daemon carries the pieces of a running darkvecd that outlive a single
@@ -616,8 +659,8 @@ type daemon struct {
 	// intact but undecodable (charged to the shared quarantine budget).
 	walReplayed    int64
 	walQuarantined int64
-	drift  driftState
-	epoch  string // intern-export process-instance id (see federation.InternPage)
+	drift          driftState
+	epoch          string // intern-export process-instance id (see federation.InternPage)
 
 	readyOnce sync.Once
 	readyFn   func() // announced on the first model swap
@@ -664,6 +707,13 @@ func (d *daemon) handleReady(w http.ResponseWriter, _ *http.Request) {
 		if e, _ := d.status.lastErr.Load().(string); e != "" {
 			resp["last_error"] = e
 		}
+	}
+	if e, _ := d.status.annErr.Load().(string); e != "" {
+		// The approximate index could not be built for the serving
+		// generation: queries still answer (exactly, slower at scale) — a
+		// degradation worth alerting on, not an outage.
+		reasons = append(reasons, "ann_degraded")
+		resp["ann_error"] = e
 	}
 	if d.ing != nil {
 		st := d.ing.Stats()
@@ -765,6 +815,54 @@ func (d *daemon) publishVerified(emb *core.Embedding) (modelstore.Version, error
 	return v, nil
 }
 
+// annWanted reports whether the approximate index should be built for a
+// space of n senders under the -ann mode.
+func (o *options) annWanted(n int) bool {
+	switch o.ann {
+	case "on":
+		return true
+	case "off":
+		return false
+	default: // auto ("" when constructed in code)
+		return n >= o.annMin && o.annMin > 0
+	}
+}
+
+// buildANN builds the IVF index for a freshly evaluated space, before the
+// space reaches the gate (indexes are built-before-shared, like the row
+// matrix). A failed build is a degradation, never an outage: the space
+// serves exact, the failure lands on /v1/model and /healthz/ready, and the
+// next retrain cycle tries again on its new space. Returns the degradation
+// detail ("" on success or when no index was requested).
+func (d *daemon) buildANN(space *embed.Space) string {
+	if !d.o.annWanted(space.Len()) {
+		return ""
+	}
+	opts := embed.IVFOptions{
+		Cells:     d.o.annCells,
+		NProbe:    d.o.annProbe,
+		Seed:      d.o.seed,
+		Quantized: d.o.annQuant,
+	}
+	build := space.BuildIVF
+	if d.o.annBuild != nil {
+		build = func(o embed.IVFOptions) (*embed.IVF, error) { return d.o.annBuild(space, o) }
+	}
+	ix, err := build(opts)
+	if err != nil {
+		d.o.logf("ann index build failed (serving exact): %v", err)
+		return err.Error()
+	}
+	st := ix.Stats()
+	if st.TargetRecall > 0 {
+		d.o.logf("ann index: %d cells, nprobe %d (sampled recall %.3f, target %.2f)",
+			st.Cells, st.NProbe, st.CalibratedRecall, st.TargetRecall)
+	} else {
+		d.o.logf("ann index: %d cells, nprobe %d", st.Cells, st.NProbe)
+	}
+	return ""
+}
+
 // serve swaps a model into the gate. The swap is atomic: in-flight
 // requests finish on the generation they started with, new ones land on
 // the fresh model, nothing is dropped.
@@ -774,11 +872,13 @@ func (d *daemon) serve(emb *core.Embedding, tr *trace.Trace, gt *labels.Set, v m
 	if v != 0 {
 		ver = v.String()
 	}
+	annErr := d.buildANN(space)
 	d.gate.Set(apiserver.New(apiserver.Config{
 		Space: space, GT: gt, Trace: tr, KPrime: d.o.kPrime, Seed: d.o.seed,
 		RequestTimeout: d.o.reqTimeout, MaxInFlight: d.o.maxInFlight,
-		Logf: d.o.logf, ModelVersion: ver,
+		Logf: d.o.logf, ModelVersion: ver, ANNError: annErr,
 	}))
+	d.status.annErr.Store(annErr)
 	d.status.version.Store(uint64(v))
 	d.status.stale.Store(false)
 	d.status.driftReject.Store(false)

@@ -90,6 +90,21 @@ type (
 	Heatmap = core.Heatmap
 )
 
+// Approximate k-NN types. A Space answers neighbour queries exactly by
+// default; BuildIVF attaches an inverted-file cell-probe index (optionally
+// over int8-quantized vectors) that trades a calibrated, bounded recall
+// loss for sub-linear scans on large spaces.
+type (
+	// ANNIndex is an inverted-file approximate k-NN index over a Space.
+	ANNIndex = embed.IVF
+	// ANNOptions parameterises index construction; the zero value picks
+	// ~√N cells and calibrates nprobe to recall@10 ≥ 0.95.
+	ANNOptions = embed.IVFOptions
+	// ANNStats describes a built index: cell geometry, calibrated recall
+	// and the memory footprint of both vector representations.
+	ANNStats = embed.IVFStats
+)
+
 // Simulation types.
 type (
 	// SimConfig controls the synthetic darknet generator.

@@ -39,6 +39,7 @@ type Server struct {
 	assign   []int
 	stats    trace.Stats
 	version  string // model generation serving this instance, "" when unmanaged
+	annErr   string // why the ANN index is absent, "" when built or not requested
 	mux      *http.ServeMux
 	handler  http.Handler // mux wrapped in the hardening middleware
 }
@@ -64,6 +65,10 @@ type Config struct {
 	// X-DarkVec-Model-Version so operators can tell which store generation
 	// answered (and watch a retrain roll through a fleet).
 	ModelVersion string
+	// ANNError records why the approximate index is absent when one was
+	// requested (build failure → exact fallback). Surfaced on /v1/model so
+	// operators can see the degradation without reading the daemon log.
+	ANNError string
 }
 
 // Harden wraps h in the serving middleware stack: panic recovery
@@ -117,6 +122,7 @@ func New(cfg Config) *Server {
 		labels:  lbl,
 		stats:   cfg.Trace.Summary(3),
 		version: cfg.ModelVersion,
+		annErr:  cfg.ANNError,
 		mux:     http.NewServeMux(),
 	}
 	if cfg.Space.Len() > 1 {
@@ -154,6 +160,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/classify", s.handleClassify)
 	s.mux.HandleFunc("GET /v1/clusters", s.handleClusters)
 	s.mux.HandleFunc("GET /v1/sender", s.handleSender)
+	s.mux.HandleFunc("GET /v1/model", s.handleModel)
 }
 
 // ServeHTTP implements http.Handler, routing through the hardening chain.
@@ -219,7 +226,9 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	sims, found := s.space.MostSimilar(ip, kParam(r, 10))
+	// Rides the approximate index when one is attached to the space; falls
+	// back to the exact engine transparently otherwise.
+	sims, found := s.space.MostSimilarApprox(ip, kParam(r, 10))
 	if !found {
 		writeErr(w, http.StatusNotFound, "sender %s not in the embedding", ip)
 		return
@@ -247,7 +256,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	pred, found := knn.ClassifyOne(s.space, s.labels, ip, kParam(r, 7))
+	pred, found := knn.ClassifyOneIndexed(s.space, s.space.ANN(), s.labels, ip, kParam(r, 7))
 	if !found {
 		writeErr(w, http.StatusNotFound, "sender %s not in the embedding", ip)
 		return
@@ -284,6 +293,37 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Senders > out[j].Senders })
 	writeJSON(w, http.StatusOK, out)
+}
+
+// ModelResponse is the /v1/model payload: which store generation is
+// serving, how big the space is, and whether queries run exact or through
+// the approximate index (with the index geometry and calibration when one
+// is attached, and the degradation detail when a requested build failed).
+type ModelResponse struct {
+	Version     string          `json:"version,omitempty"`
+	Senders     int             `json:"senders"`
+	Dim         int             `json:"dim"`
+	KNNMode     string          `json:"knn_mode"` // "ivf" | "exact"
+	Index       *embed.IVFStats `json:"index,omitempty"`
+	ANNError    string          `json:"ann_error,omitempty"`
+	VectorBytes int64           `json:"vector_bytes"`
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
+	resp := ModelResponse{
+		Version:     s.version,
+		Senders:     s.space.Len(),
+		Dim:         s.space.Dim,
+		KNNMode:     "exact",
+		ANNError:    s.annErr,
+		VectorBytes: s.space.VectorBytes(),
+	}
+	if ix := s.space.ANN(); ix != nil {
+		st := ix.Stats()
+		resp.KNNMode = "ivf"
+		resp.Index = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // SenderResponse is the /v1/sender payload.

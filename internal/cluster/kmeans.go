@@ -1,134 +1,19 @@
 package cluster
 
 import (
-	"math"
-
 	"github.com/darkvec/darkvec/internal/embed"
-	"github.com/darkvec/darkvec/internal/netutil"
-	"github.com/darkvec/darkvec/internal/vecmath"
 )
 
 // KMeans runs spherical k-means (cosine similarity on unit vectors) with
 // k-means++ seeding. It is one of the classic baselines the paper reports
 // as performing poorly on the embedding (§7.1). Returns the assignment and
 // the number of iterations executed.
+//
+// The implementation lives on embed.Space (SphericalKMeans): the IVF
+// approximate-k-NN index trains its coarse centroids with the same code,
+// and embed cannot import this package without a cycle. This wrapper keeps
+// the historical clustering API (and its exact output) unchanged.
 func KMeans(s *embed.Space, k, maxIter int, seed uint64) ([]int, int) {
-	n, dim := s.Len(), s.Dim
-	if k <= 0 || n == 0 {
-		return make([]int, n), 0
-	}
-	if k > n {
-		k = n
-	}
-	if maxIter <= 0 {
-		maxIter = 50
-	}
-	rng := netutil.NewRand(seed | 1)
-
-	// k-means++ seeding with cosine distance.
-	centroids := make([]float64, k*dim)
-	copyRow := func(ci, row int) {
-		r := s.Row(row)
-		for d := 0; d < dim; d++ {
-			centroids[ci*dim+d] = float64(r[d])
-		}
-	}
-	copyRow(0, rng.Intn(n))
-	minDist := make([]float64, n)
-	for i := range minDist {
-		minDist[i] = math.Inf(1)
-	}
-	for c := 1; c < k; c++ {
-		var total float64
-		for i := 0; i < n; i++ {
-			d := 1 - dotRow(s, i, centroids[(c-1)*dim:c*dim])
-			if d < 0 {
-				d = 0
-			}
-			if d < minDist[i] {
-				minDist[i] = d
-			}
-			total += minDist[i]
-		}
-		pick := rng.Float64() * total
-		chosen := n - 1
-		var acc float64
-		for i := 0; i < n; i++ {
-			acc += minDist[i]
-			if acc >= pick {
-				chosen = i
-				break
-			}
-		}
-		copyRow(c, chosen)
-	}
-
-	assign := make([]int, n)
-	changes := make([]int, n) // per-row change flag, summed after the fan-out
-	iter := 0
-	for ; iter < maxIter; iter++ {
-		// The assignment step is the O(n·k·V) bulk of an iteration and each
-		// row is independent, so it fans out across Parallelism() workers;
-		// assignments (and therefore iterations) are identical for any
-		// worker count. Centroid recomputation stays serial to keep the
-		// floating-point accumulation order fixed.
-		parallelRows(s.Parallelism(), n, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				best, bestSim := 0, math.Inf(-1)
-				for c := 0; c < k; c++ {
-					sim := dotRow(s, i, centroids[c*dim:(c+1)*dim])
-					if sim > bestSim {
-						best, bestSim = c, sim
-					}
-				}
-				changes[i] = 0
-				if assign[i] != best {
-					assign[i] = best
-					changes[i] = 1
-				}
-			}
-		})
-		changed := 0
-		for _, c := range changes {
-			changed += c
-		}
-		if changed == 0 && iter > 0 {
-			break
-		}
-		// Recompute centroids as normalised means.
-		for i := range centroids {
-			centroids[i] = 0
-		}
-		counts := make([]int, k)
-		for i := 0; i < n; i++ {
-			c := assign[i]
-			row := s.Row(i)
-			for d := 0; d < dim; d++ {
-				centroids[c*dim+d] += float64(row[d])
-			}
-			counts[c]++
-		}
-		for c := 0; c < k; c++ {
-			if counts[c] == 0 {
-				copyRow(c, rng.Intn(n)) // re-seed empty cluster
-				continue
-			}
-			var ss float64
-			for d := 0; d < dim; d++ {
-				v := centroids[c*dim+d]
-				ss += v * v
-			}
-			if ss > 0 {
-				inv := 1 / math.Sqrt(ss)
-				for d := 0; d < dim; d++ {
-					centroids[c*dim+d] *= inv
-				}
-			}
-		}
-	}
-	return assign, iter
-}
-
-func dotRow(s *embed.Space, row int, centroid []float64) float64 {
-	return vecmath.Dot64(s.Row(row), centroid)
+	assign, _, iters := s.SphericalKMeans(k, maxIter, seed)
+	return assign, iters
 }

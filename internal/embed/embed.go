@@ -25,10 +25,19 @@ type Space struct {
 
 	// MaxProcs caps the worker fan-out of the batched k-NN engine and of
 	// the row-parallel consumers that honour Parallelism() (the LOO
-	// classifier, silhouette, k-means). 0 means GOMAXPROCS; 1 pins the
-	// serial path, which reproducibility tests use to check that parallel
-	// output is byte-identical.
+	// classifier, silhouette, k-means). 0 means GOMAXPROCS, which also
+	// arms the small-batch auto-serial fallback; 1 pins the serial path,
+	// which reproducibility tests use to check that parallel output is
+	// byte-identical.
 	MaxProcs int
+
+	// ann is the attached approximate-nearest-neighbour index (see ivf.go);
+	// qrows/qscales are the int8 symmetric-quantized row sidecar. Both are
+	// built before a Space is shared (BuildIVF / Quantize) and immutable
+	// afterwards, like the row matrix itself.
+	ann     *IVF
+	qrows   []int8
+	qscales []float32
 }
 
 // FromModel builds a Space from a trained model, keeping only words in keep

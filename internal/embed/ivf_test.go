@@ -1,0 +1,408 @@
+package embed
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/darkvec/darkvec/internal/netutil"
+)
+
+// clusteredSpace builds a space with a genuine cluster structure — centers
+// clusters of gaussian-perturbed copies of random unit centers — the regime
+// IVF is designed for (darknet senders form coordinated cohorts, per the
+// paper's GT classes). noise controls the perturbation.
+func clusteredSpace(t testing.TB, n, dim, centers int, noise float64, seed uint64) *Space {
+	t.Helper()
+	r := netutil.NewRand(seed)
+	base := make([][]float64, centers)
+	for c := range base {
+		v := make([]float64, dim)
+		for d := range v {
+			v[d] = r.NormFloat64()
+		}
+		base[c] = v
+	}
+	words := make([]string, n)
+	vecs := make([][]float32, n)
+	for i := range vecs {
+		words[i] = fmt.Sprintf("s%06d", i)
+		b := base[i%centers]
+		v := make([]float32, dim)
+		for d := range v {
+			v[d] = float32(b[d] + noise*r.NormFloat64())
+		}
+		vecs[i] = v
+	}
+	s, err := New(words, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// recallAtK measures |approx ∩ exact| / |exact| averaged over queries.
+func recallAtK(exact, approx [][]Neighbor) float64 {
+	var hit, total int
+	for qi := range exact {
+		ids := make(map[int]bool, len(exact[qi]))
+		for _, nb := range exact[qi] {
+			ids[nb.Row] = true
+		}
+		total += len(exact[qi])
+		for _, nb := range approx[qi] {
+			if ids[nb.Row] {
+				hit++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(hit) / float64(total)
+}
+
+// TestIVFDeterminismAcrossWorkers asserts the ANN determinism contract:
+// same seed and options ⇒ byte-identical neighbour lists at any worker
+// count, for both the float32 and quantized member scans.
+func TestIVFDeterminismAcrossWorkers(t *testing.T) {
+	for _, quant := range []bool{false, true} {
+		s := clusteredSpace(t, 600, 16, 12, 0.15, 11)
+		s.MaxProcs = 1
+		if _, err := s.BuildIVF(IVFOptions{Seed: 7, Quantized: quant}); err != nil {
+			t.Fatal(err)
+		}
+		rows := make([]int, s.Len())
+		for i := range rows {
+			rows[i] = i
+		}
+		want := s.KNNBatchApprox(rows, 10)
+		for _, workers := range []int{2, 4, 7} {
+			s.MaxProcs = workers
+			got := s.KNNBatchApprox(rows, 10)
+			neighborsEqual(t, fmt.Sprintf("quant=%v workers=%d", quant, workers), want, got)
+		}
+		// A rebuilt index over the same inputs reproduces the same answers.
+		s2 := clusteredSpace(t, 600, 16, 12, 0.15, 11)
+		s2.MaxProcs = 3
+		if _, err := s2.BuildIVF(IVFOptions{Seed: 7, Quantized: quant}); err != nil {
+			t.Fatal(err)
+		}
+		neighborsEqual(t, fmt.Sprintf("quant=%v rebuild", quant), want, s2.KNNBatchApprox(rows, 10))
+	}
+}
+
+// TestIVFCalibratedRecallFloor builds with auto-calibration (target 0.95)
+// on a clustered space and checks the measured whole-space recall@10 — not
+// just the calibration sample — holds the floor the acceptance criteria
+// pin.
+func TestIVFCalibratedRecallFloor(t *testing.T) {
+	n := 5000
+	if testing.Short() {
+		n = 1500
+	}
+	s := clusteredSpace(t, n, 24, 40, 0.12, 3)
+	ix, err := s.BuildIVF(IVFOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ix.Stats()
+	if st.CalibratedRecall < st.TargetRecall {
+		t.Fatalf("calibrated recall %.3f below target %.3f", st.CalibratedRecall, st.TargetRecall)
+	}
+	rows := make([]int, s.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	exact := s.KNNBatch(rows, 10)
+	approx := s.KNNBatchApprox(rows, 10)
+	if r := recallAtK(exact, approx); r < 0.90 {
+		// The calibration sample guarantees >= 0.95 on the sample; the full
+		// space tracks it closely but is not bound by it — 0.90 catches a
+		// broken index without flaking on sampling variance.
+		t.Fatalf("whole-space recall@10 = %.3f, want >= 0.90 (calibrated %.3f at nprobe %d of %d cells)",
+			r, st.CalibratedRecall, st.NProbe, st.Cells)
+	}
+	if st.NProbe >= st.Cells && st.Cells > 4 {
+		t.Fatalf("calibration degenerated to exhaustive probing (nprobe %d of %d cells)", st.NProbe, st.Cells)
+	}
+}
+
+// simLossAtK bounds the quality loss rank-by-rank: the j-th best true
+// cosine among the returned rows must sit within eps of the j-th best exact
+// similarity. Rank-identity recall is the wrong metric for quantization —
+// int8 error (~1e-2 on a cosine) legitimately reorders near-ties without
+// hurting answer quality — but a real quality loss shows up as a sim gap.
+func simLossAtK(t *testing.T, s *Space, queries []int, exact, approx [][]Neighbor, eps float64) {
+	t.Helper()
+	for qi := range exact {
+		got := make([]float64, len(approx[qi]))
+		for j, nb := range approx[qi] {
+			got[j] = s.Cosine(queries[qi], nb.Row)
+		}
+		for j := 1; j < len(got); j++ { // insertion sort desc (short lists)
+			for p := j; p > 0 && got[p] > got[p-1]; p-- {
+				got[p], got[p-1] = got[p-1], got[p]
+			}
+		}
+		for j, nb := range exact[qi] {
+			if j >= len(got) {
+				break
+			}
+			if nb.Sim-got[j] > eps {
+				t.Fatalf("query %d rank %d: exact sim %.4f vs returned %.4f (loss %.4f > %.4f)",
+					queries[qi], j, nb.Sim, got[j], nb.Sim-got[j], eps)
+			}
+		}
+	}
+}
+
+// TestIVFQuantizedRecall checks the int8 member scan holds answer quality:
+// per-rank similarity loss bounded by the quantization error bound, and the
+// sidecar accounting correct.
+func TestIVFQuantizedRecall(t *testing.T) {
+	s := clusteredSpace(t, 2000, 24, 25, 0.12, 5)
+	ix, err := s.BuildIVF(IVFOptions{Seed: 1, Quantized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]int, 0, 200)
+	for i := 0; i < s.Len(); i += 10 {
+		rows = append(rows, i)
+	}
+	exact := s.KNNBatch(rows, 10)
+	approx := s.KNNBatchApprox(rows, 10)
+	simLossAtK(t, s, rows, exact, approx, 0.03)
+	if !ix.Stats().Quantized {
+		t.Fatal("stats should report quantized")
+	}
+	if s.QuantizedVectorBytes() == 0 {
+		t.Fatal("quantized sidecar not built")
+	}
+	if got, want := s.QuantizedVectorBytes(), int64(s.Len()*s.Dim+s.Len()*4); got != want {
+		t.Fatalf("quantized bytes = %d, want %d", got, want)
+	}
+}
+
+// TestIVFApproxFallsBackToExact pins the degradation contract: without an
+// attached index every *Approx entry point answers exactly.
+func TestIVFApproxFallsBackToExact(t *testing.T) {
+	s := tieSpace(t, 90, 8, 2)
+	if s.ANN() != nil {
+		t.Fatal("fresh space should have no index")
+	}
+	rows := []int{0, 5, 44, 89}
+	neighborsEqual(t, "no-index batch", s.KNNBatch(rows, 7), s.KNNBatchApprox(rows, 7))
+	for _, r := range rows {
+		a, b := s.KNN(r, 7), s.KNNApprox(r, 7)
+		neighborsEqual(t, "no-index single", [][]Neighbor{a}, [][]Neighbor{b})
+	}
+	wantSim, ok1 := s.MostSimilar("w005", 5)
+	gotSim, ok2 := s.MostSimilarApprox("w005", 5)
+	if !ok1 || !ok2 || len(wantSim) != len(gotSim) {
+		t.Fatalf("MostSimilarApprox fallback mismatch: %v %v", wantSim, gotSim)
+	}
+	for i := range wantSim {
+		if wantSim[i] != gotSim[i] {
+			t.Fatalf("MostSimilarApprox fallback: %+v vs %+v", wantSim[i], gotSim[i])
+		}
+	}
+	if _, ok := s.MostSimilarApprox("absent", 5); ok {
+		t.Fatal("missing word should report !ok")
+	}
+	// Detach restores exact answers after a build, too.
+	if _, err := s.BuildIVF(IVFOptions{Seed: 1, NProbe: 1, Cells: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if s.ANN() == nil {
+		t.Fatal("BuildIVF should attach")
+	}
+	s.SetANN(nil)
+	neighborsEqual(t, "detached batch", s.KNNBatch(rows, 7), s.KNNBatchApprox(rows, 7))
+}
+
+// TestIVFExhaustiveProbeMatchesExact: probing every cell scans every row,
+// so the approximate answers must equal the exact engine's byte for byte
+// (same selection heap, same tie-break) — the strongest internal
+// consistency check available.
+func TestIVFExhaustiveProbeMatchesExact(t *testing.T) {
+	s := clusteredSpace(t, 400, 12, 8, 0.2, 9)
+	if _, err := s.BuildIVF(IVFOptions{Cells: 10, NProbe: 10, Seed: 4}); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]int, s.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	neighborsEqual(t, "exhaustive probe", s.KNNBatch(rows, 9), s.KNNBatchApprox(rows, 9))
+}
+
+// TestIVFSubsetEach checks the candidate-restricted scan: hits only within
+// the candidate set, self excluded, and with every cell probed the result
+// matches the exact subset engine.
+func TestIVFSubsetEach(t *testing.T) {
+	s := clusteredSpace(t, 300, 12, 6, 0.2, 13)
+	ix, err := s.BuildIVF(IVFOptions{Cells: 6, NProbe: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queries, candidates []int
+	for i := 0; i < s.Len(); i++ {
+		if i%3 == 0 {
+			candidates = append(candidates, i)
+		}
+		if i%5 == 0 {
+			queries = append(queries, i)
+		}
+	}
+	want := s.KNNSubset(queries, candidates, 5)
+	got := make([][]Neighbor, len(queries))
+	ix.KNNSubsetEach(queries, candidates, 5, func(qi int, nn []Neighbor) {
+		got[qi] = append([]Neighbor(nil), nn...)
+	})
+	neighborsEqual(t, "subset exhaustive", want, got)
+
+	// Partial probing never returns rows outside the candidate set or self.
+	ix2, err := s.BuildIVF(IVFOptions{Cells: 10, NProbe: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inCand := make(map[int]bool)
+	for _, c := range candidates {
+		inCand[c] = true
+	}
+	ix2.KNNSubsetEach(queries, candidates, 5, func(qi int, nn []Neighbor) {
+		for _, nb := range nn {
+			if !inCand[nb.Row] {
+				t.Errorf("query %d returned non-candidate row %d", queries[qi], nb.Row)
+			}
+			if nb.Row == queries[qi] {
+				t.Errorf("query %d returned itself", queries[qi])
+			}
+		}
+	})
+}
+
+// TestIVFBuildErrors pins the failure modes darkvecd degrades on.
+func TestIVFBuildErrors(t *testing.T) {
+	empty, err := New(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := empty.BuildIVF(IVFOptions{}); err != ErrEmptySpace {
+		t.Fatalf("empty space: got %v, want ErrEmptySpace", err)
+	}
+	s := tieSpace(t, 50, 8, 1)
+	s.rows[12] = float32(math.NaN())
+	if _, err := s.BuildIVF(IVFOptions{}); err == nil {
+		t.Fatal("non-finite row should fail the build")
+	}
+	if s.ANN() != nil {
+		t.Fatal("failed build must not attach an index")
+	}
+	s2 := tieSpace(t, 50, 8, 1)
+	if _, err := s2.BuildIVF(IVFOptions{Cells: -3}); err == nil {
+		t.Fatal("negative cell count should fail")
+	}
+	if _, err := s2.BuildIVF(IVFOptions{TargetRecall: 1.5}); err == nil {
+		t.Fatal("out-of-range target recall should fail")
+	}
+}
+
+// TestIVFTinySpaces: 1- and 2-row spaces must not panic anywhere.
+func TestIVFTinySpaces(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		s := tieSpace(t, n, 4, 5)
+		ix, err := s.BuildIVF(IVFOptions{Seed: 1})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := 0; i < n; i++ {
+			nn := s.KNNApprox(i, 3)
+			if len(nn) > n-1 {
+				t.Fatalf("n=%d row %d: %d neighbours", n, i, len(nn))
+			}
+			for _, nb := range nn {
+				if nb.Row == i {
+					t.Fatalf("n=%d row %d returned itself", n, i)
+				}
+			}
+		}
+		st := ix.Stats()
+		if st.Rows != n {
+			t.Fatalf("n=%d: stats rows %d", n, st.Rows)
+		}
+	}
+}
+
+// TestIVFStatsShape sanity-checks the introspection snapshot.
+func TestIVFStatsShape(t *testing.T) {
+	s := clusteredSpace(t, 500, 16, 10, 0.2, 21)
+	ix, err := s.BuildIVF(IVFOptions{Cells: 20, NProbe: 3, Seed: 6, Quantized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ix.Stats()
+	if st.Cells != 20 || st.NProbe != 3 || st.Rows != 500 || !st.Quantized {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MeanCellRows != 25 {
+		t.Fatalf("mean cell rows = %v, want 25", st.MeanCellRows)
+	}
+	if st.MaxCellRows < int(st.MeanCellRows) {
+		t.Fatalf("max cell rows %d below mean %v", st.MaxCellRows, st.MeanCellRows)
+	}
+	if st.VectorBytes != int64(500*16*4) {
+		t.Fatalf("vector bytes = %d", st.VectorBytes)
+	}
+	if st.TargetRecall != 0 || st.CalibratedRecall != 0 {
+		t.Fatalf("pinned nprobe should leave calibration fields zero: %+v", st)
+	}
+	// Membership partition: every row appears exactly once.
+	seen := make([]bool, s.Len())
+	for _, r := range ix.members {
+		if seen[r] {
+			t.Fatalf("row %d filed twice", r)
+		}
+		seen[r] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("row %d missing from the index", i)
+		}
+	}
+}
+
+// TestKNNQuantizedNearExact: the quantized exact scan tracks the float32
+// engine — full recall cannot be demanded (quantization legitimately
+// reorders near-ties) but the per-rank similarity loss stays within the
+// int8 error bound.
+func TestKNNQuantizedNearExact(t *testing.T) {
+	s := clusteredSpace(t, 800, 24, 10, 0.2, 17)
+	var rows []int
+	exact := make([][]Neighbor, 0, 80)
+	quant := make([][]Neighbor, 0, 80)
+	for i := 0; i < s.Len(); i += 10 {
+		rows = append(rows, i)
+		exact = append(exact, s.KNN(i, 10))
+		quant = append(quant, s.KNNQuantized(i, 10))
+	}
+	simLossAtK(t, s, rows, exact, quant, 0.03)
+}
+
+// TestClusterKMeansUnchanged guards the delegation refactor: the wrapper in
+// internal/cluster must produce the exact assignment SphericalKMeans does.
+func TestSphericalKMeansCentroidsUnit(t *testing.T) {
+	s := clusteredSpace(t, 200, 8, 5, 0.2, 33)
+	_, cents, _ := s.SphericalKMeans(5, 10, 42)
+	for c := 0; c < 5; c++ {
+		var ss float64
+		for d := 0; d < 8; d++ {
+			v := cents[c*8+d]
+			ss += v * v
+		}
+		if math.Abs(ss-1) > 1e-9 {
+			t.Fatalf("centroid %d norm² = %v", c, ss)
+		}
+	}
+}

@@ -33,6 +33,27 @@ func (s *Space) Parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// knnSerialCutoff is the scan volume — queries × rows-scanned-per-query ×
+// dim multiply-adds — below which the automatic worker choice takes the
+// serial path. Mirrors the corpus builder's serialCutoff: at small batch
+// sizes goroutine spawn and cache-line hand-off dominate the arithmetic
+// (BENCH_perf.json showed 4-proc runs losing to serial at benchmark scale),
+// and because parallel output is byte-identical to serial, the fallback is
+// invisible except in wall-clock.
+const knnSerialCutoff = 1 << 21
+
+// batchWorkers resolves the fan-out for a batch of queries each scanning
+// perQuery candidate rows. An explicit MaxProcs is honoured as-is (tests pin
+// both paths with it); only the automatic choice falls back to serial under
+// the cutoff.
+func (s *Space) batchWorkers(queries int, perQuery int) int {
+	if s.MaxProcs == 0 &&
+		int64(queries)*int64(perQuery)*int64(s.Dim) < knnSerialCutoff {
+		return 1
+	}
+	return s.Parallelism()
+}
+
 // topK is a fixed-capacity partial-selection min-heap over the total order
 // "similarity descending, then row ascending": the root is the worst
 // neighbour kept so far, and a candidate enters only if it beats the root
@@ -123,10 +144,17 @@ func (t *topK) sortedInto(buf []Neighbor) []Neighbor {
 	return out
 }
 
-// knnScratch is the per-worker reusable state of a scan.
+// knnScratch is the per-worker reusable state of a scan. The trailing
+// fields are only used by the approximate paths (ivf.go): a second
+// selection heap for the coarse cell probe, its sorted output buffer, and
+// the quantized form of the current query.
 type knnScratch struct {
 	sims []float64
 	top  topK
+
+	cells  topK
+	probes []Neighbor
+	qq     []int8
 }
 
 func newKNNScratch(n int) *knnScratch {
@@ -188,7 +216,7 @@ func (s *Space) knnScan(q []float32, self, k int, sc *knnScratch) []Neighbor {
 // scans fanned out across Parallelism() workers. Output is byte-identical
 // to the serial path for any worker count.
 func (s *Space) KNNBatch(rows []int, k int) [][]Neighbor {
-	return s.knnBatch(rows, k, s.Parallelism())
+	return s.knnBatch(rows, k, s.batchWorkers(len(rows), s.Len()))
 }
 
 func (s *Space) knnBatch(rows []int, k int, workers int) [][]Neighbor {
@@ -232,7 +260,7 @@ func (s *Space) knnBatch(rows []int, k int, workers int) [][]Neighbor {
 // it fans out across Parallelism() workers; results are byte-identical to
 // the serial path regardless of worker count.
 func (s *Space) AllKNN(k int) [][]Neighbor {
-	return s.allKNNWorkers(k, s.Parallelism())
+	return s.allKNNWorkers(k, s.batchWorkers(s.Len(), s.Len()))
 }
 
 // AllKNNParallel is AllKNN with an explicit worker count (workers <= 0 uses
@@ -277,7 +305,7 @@ func (s *Space) KNNSubsetEach(queries, candidates []int, k int, fn func(qi int, 
 	if k <= 0 || len(queries) == 0 || len(candidates) == 0 {
 		return
 	}
-	workers := s.Parallelism()
+	workers := s.batchWorkers(len(queries), len(candidates))
 	if workers > len(queries) {
 		workers = len(queries)
 	}

@@ -83,6 +83,82 @@ func ClassifyOne(s *embed.Space, labels map[string]string, word string, k int) (
 	return p, true
 }
 
+// ClassifyIndexed is Classify through an approximate index: the
+// labeled-subset selection runs over only the probed IVF cells, cutting the
+// LOO pass from |labeled|² row scans to |labeled|·(cells + nprobe·cell)
+// while keeping the vote and tie-break machinery identical. A query whose
+// probed cells hold no labeled rows would otherwise get an empty vote set
+// and a degenerate prediction — those queries are collected and re-run
+// through the exact subset engine, so every word Classify would label gets
+// a real vote here too. ix == nil degrades to the exact Classify.
+func ClassifyIndexed(s *embed.Space, ix *embed.IVF, labels map[string]string, k int) []Prediction {
+	if ix == nil {
+		return Classify(s, labels, k)
+	}
+	rowLabel, labeled := labelRows(s, labels)
+	if len(labeled) == 0 || k <= 0 {
+		return nil
+	}
+	preds := make([]Prediction, len(labeled))
+	missed := make([]bool, len(labeled))
+	ix.KNNSubsetEach(labeled, labeled, k, func(qi int, nn []embed.Neighbor) {
+		if len(nn) == 0 {
+			missed[qi] = true
+			return
+		}
+		t := tallyPool.Get().(*tally)
+		preds[qi] = vote(s.Words[labeled[qi]], rowLabel[labeled[qi]], nn, rowLabel, t)
+		tallyPool.Put(t)
+	})
+	var rerun []int   // row indices needing the exact pass
+	var rerunQI []int // their positions in labeled/preds
+	for qi, m := range missed {
+		if m {
+			rerun = append(rerun, labeled[qi])
+			rerunQI = append(rerunQI, qi)
+		}
+	}
+	if len(rerun) > 0 {
+		s.KNNSubsetEach(rerun, labeled, k, func(ri int, nn []embed.Neighbor) {
+			qi := rerunQI[ri]
+			t := tallyPool.Get().(*tally)
+			preds[qi] = vote(s.Words[labeled[qi]], rowLabel[labeled[qi]], nn, rowLabel, t)
+			tallyPool.Put(t)
+		})
+	}
+	return preds
+}
+
+// ClassifyOneIndexed is ClassifyOne through an approximate index, with the
+// same empty-vote exact fallback as ClassifyIndexed and the same nil-index
+// degradation.
+func ClassifyOneIndexed(s *embed.Space, ix *embed.IVF, labels map[string]string, word string, k int) (Prediction, bool) {
+	if ix == nil {
+		return ClassifyOne(s, labels, word, k)
+	}
+	i, ok := s.Index(word)
+	if !ok {
+		return Prediction{}, false
+	}
+	rowLabel, labeled := labelRows(s, labels)
+	var t tally
+	p := vote(word, labels[word], nil, rowLabel, &t)
+	voted := false
+	ix.KNNSubsetEach([]int{i}, labeled, k, func(_ int, nn []embed.Neighbor) {
+		if len(nn) == 0 {
+			return
+		}
+		p = vote(word, labels[word], nn, rowLabel, &t)
+		voted = true
+	})
+	if !voted {
+		s.KNNSubsetEach([]int{i}, labeled, k, func(_ int, nn []embed.Neighbor) {
+			p = vote(word, labels[word], nn, rowLabel, &t)
+		})
+	}
+	return p, true
+}
+
 // tally is the reusable slice-based vote accumulator: distinct classes in a
 // vote set are bounded by k, so linear scans over parallel slices beat the
 // two map allocations per prediction the old implementation paid.

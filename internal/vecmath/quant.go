@@ -1,0 +1,131 @@
+package vecmath
+
+import "math"
+
+// Int8 symmetric per-row quantization: a float32 vector is stored as int8
+// codes plus one float32 scale, cutting resident vector bytes 4x and letting
+// the dot-product hot loop read a quarter of the memory per candidate. The
+// scheme is symmetric (no zero-point): scale = max|v|/127, code = round(v /
+// scale). On the unit-norm rows the k-NN engine scans, max|v| <= 1, so the
+// worst-case per-element error is scale/2 <= 1/254 — small enough that the
+// cosine ordering of near neighbours survives, and exactly the error the
+// property tests in this package bound.
+//
+// Determinism contract: Quantize, Dequantize and DotInt8 are pure functions
+// with fixed iteration order; repeated calls from any number of goroutines
+// produce bit-identical results.
+
+// QuantizeMaxDim is the largest vector length DotInt8 accepts without risk
+// of int32 accumulator overflow: each product is at most 127*127 = 16129,
+// so 2^31/16129 ≈ 133k elements fit. Embedding dimensions are two orders of
+// magnitude below this; Quantize panics beyond it rather than corrupting
+// silently.
+const QuantizeMaxDim = 1 << 17
+
+// Quantize encodes src into dst (same length) and returns the scale such
+// that src[i] ≈ scale * dst[i]. An all-zero (or all non-finite) row gets
+// scale 0 and zero codes. Non-finite elements quantize to 0 so a poisoned
+// row degrades to "matches nothing" instead of corrupting every dot product
+// it participates in.
+func Quantize(dst []int8, src []float32) float32 {
+	if len(src) > QuantizeMaxDim {
+		panic("vecmath: Quantize beyond QuantizeMaxDim")
+	}
+	dst = dst[:len(src)]
+	var maxAbs float32
+	for _, v := range src {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		// NaN fails both comparisons and is skipped; +Inf would make the
+		// scale infinite, zeroing every finite element, so skip it too.
+		if a > maxAbs && a <= math.MaxFloat32 {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return 0
+	}
+	scale := maxAbs / 127
+	inv := 1 / float64(scale)
+	for i, v := range src {
+		if v != v || v > math.MaxFloat32 || v < -math.MaxFloat32 {
+			dst[i] = 0
+			continue
+		}
+		q := math.Round(float64(v) * inv)
+		if q > 127 {
+			q = 127
+		} else if q < -127 {
+			q = -127
+		}
+		dst[i] = int8(q)
+	}
+	return scale
+}
+
+// Dequantize decodes src into dst (same length) under the given scale.
+func Dequantize(dst []float32, src []int8, scale float32) {
+	dst = dst[:len(src)]
+	for i, q := range src {
+		dst[i] = scale * float32(q)
+	}
+}
+
+// DotInt8 returns the widened int32 dot product of two int8 vectors. b must
+// be at least as long as a; extra elements are ignored. The caller rescales
+// with the two row scales: dot_f32 ≈ scaleA * scaleB * float(DotInt8(a, b)).
+// Like Dot, the loop is unrolled with multiple accumulators to break the
+// dependency chain; integer addition is associative, so the result is exact
+// regardless of unroll shape (no ULP drift to bound).
+func DotInt8(a, b []int8) int32 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 int32
+	for len(a) >= 8 {
+		a8, b8 := a[:8], b[:8]
+		s0 += int32(a8[0])*int32(b8[0]) + int32(a8[4])*int32(b8[4])
+		s1 += int32(a8[1])*int32(b8[1]) + int32(a8[5])*int32(b8[5])
+		s2 += int32(a8[2])*int32(b8[2]) + int32(a8[6])*int32(b8[6])
+		s3 += int32(a8[3])*int32(b8[3]) + int32(a8[7])*int32(b8[7])
+		a, b = a[8:], b[8:]
+	}
+	if len(a) >= 4 {
+		a4, b4 := a[:4], b[:4]
+		s0 += int32(a4[0]) * int32(b4[0])
+		s1 += int32(a4[1]) * int32(b4[1])
+		s2 += int32(a4[2]) * int32(b4[2])
+		s3 += int32(a4[3]) * int32(b4[3])
+		a, b = a[4:], b[4:]
+	}
+	b = b[:len(a)]
+	for i := range a {
+		s0 += int32(a[i]) * int32(b[i])
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// QuantizedDotBound returns a rigorous upper bound on
+// |scaleA*scaleB*DotInt8(qa,qb) - RefDot(a,b)| for vectors quantized with
+// Quantize: each element carries at most half a step of rounding error
+// (stepA = scaleA/2), so the dot error is bounded by
+//
+//	stepA*Σ|b| + stepB*Σ|a| + n*stepA*stepB
+//
+// plus float32 summation slack. The property tests assert against this; it
+// lives in the package so future kernels (and callers picking nprobe /
+// quantization trade-offs) can reuse the same certified bound.
+func QuantizedDotBound(a, b []float32, scaleA, scaleB float32) float64 {
+	var sumA, sumB float64
+	for _, v := range a {
+		sumA += math.Abs(float64(v))
+	}
+	for _, v := range b {
+		sumB += math.Abs(float64(v))
+	}
+	stepA, stepB := float64(scaleA)/2, float64(scaleB)/2
+	return stepA*sumB + stepB*sumA + float64(len(a))*stepA*stepB
+}

@@ -1,0 +1,86 @@
+package vecmath
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzQuantizeRoundTrip drives the quantizer with arbitrary byte-derived
+// float32 vectors — including NaN, infinities, subnormals and extreme
+// magnitudes — and checks the invariants the k-NN engine relies on: codes
+// stay in [-127, 127], finite elements round-trip within half a step, the
+// rescaled integer dot respects the certified error bound, the unrolled
+// kernel agrees exactly with its reference, and quantization is idempotent
+// (re-quantizing the dequantized vector reproduces the same codes).
+func FuzzQuantizeRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0x80, 0x7f, 1, 2, 3, 4})                       // +Inf then junk
+	f.Add([]byte{0, 0, 0xc0, 0x7f, 0, 0, 0xc0, 0xff})                 // NaNs
+	f.Add(binary.LittleEndian.AppendUint32(nil, math.Float32bits(1))) // lone 1.0
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := len(data) / 4
+		if n == 0 {
+			return
+		}
+		if n > 256 {
+			n = 256
+		}
+		v := make([]float32, n)
+		for i := range v {
+			v[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[i*4:]))
+		}
+		q := make([]int8, n)
+		scale := Quantize(q, v)
+		if scale < 0 || math.IsInf(float64(scale), 0) || scale != scale {
+			t.Fatalf("scale %g is not a finite non-negative number", scale)
+		}
+		for i, c := range q {
+			if c < -127 || c > 127 {
+				t.Fatalf("code[%d] = %d outside [-127,127]", i, c)
+			}
+			fin := !math.IsNaN(float64(v[i])) && !math.IsInf(float64(v[i]), 0)
+			if fin {
+				if err := math.Abs(float64(v[i]) - float64(scale)*float64(c)); err > float64(scale)/2*1.0001+1e-30 {
+					t.Fatalf("elem %d: round-trip error %g > half step %g", i, err, float64(scale)/2)
+				}
+			} else if c != 0 {
+				t.Fatalf("non-finite elem %d quantized to %d, want 0", i, c)
+			}
+		}
+		// Idempotence: the dequantized vector re-quantizes to the same codes.
+		back := make([]float32, n)
+		Dequantize(back, q, scale)
+		q2 := make([]int8, n)
+		scale2 := Quantize(q2, back)
+		for i := range q {
+			if got := float64(scale2) * float64(q2[i]); math.Abs(got-float64(back[i])) > 1e-6*math.Abs(float64(back[i]))+1e-30 {
+				t.Fatalf("re-quantization moved elem %d: %g -> %g", i, back[i], got)
+			}
+		}
+		// The unrolled kernel is exactly its reference, and the self-dot
+		// respects the certified bound against the finite-masked input.
+		if got, want := DotInt8(q, q), RefDotInt8(q, q); got != want {
+			t.Fatalf("DotInt8 = %d, reference = %d", got, want)
+		}
+		masked := make([]float32, n)
+		for i, x := range v {
+			if !math.IsNaN(float64(x)) && !math.IsInf(float64(x), 0) {
+				masked[i] = x
+			}
+		}
+		got := float64(scale) * float64(scale) * float64(DotInt8(q, q))
+		want := RefDot64(masked, toF64(masked))
+		if bound := QuantizedDotBound(masked, masked, scale, scale); math.Abs(got-want) > bound*1.0001+1e-5 {
+			t.Fatalf("self-dot error %g exceeds bound %g", math.Abs(got-want), bound)
+		}
+	})
+}
+
+func toF64(v []float32) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(x)
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+)
+
+// quantRand is the cheap deterministic generator the float kernels' property
+// tests use, duplicated here so the quantization tests stay self-contained.
+type quantRand struct{ state uint64 }
+
+func (r *quantRand) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float in [-lim, lim)
+func (r *quantRand) float(lim float64) float32 {
+	u := float64(r.next()>>11) / (1 << 53)
+	return float32((2*u - 1) * lim)
+}
+
+func (r *quantRand) vec(n int, lim float64) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = r.float(lim)
+	}
+	return v
+}
+
+func normalizeTest(v []float32) {
+	ss := RefSquaredNorm64(v)
+	if ss == 0 {
+		return
+	}
+	inv := float32(1 / math.Sqrt(ss))
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// TestQuantizeRoundTrip: every element survives quantize→dequantize within
+// half a quantization step.
+func TestQuantizeRoundTrip(t *testing.T) {
+	r := &quantRand{state: 11}
+	for dim := 1; dim <= 67; dim++ {
+		for rep := 0; rep < 8; rep++ {
+			v := r.vec(dim, 2.5)
+			q := make([]int8, dim)
+			scale := Quantize(q, v)
+			back := make([]float32, dim)
+			Dequantize(back, q, scale)
+			step := float64(scale) / 2
+			for i := range v {
+				if err := math.Abs(float64(v[i]) - float64(back[i])); err > step+1e-7 {
+					t.Fatalf("dim %d elem %d: round-trip error %g > step %g (v=%g scale=%g)",
+						dim, i, err, step, v[i], scale)
+				}
+			}
+		}
+	}
+}
+
+// TestDotInt8MatchesReference: the unrolled integer kernel is exactly the
+// naive sum — integer addition is associative, so no ULP allowance at all.
+func TestDotInt8MatchesReference(t *testing.T) {
+	r := &quantRand{state: 23}
+	for dim := 0; dim <= 67; dim++ {
+		a := make([]int8, dim)
+		b := make([]int8, dim)
+		for rep := 0; rep < 8; rep++ {
+			for i := range a {
+				a[i] = int8(r.next())
+				b[i] = int8(r.next())
+			}
+			if got, want := DotInt8(a, b), RefDotInt8(a, b); got != want {
+				t.Fatalf("dim %d: DotInt8 = %d, reference = %d", dim, got, want)
+			}
+		}
+	}
+}
+
+// TestQuantizedDotErrorBound is the property test the ANN layer's accuracy
+// rests on: for any pair of vectors, the rescaled int8 dot is within the
+// certified QuantizedDotBound of the exact float dot. Checked both on raw
+// random vectors and on unit-normalised ones (the k-NN engine's actual
+// input distribution).
+func TestQuantizedDotErrorBound(t *testing.T) {
+	r := &quantRand{state: 37}
+	check := func(a, b []float32) {
+		t.Helper()
+		qa := make([]int8, len(a))
+		qb := make([]int8, len(b))
+		sa := Quantize(qa, a)
+		sb := Quantize(qb, b)
+		got := float64(sa) * float64(sb) * float64(DotInt8(qa, qb))
+		want := float64(RefDot(a, b))
+		bound := QuantizedDotBound(a, b, sa, sb)
+		// Tiny slack absorbs the float32 rounding of the exact dot itself,
+		// which the analytic bound does not model.
+		if diff := math.Abs(got - want); diff > bound*1.0001+1e-5 {
+			t.Fatalf("dim %d: quantized dot error %g exceeds bound %g", len(a), diff, bound)
+		}
+	}
+	for dim := 1; dim <= 67; dim++ {
+		for rep := 0; rep < 8; rep++ {
+			a := r.vec(dim, 3)
+			b := r.vec(dim, 3)
+			check(a, b)
+			normalizeTest(a)
+			normalizeTest(b)
+			check(a, b)
+		}
+	}
+}
+
+// TestQuantizedCosineTight: on unit vectors (what Space stores) the absolute
+// cosine error stays under 2%, comfortably inside what preserves top-k
+// ordering of well-separated neighbours. This pins the constant the README
+// table and the IVF quantized path rely on.
+func TestQuantizedCosineTight(t *testing.T) {
+	r := &quantRand{state: 53}
+	for dim := 8; dim <= 64; dim += 8 {
+		for rep := 0; rep < 32; rep++ {
+			a := r.vec(dim, 1)
+			b := r.vec(dim, 1)
+			normalizeTest(a)
+			normalizeTest(b)
+			qa := make([]int8, dim)
+			qb := make([]int8, dim)
+			sa := Quantize(qa, a)
+			sb := Quantize(qb, b)
+			got := float64(sa) * float64(sb) * float64(DotInt8(qa, qb))
+			want := float64(RefDot(a, b))
+			if diff := math.Abs(got - want); diff > 0.02 {
+				t.Fatalf("dim %d: unit-vector cosine error %g > 0.02", dim, diff)
+			}
+		}
+	}
+}
+
+func TestQuantizeEdgeCases(t *testing.T) {
+	// All-zero row: zero scale, zero codes, zero dots.
+	q := make([]int8, 5)
+	if scale := Quantize(q, make([]float32, 5)); scale != 0 {
+		t.Fatalf("zero vector scale = %g, want 0", scale)
+	}
+	for i, c := range q {
+		if c != 0 {
+			t.Fatalf("zero vector code[%d] = %d", i, c)
+		}
+	}
+	// Non-finite elements quantize to 0 and do not poison the scale.
+	v := []float32{1, float32(math.NaN()), float32(math.Inf(1)), -0.5, float32(math.Inf(-1))}
+	scale := Quantize(q, v)
+	if scale != float32(1.0/127) {
+		t.Fatalf("scale = %g, want %g (from the finite max 1)", scale, 1.0/127)
+	}
+	if q[1] != 0 || q[2] != 0 || q[4] != 0 {
+		t.Fatalf("non-finite elements must quantize to 0, got %v", q)
+	}
+	if q[0] != 127 {
+		t.Fatalf("max element must hit full range, got %d", q[0])
+	}
+	// All-NaN row behaves like all-zero.
+	nan := float32(math.NaN())
+	if scale := Quantize(q[:3], []float32{nan, nan, nan}); scale != 0 {
+		t.Fatalf("all-NaN scale = %g, want 0", scale)
+	}
+}
