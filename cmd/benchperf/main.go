@@ -60,15 +60,17 @@ type runEntry struct {
 }
 
 type options struct {
-	Seed    uint64  `json:"seed"`
-	Days    int     `json:"days"`
-	Scale   float64 `json:"scale"`
-	Rate    float64 `json:"rate"`
-	Dim     int     `json:"dim"`
-	Window  int     `json:"window"`
-	Epochs  int     `json:"epochs"`
-	K       int     `json:"k"`
-	ANNRows int     `json:"ann_rows"`
+	Seed          uint64  `json:"seed"`
+	Days          int     `json:"days"`
+	Scale         float64 `json:"scale"`
+	Rate          float64 `json:"rate"`
+	Dim           int     `json:"dim"`
+	Window        int     `json:"window"`
+	Epochs        int     `json:"epochs"`
+	K             int     `json:"k"`
+	ANNRows       int     `json:"ann_rows"`
+	CorpusScale   int     `json:"corpus_scale"`
+	RetrainEpochs int     `json:"retrain_epochs"`
 }
 
 type metrics struct {
@@ -92,6 +94,21 @@ type metrics struct {
 	SilhouetteCellsPerSSerial float64 `json:"silhouette_cells_per_s_serial"`
 
 	DriftCheckS float64 `json:"drift_check_s"`
+
+	// Rolling-retrain substrate: the darkvecd -warm path measured on a
+	// ≥90%-overlap window pair. retrain_cold_s is a from-scratch retrain of
+	// the shifted window at the full retrain_epochs budget; retrain_warm_s
+	// is the same retrain seeded from the previous window's model, training
+	// only the delta-sized epoch budget. The parity deltas (warm − cold) are
+	// the Fig 7 k-NN accuracy and mean silhouette on the shifted window's
+	// eval day — the evidence the speedup does not trade quality away.
+	RetrainColdS           float64 `json:"retrain_cold_s"`
+	RetrainWarmS           float64 `json:"retrain_warm_s"`
+	RetrainColdEpochs      int     `json:"retrain_cold_epochs"`
+	RetrainWarmEpochs      int     `json:"retrain_warm_epochs"`
+	RetrainOverlap         float64 `json:"retrain_window_overlap"`
+	RetrainAccuracyDelta   float64 `json:"retrain_warm_accuracy_delta"`
+	RetrainSilhouetteDelta float64 `json:"retrain_warm_silhouette_delta"`
 
 	// Approximate k-NN substrate, measured on a synthetic clustered space
 	// of ann_rows senders (the exact engine's O(n²) scan is measured above
@@ -134,6 +151,8 @@ func main() {
 		k        = flag.Int("k", 7, "classifier neighbourhood size")
 		seed     = flag.Uint64("seed", 1, "run seed")
 		annRows  = flag.Int("annrows", 100000, "synthetic space size for the approximate-k-NN benchmark (0 = skip)")
+		corpusScale   = flag.Int("corpusscale", 1, "event multiplier for the corpus-build and trace→model substrates (replicates the trace end-to-end N times)")
+		retrainEpochs = flag.Int("retrainepochs", 6, "full epoch budget of the warm-vs-cold retrain substrate")
 	)
 	flag.Parse()
 	if *maxprocs > 0 {
@@ -152,7 +171,7 @@ func main() {
 		Options: options{
 			Seed: *seed, Days: *days, Scale: *scale, Rate: *rate,
 			Dim: *dim, Window: *window, Epochs: *epochs, K: *k,
-			ANNRows: *annRows,
+			ANNRows: *annRows, CorpusScale: *corpusScale, RetrainEpochs: *retrainEpochs,
 		},
 	}
 	run := runEntry{
@@ -176,9 +195,17 @@ func main() {
 
 	// Corpus construction throughput: full interned build over the active-
 	// filtered trace, fresh interner each iteration so every sender pays
-	// its one-time interning cost inside the measurement.
+	// its one-time interning cost inside the measurement. -corpusscale
+	// replicates the trace end-to-end so the parallel substrates can be
+	// measured past the generator's natural event count (the regime where
+	// the multi-worker build overtakes the serial one).
 	def := services.NewDomain()
-	filtered := env.Full.FilterSenders(env.Full.ActiveSenders(10))
+	filtered := scaleTrace(env.Full.FilterSenders(env.Full.ActiveSenders(10)), *corpusScale)
+	scaledFull := scaleTrace(env.Full, *corpusScale)
+	if *corpusScale > 1 {
+		fmt.Printf("corpus scale x%d: %d events for the corpus-build and trace→model substrates\n",
+			*corpusScale, filtered.Len())
+	}
 	events := float64(filtered.Len())
 	corpusRate := func(workers int) func() (float64, error) {
 		return func() (float64, error) {
@@ -219,7 +246,7 @@ func main() {
 	e2e := func(workers int) func() (float64, error) {
 		return func() (float64, error) {
 			t0 := time.Now()
-			if _, err := core.TrainEmbeddingOpts(env.Full, e2eCfg, core.TrainOpts{CorpusWorkers: workers}); err != nil {
+			if _, err := core.TrainEmbeddingOpts(scaledFull, e2eCfg, core.TrainOpts{CorpusWorkers: workers}); err != nil {
 				return 0, err
 			}
 			return time.Since(t0).Seconds(), nil
@@ -230,6 +257,88 @@ func main() {
 	fmt.Printf("trace→model:    %12.3f s        (serial %.3f, x%.2f)\n",
 		run.Metrics.TraceToModelS, run.Metrics.TraceToModelSSerial,
 		run.Metrics.TraceToModelSSerial/run.Metrics.TraceToModelS)
+
+	// Warm-vs-cold rolling retrain: two windows covering 95% of the trace
+	// each, shifted so they overlap ~94.7% — the darkvecd cadence where a
+	// retrain re-sees almost the entire previous window. Both numbers are
+	// the full trace→model path (filter, corpus, vocab, train) at the
+	// production retrain_epochs budget; warm seeds from the first window's
+	// model through the shared interner, exactly as the daemon does.
+	{
+		first, last := env.Full.Span()
+		span := last - first
+		winLen := span * 19 / 20
+		trA := env.Full.Window(first, first+winLen)
+		trB := env.Full.Window(last-winLen, last+1)
+		run.Metrics.RetrainOverlap = float64(2*winLen-span) / float64(winLen)
+
+		rcfg := core.DefaultConfig()
+		rcfg.W2V = w2v.Config{
+			Dim: *dim, Window: *window, Epochs: *retrainEpochs,
+			Seed: *seed, ShrinkWindow: true, PadToken: "NULL",
+		}
+		in := corpus.NewInterner()
+		prev, err := core.TrainEmbeddingOpts(trA, rcfg, core.TrainOpts{Interner: in})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchperf:", err)
+			os.Exit(1)
+		}
+		var coldEmb, warmEmb *core.Embedding
+		run.Metrics.RetrainColdS = bestLow(*iters, func() (float64, error) {
+			t0 := time.Now()
+			e, err := core.TrainEmbeddingOpts(trB, rcfg, core.TrainOpts{Interner: in})
+			if err != nil {
+				return 0, err
+			}
+			coldEmb = e
+			return time.Since(t0).Seconds(), nil
+		})
+		run.Metrics.RetrainWarmS = bestLow(*iters, func() (float64, error) {
+			t0 := time.Now()
+			e, err := core.TrainEmbeddingOpts(trB, rcfg, core.TrainOpts{
+				Interner: in,
+				Warm:     &w2v.WarmSeed{Prev: prev.Model, PrevPerm: prev.Model.Perm},
+			})
+			if err != nil {
+				return 0, err
+			}
+			warmEmb = e
+			return time.Since(t0).Seconds(), nil
+		})
+		run.Metrics.RetrainColdEpochs = coldEmb.Epochs
+		run.Metrics.RetrainWarmEpochs = warmEmb.Epochs
+
+		// Quality parity on the shifted window's eval day: Fig 7 k-NN
+		// accuracy and mean silhouette, warm minus cold.
+		parity := func(e *core.Embedding) (float64, float64) {
+			sp, _ := e.EvalSpace(trB.LastDays(1), nil)
+			acc := core.Evaluate(sp, env.GT, *k).Accuracy
+			sil, err := cluster.Silhouette(sp, core.Cluster(sp, 3, *seed).Assign)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchperf:", err)
+				os.Exit(1)
+			}
+			var sum float64
+			for _, v := range sil {
+				sum += v
+			}
+			if len(sil) > 0 {
+				sum /= float64(len(sil))
+			}
+			return acc, sum
+		}
+		accC, silC := parity(coldEmb)
+		accW, silW := parity(warmEmb)
+		run.Metrics.RetrainAccuracyDelta = accW - accC
+		run.Metrics.RetrainSilhouetteDelta = silW - silC
+		fmt.Printf("retrain warm:   %12.3f s        (cold %.3f, x%.2f; %d vs %d epochs, overlap %.1f%%)\n",
+			run.Metrics.RetrainWarmS, run.Metrics.RetrainColdS,
+			run.Metrics.RetrainColdS/run.Metrics.RetrainWarmS,
+			run.Metrics.RetrainWarmEpochs, run.Metrics.RetrainColdEpochs,
+			100*run.Metrics.RetrainOverlap)
+		fmt.Printf("retrain parity: %+12.4f accuracy delta, %+.4f silhouette delta (warm - cold)\n",
+			run.Metrics.RetrainAccuracyDelta, run.Metrics.RetrainSilhouetteDelta)
+	}
 
 	// Batched k-NN engine, serial pin then all cores.
 	knnRate := func(s *embed.Space) (float64, error) {
@@ -490,6 +599,28 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("\nwrote %s (%d run(s), total %s)\n", *out, len(rep.Runs), time.Since(start).Round(time.Millisecond))
+}
+
+// scaleTrace replicates a trace end-to-end factor times, shifting each
+// copy past the previous one so the result is a valid (sorted) trace with
+// factor× the events over factor× the span. The sender population is
+// unchanged — the point is a bigger event stream for the throughput
+// substrates, not a bigger vocabulary.
+func scaleTrace(tr *trace.Trace, factor int) *trace.Trace {
+	if factor <= 1 {
+		return tr
+	}
+	first, last := tr.Span()
+	span := last - first + 1
+	big := &trace.Trace{Events: make([]trace.Event, 0, tr.Len()*factor)}
+	for r := 0; r < factor; r++ {
+		off := int64(r) * span
+		for _, e := range tr.Events {
+			e.Ts += off
+			big.Events = append(big.Events, e)
+		}
+	}
+	return big
 }
 
 // syntheticSpace builds a clustered embedding space of n rows: senders are

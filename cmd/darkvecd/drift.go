@@ -168,7 +168,9 @@ func (d *daemon) rejectCandidate(snap *drift.Snapshot, rep *drift.Report, reason
 // acceptGeneration installs an accepted snapshot as the new comparison
 // baseline under its final (published) name and records the decision.
 // The first generation has no report; it is logged as the baseline.
-func (d *daemon) acceptGeneration(snap *drift.Snapshot, rep *drift.Report, version string) {
+// extraReasons annotate an accepted decision with cycle context — e.g. a
+// warm-start that had to fall back to cold — without changing the verdict.
+func (d *daemon) acceptGeneration(snap *drift.Snapshot, rep *drift.Report, version string, extraReasons ...string) {
 	if snap == nil {
 		return
 	}
@@ -196,6 +198,7 @@ func (d *daemon) acceptGeneration(snap *drift.Snapshot, rep *drift.Report, versi
 	if rep == nil {
 		dec.Reasons = []string{"baseline"}
 	}
+	dec.Reasons = append(dec.Reasons, extraReasons...)
 	d.recordDecision(dec)
 }
 

@@ -68,6 +68,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	rpprof "runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -113,6 +114,7 @@ type options struct {
 	drain       time.Duration
 	store       string        // model store directory ("" = unmanaged)
 	retrain     time.Duration // background retrain interval (0 = never)
+	warm        bool          // warm-start retrains from the previous generation
 	keep        int           // store generations kept after publish
 	retrainFail int           // breaker threshold for consecutive retrain failures
 	vantage     string        // vantage point name ("" = single-vantage)
@@ -170,6 +172,7 @@ type options struct {
 	retrainBackoff robust.Backoff                                           // test hook: deterministic backoff
 	retrainSleep   func(context.Context, time.Duration) error               // test hook: no wall-clock sleeps
 	trainWrap      func(io.Writer) io.Writer                                // test hook: fault injection on publish
+	warmSeedHook   func(*w2v.WarmSeed)                                      // test hook: mutate (corrupt) the warm seed before training
 	walWrap        func(wal.SyncWriter) wal.SyncWriter                      // test hook: fault injection on WAL segments
 	annBuild       func(*embed.Space, embed.IVFOptions) (*embed.IVF, error) // test hook: fault injection on index builds
 }
@@ -194,6 +197,7 @@ func main() {
 	flag.DurationVar(&o.drain, "drain", 10*time.Second, "graceful shutdown drain timeout")
 	flag.StringVar(&o.store, "store", "", "model store directory (versioned, checksummed artifacts)")
 	flag.DurationVar(&o.retrain, "retrain", 0, "background retrain interval (0 = never; requires -store)")
+	flag.BoolVar(&o.warm, "warm", false, "warm-start retrains: seed from the previous generation's vectors and train only the window delta (falls back to cold on any mismatch)")
 	flag.IntVar(&o.keep, "keep", 3, "model store generations kept after each publish")
 	flag.IntVar(&o.retrainFail, "retrainfail", 5, "consecutive retrain failures before the circuit breaker gives up")
 	flag.StringVar(&o.vantage, "vantage", "", "vantage point name: tags untagged live events and the /v1/intern export")
@@ -285,6 +289,9 @@ func (o *options) validate() error {
 	// unless the result is also persisted.
 	if o.retrain > 0 && o.store == "" && !o.live() {
 		return errors.New("-retrain requires -store")
+	}
+	if o.warm && o.retrain <= 0 {
+		return errors.New("-warm requires -retrain > 0: warm seeding applies to background retrains")
 	}
 	if o.live() {
 		if o.retrain <= 0 {
@@ -583,6 +590,7 @@ func run(ctx context.Context, o options) error {
 				return err
 			}
 			o.logf("trained in %s", emb.TrainTime.Round(time.Millisecond))
+			d.setRetrainInfo("cold", emb.TrainTime, emb.Epochs, "")
 			if d.st != nil {
 				if version, err = d.publishVerified(emb); err != nil {
 					// The in-memory model is fine; only its persistence failed.
@@ -600,8 +608,13 @@ func run(ctx context.Context, o options) error {
 		// first retrain is already judged against it.
 		d.driftBootstrap(emb, tr, gt, version)
 	}
+	var retrainDone chan struct{}
 	if o.retrain > 0 && (d.st != nil || o.live()) {
-		go d.retrainLoop(ctx)
+		retrainDone = make(chan struct{})
+		go func() {
+			defer close(retrainDone)
+			d.retrainLoop(ctx)
+		}()
 	}
 
 	select {
@@ -615,6 +628,12 @@ func run(ctx context.Context, o options) error {
 			return fmt.Errorf("drain incomplete: %w", err)
 		}
 		<-serveErr // http.ErrServerClosed
+		if retrainDone != nil {
+			// Join the retrain supervisor: an in-flight cycle aborts on the
+			// canceled context, and nothing may touch the store or window
+			// after run returns.
+			<-retrainDone
+		}
 		if d.ing != nil {
 			// Stop the feed after the HTTP drain (so /v1/ingest answered
 			// to the last), apply everything still queued to the window,
@@ -662,11 +681,43 @@ type daemon struct {
 	drift          driftState
 	epoch          string // intern-export process-instance id (see federation.InternPage)
 
+	// gen hands state from one accepted generation to the next: the
+	// serving model (warm-seed source for the next retrain, with its Perm
+	// when trained in-process) and how the last training cycle ran, which
+	// /v1/model reports. Training runs are sequential, but the serving
+	// handlers read concurrently, hence the lock.
+	gen struct {
+		mu      sync.Mutex
+		prev    *w2v.Model
+		retrain *apiserver.RetrainInfo
+	}
+
 	readyOnce sync.Once
 	readyFn   func() // announced on the first model swap
 
 	internOnce sync.Once
 	intern     *corpus.Interner
+}
+
+// prevGen returns the model of the last accepted generation — the warm
+// seed source — or nil before the first swap.
+func (d *daemon) prevGen() *w2v.Model {
+	d.gen.mu.Lock()
+	defer d.gen.mu.Unlock()
+	return d.gen.prev
+}
+
+// setRetrainInfo records how the cycle that produced the next generation
+// trained; serve() stamps it onto the API server it swaps in.
+func (d *daemon) setRetrainInfo(mode string, dur time.Duration, epochs int, fallback string) {
+	d.gen.mu.Lock()
+	d.gen.retrain = &apiserver.RetrainInfo{
+		Mode:         mode,
+		DurationSecs: dur.Seconds(),
+		Epochs:       epochs,
+		WarmFallback: fallback,
+	}
+	d.gen.mu.Unlock()
 }
 
 // trainInterner returns the sender id space shared by every training run
@@ -872,11 +923,18 @@ func (d *daemon) serve(emb *core.Embedding, tr *trace.Trace, gt *labels.Set, v m
 	if v != 0 {
 		ver = v.String()
 	}
-	annErr := d.buildANN(space)
+	var annErr string
+	rpprof.Do(context.Background(), rpprof.Labels("darkvec_phase", "index-build"), func(context.Context) {
+		annErr = d.buildANN(space)
+	})
+	d.gen.mu.Lock()
+	d.gen.prev = emb.Model
+	retrain := d.gen.retrain
+	d.gen.mu.Unlock()
 	d.gate.Set(apiserver.New(apiserver.Config{
 		Space: space, GT: gt, Trace: tr, KPrime: d.o.kPrime, Seed: d.o.seed,
 		RequestTimeout: d.o.reqTimeout, MaxInFlight: d.o.maxInFlight,
-		Logf: d.o.logf, ModelVersion: ver, ANNError: annErr,
+		Logf: d.o.logf, ModelVersion: ver, ANNError: annErr, Retrain: retrain,
 	}))
 	d.status.annErr.Store(annErr)
 	d.status.version.Store(uint64(v))
@@ -921,9 +979,43 @@ func (d *daemon) retrainOnce(ctx context.Context) error {
 		}
 	}
 	gt := labels.Build(tr, d.feeds)
-	emb, err := core.TrainEmbeddingOpts(tr, d.cfg, core.TrainOpts{Context: ctx, Interner: d.trainInterner()})
+
+	// Warm start: seed from the serving generation when -warm asked for
+	// it. A seed the trainer rejects (id-space mismatch, dimension change,
+	// corrupt matrices — anything tagged w2v.ErrWarmSeed) forfeits only
+	// the speedup: the cycle retries cold and the fallback reason rides
+	// the decision log and /v1/model.
+	topts := core.TrainOpts{Context: ctx, Interner: d.trainInterner()}
+	mode := "cold"
+	warmFallback := ""
+	if d.o.warm {
+		if prev := d.prevGen(); prev != nil {
+			ws := &w2v.WarmSeed{Prev: prev, PrevPerm: prev.Perm}
+			if d.o.warmSeedHook != nil {
+				d.o.warmSeedHook(ws)
+			}
+			topts.Warm = ws
+			mode = "warm"
+		} else {
+			warmFallback = "no previous generation in memory"
+		}
+	}
+	trainStart := time.Now()
+	emb, err := core.TrainEmbeddingOpts(tr, d.cfg, topts)
+	if err != nil && topts.Warm != nil && errors.Is(err, w2v.ErrWarmSeed) {
+		d.o.logf("retrain: warm seed unusable, falling back to cold: %v", err)
+		warmFallback = err.Error()
+		mode = "cold"
+		topts.Warm = nil
+		emb, err = core.TrainEmbeddingOpts(tr, d.cfg, topts)
+	}
 	if err != nil {
 		return fail(fmt.Errorf("retrain: %w", err))
+	}
+	trainDur := time.Since(trainStart)
+	if ws := emb.Model.Warm; ws != nil {
+		d.o.logf("retrain: warm start seeded %d rows (%d fresh, %d retired), delta %.1f%% -> %d/%d epochs in %s",
+			ws.Seeded, ws.Fresh, ws.Retired, ws.DeltaFrac*100, ws.Epochs, d.o.epochs, trainDur.Round(time.Millisecond))
 	}
 
 	// The quality gate runs before publish: a drifted candidate is never
@@ -932,14 +1024,20 @@ func (d *daemon) retrainOnce(ctx context.Context) error {
 	var snap *drift.Snapshot
 	var rep *drift.Report
 	if d.driftEnabled() {
-		snap, err = d.captureGeneration(emb, tr, gt, d.nextCandidateName())
-		if err != nil {
-			return fail(fmt.Errorf("drift capture: %w", err))
-		}
 		var reasons []string
-		rep, reasons, err = d.gateCheck(snap)
+		rpprof.Do(ctx, rpprof.Labels("darkvec_phase", "drift-check"), func(context.Context) {
+			snap, err = d.captureGeneration(emb, tr, gt, d.nextCandidateName())
+			if err != nil {
+				err = fmt.Errorf("drift capture: %w", err)
+				return
+			}
+			rep, reasons, err = d.gateCheck(snap)
+			if err != nil {
+				err = fmt.Errorf("drift compare: %w", err)
+			}
+		})
 		if err != nil {
-			return fail(fmt.Errorf("drift compare: %w", err))
+			return fail(err)
 		}
 		if len(reasons) > 0 {
 			return fail(d.rejectCandidate(snap, rep, reasons))
@@ -948,16 +1046,24 @@ func (d *daemon) retrainOnce(ctx context.Context) error {
 
 	var v modelstore.Version
 	if d.st != nil {
-		if v, err = d.publishVerified(emb); err != nil {
+		rpprof.Do(ctx, rpprof.Labels("darkvec_phase", "publish"), func(context.Context) {
+			v, err = d.publishVerified(emb)
+		})
+		if err != nil {
 			return fail(err)
 		}
 	}
+	d.setRetrainInfo(mode, trainDur, emb.Epochs, warmFallback)
 	d.serve(emb, tr, gt, v)
 	ver := ""
 	if v != 0 {
 		ver = v.String()
 	}
-	d.acceptGeneration(snap, rep, ver)
+	var extra []string
+	if warmFallback != "" {
+		extra = append(extra, "warm_fallback: "+warmFallback)
+	}
+	d.acceptGeneration(snap, rep, ver, extra...)
 	return nil
 }
 

@@ -40,8 +40,21 @@ type Server struct {
 	stats    trace.Stats
 	version  string // model generation serving this instance, "" when unmanaged
 	annErr   string // why the ANN index is absent, "" when built or not requested
+	retrain  *RetrainInfo
 	mux      *http.ServeMux
 	handler  http.Handler // mux wrapped in the hardening middleware
+}
+
+// RetrainInfo describes how the serving generation was trained: from a
+// warm seed (the previous generation's vectors plus a delta-sized epoch
+// budget) or cold from scratch, how long the cycle's training took, and
+// how many epochs actually ran. WarmFallback carries the reason when a
+// warm start was requested but the cycle fell back to cold.
+type RetrainInfo struct {
+	Mode         string  `json:"mode"` // "warm" | "cold"
+	DurationSecs float64 `json:"duration_s"`
+	Epochs       int     `json:"epochs"`
+	WarmFallback string  `json:"warm_fallback,omitempty"`
 }
 
 // Config assembles a Server.
@@ -69,6 +82,9 @@ type Config struct {
 	// requested (build failure → exact fallback). Surfaced on /v1/model so
 	// operators can see the degradation without reading the daemon log.
 	ANNError string
+	// Retrain, when non-nil, reports how this generation was trained
+	// (warm vs cold, duration, epochs) on /v1/model.
+	Retrain *RetrainInfo
 }
 
 // Harden wraps h in the serving middleware stack: panic recovery
@@ -123,6 +139,7 @@ func New(cfg Config) *Server {
 		stats:   cfg.Trace.Summary(3),
 		version: cfg.ModelVersion,
 		annErr:  cfg.ANNError,
+		retrain: cfg.Retrain,
 		mux:     http.NewServeMux(),
 	}
 	if cfg.Space.Len() > 1 {
@@ -307,6 +324,7 @@ type ModelResponse struct {
 	Index       *embed.IVFStats `json:"index,omitempty"`
 	ANNError    string          `json:"ann_error,omitempty"`
 	VectorBytes int64           `json:"vector_bytes"`
+	Retrain     *RetrainInfo    `json:"retrain,omitempty"`
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
@@ -317,6 +335,7 @@ func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
 		KNNMode:     "exact",
 		ANNError:    s.annErr,
 		VectorBytes: s.space.VectorBytes(),
+		Retrain:     s.retrain,
 	}
 	if ix := s.space.ANN(); ix != nil {
 		st := ix.Stats()

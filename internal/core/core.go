@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -122,6 +123,11 @@ type TrainOpts struct {
 	Interner *corpus.Interner
 	// CorpusWorkers bounds corpus-builder parallelism; 0 means GOMAXPROCS.
 	CorpusWorkers int
+	// Warm, when non-nil, seeds training from a previous generation and
+	// shrinks the epoch budget to the window delta (see w2v.WarmSeed).
+	// Failures are tagged w2v.ErrWarmSeed; callers fall back to a cold
+	// train by retrying without the seed.
+	Warm *w2v.WarmSeed
 }
 
 // TrainEmbedding runs the §5 pipeline on a training trace: filter active
@@ -139,17 +145,24 @@ func TrainEmbeddingOpts(tr *trace.Trace, cfg Config, opts TrainOpts) (*Embedding
 	if cfg.DeltaT == 0 {
 		cfg.DeltaT = corpus.DefaultDeltaT
 	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	active := tr.ActiveSenders(cfg.MinPackets)
 	filtered := tr.FilterSenders(active)
 	def, err := cfg.Definition(filtered)
 	if err != nil {
 		return nil, err
 	}
-	corp := corpus.BuildOpts(filtered, def, cfg.DeltaT, corpus.Options{
-		Workers:  opts.CorpusWorkers,
-		Interner: opts.Interner,
+	var corp *corpus.Corpus
+	pprof.Do(ctx, pprof.Labels("darkvec_phase", "corpus-build"), func(context.Context) {
+		corp = corpus.BuildOpts(filtered, def, cfg.DeltaT, corpus.Options{
+			Workers:  opts.CorpusWorkers,
+			Interner: opts.Interner,
+		})
 	})
-	wopts := w2v.TrainOptions{Context: opts.Context}
+	wopts := w2v.TrainOptions{Context: opts.Context, Warm: opts.Warm}
 	if opts.CheckpointPath != "" {
 		wopts.Checkpoint = func(ck *w2v.Checkpoint) error {
 			return writeCheckpointFile(opts.CheckpointPath, ck)
@@ -172,11 +185,14 @@ func TrainEmbeddingOpts(tr *trace.Trace, cfg Config, opts TrainOpts) (*Embedding
 	if len(words) > len(corp.Counts) {
 		words = words[:len(corp.Counts)]
 	}
-	model, err := w2v.TrainEncodedWithOptions(w2v.Encoded{
-		Sequences: corp.TokenSequences(),
-		Words:     words,
-		Counts:    corp.Counts,
-	}, cfg.W2V, wopts)
+	var model *w2v.Model
+	pprof.Do(ctx, pprof.Labels("darkvec_phase", "train"), func(context.Context) {
+		model, err = w2v.TrainEncodedWithOptions(w2v.Encoded{
+			Sequences: corp.TokenSequences(),
+			Words:     words,
+			Counts:    corp.Counts,
+		}, cfg.W2V, wopts)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -188,6 +204,11 @@ func TrainEmbeddingOpts(tr *trace.Trace, cfg Config, opts TrainOpts) (*Embedding
 	epochs := cfg.W2V.Epochs
 	if epochs == 0 {
 		epochs = 10
+	}
+	// A warm start runs a delta-sized budget; report the epochs that
+	// actually happened, not the configured ceiling.
+	if model.Warm != nil {
+		epochs = model.Warm.Epochs
 	}
 	window := cfg.W2V.Window
 	if window == 0 {

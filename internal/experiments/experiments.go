@@ -233,6 +233,7 @@ func All() []Runner {
 		{"transfer", "Cross-darknet embedding transfer (§8 open question)", (*Env).Transfer},
 		{"federation", "Multi-vantage federation vs single darknet (§8, federated)", (*Env).Federation},
 		{"incremental", "Incremental model refresh vs retrain (§8 discussion)", (*Env).Incremental},
+		{"rolling", "Rolling-window warm-start retrains vs cold (§8, operational)", (*Env).Rolling},
 		{"neighbours", "Nearest-neighbour cohort purity per GT class", (*Env).MostSimilarDemo},
 		{"honeypot", "Honeypot confirmation of the SSH cluster (§7.3.3)", (*Env).HoneypotVerify},
 		{"attacks", "Evasive scanners vs the drift gate (robustness)", (*Env).Adversarial},

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/darkvec/darkvec/internal/core"
+	"github.com/darkvec/darkvec/internal/corpus"
+	"github.com/darkvec/darkvec/internal/w2v"
+)
+
+// Rolling replays the production retrain cadence: a fixed-length window
+// slides one day at a time over the trace, and each step is trained twice —
+// cold from scratch, and warm-seeded from the previous step's model (the
+// darkvecd -warm path: surviving senders keep their vectors, only the
+// window delta is retrained). The table is the wall-clock and accuracy
+// trajectory of both strategies over the same windows, which is the
+// evidence that warm chaining compounds its savings without compounding
+// error.
+func (e *Env) Rolling() (Result, error) {
+	if e.Opts.Days < 4 {
+		return Result{}, fmt.Errorf("rolling experiment needs >= 4 days, have %d", e.Opts.Days)
+	}
+	winDays := e.Opts.Days - 2 // three windows, shifted one day each
+	const steps = 3
+	first, _ := e.Full.Span()
+	day0 := first - first%86400
+
+	cfg := e.config(core.ServiceDomain, e.Opts.Dim, e.Opts.Window)
+	in := corpus.NewInterner() // shared id space keeps warm seeding string-free
+
+	r := Result{
+		ID:    "rolling",
+		Title: fmt.Sprintf("Rolling %d-day window, %d steps: warm chain vs cold retrains", winDays, steps),
+		Header: []string{
+			"window", "strategy", "epochs", "wall-ms", "coverage", "accuracy",
+		},
+	}
+
+	var prevWarm *w2v.Model
+	var warmTotal, coldTotal time.Duration
+	for w := 0; w < steps; w++ {
+		lo := day0 + int64(w)*86400
+		hi := lo + int64(winDays)*86400
+		tr := e.Full.Window(lo, hi)
+		winName := fmt.Sprintf("d%d-d%d", w, w+winDays)
+		evalDay := tr.LastDays(1)
+
+		// Cold: every step pays the full epoch budget.
+		t0 := time.Now()
+		cold, err := core.TrainEmbeddingOpts(tr, cfg, core.TrainOpts{Interner: in})
+		if err != nil {
+			return Result{}, fmt.Errorf("rolling: cold step %d: %w", w, err)
+		}
+		coldWall := time.Since(t0)
+		coldTotal += coldWall
+
+		// Warm: chained — each step seeds from the previous *warm* model,
+		// so seeding error would compound here if it existed.
+		topts := core.TrainOpts{Interner: in}
+		if prevWarm != nil {
+			topts.Warm = &w2v.WarmSeed{Prev: prevWarm, PrevPerm: prevWarm.Perm}
+		}
+		t0 = time.Now()
+		warm, err := core.TrainEmbeddingOpts(tr, cfg, topts)
+		if err != nil {
+			return Result{}, fmt.Errorf("rolling: warm step %d: %w", w, err)
+		}
+		warmWall := time.Since(t0)
+		warmTotal += warmWall
+		prevWarm = warm.Model
+
+		for _, row := range []struct {
+			name string
+			emb  *core.Embedding
+			wall time.Duration
+		}{
+			{"cold", cold, coldWall},
+			{"warm", warm, warmWall},
+		} {
+			space, cov := row.emb.EvalSpace(evalDay, nil)
+			rep := core.Evaluate(space, e.GT, e.Opts.K)
+			r.Rows = append(r.Rows, []string{
+				winName, row.name, itoa(row.emb.Epochs),
+				i64(row.wall.Milliseconds()), pct(cov), f2(rep.Accuracy),
+			})
+		}
+	}
+
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("warm chain total %s vs cold total %s (x%.1f) over %d steps",
+			warmTotal.Round(time.Millisecond), coldTotal.Round(time.Millisecond),
+			float64(coldTotal)/float64(warmTotal), steps),
+		"step 0 has no previous generation, so its warm row is a cold train — the chain's honest startup cost",
+	)
+	return r, nil
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestRollingWarmEpochBudget checks the mechanism the trajectory rests on:
+// after the first step seeds the chain, every warm step trains at most the
+// cold epoch budget, and each window evaluates both strategies.
+func TestRollingWarmEpochBudget(t *testing.T) {
+	res, err := tinyEnv(t).Rolling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("want 3 windows x 2 strategies = 6 rows, got %d", len(res.Rows))
+	}
+	epochs := func(row []string) int {
+		n, err := strconv.Atoi(row[2])
+		if err != nil {
+			t.Fatalf("epochs column %q: %v", row[2], err)
+		}
+		return n
+	}
+	for i := 0; i+1 < len(res.Rows); i += 2 {
+		cold, warm := res.Rows[i], res.Rows[i+1]
+		if cold[1] != "cold" || warm[1] != "warm" {
+			t.Fatalf("row order: %v / %v", cold, warm)
+		}
+		if cold[0] != warm[0] {
+			t.Fatalf("window mismatch: %q vs %q", cold[0], warm[0])
+		}
+		if i == 0 {
+			if epochs(warm) != epochs(cold) {
+				t.Errorf("step 0 warm has no seed; epochs %d != cold %d", epochs(warm), epochs(cold))
+			}
+			continue
+		}
+		if epochs(warm) > epochs(cold) {
+			t.Errorf("window %s: warm epochs %d exceed cold %d", warm[0], epochs(warm), epochs(cold))
+		}
+	}
+}

@@ -39,6 +39,31 @@ func TrainEncodedWithOptions(enc Encoded, cfg Config, opts TrainOptions) (*Model
 	if vocab.Size() == 0 {
 		return nil, errors.New("w2v: empty vocabulary")
 	}
+	// Warm path: compose the previous generation's caller-id → old-row
+	// permutation with this corpus's caller-id → new-row permutation into
+	// a direct new-row → old-row mapping. No string is hashed; the ids are
+	// stable because both generations interned through the same table.
+	if ws := opts.Warm; ws != nil && ws.PrevPerm != nil {
+		oldOf := make([]int32, vocab.Size())
+		for i := range oldOf {
+			oldOf[i] = -1
+		}
+		for callerID, newRow := range perm {
+			if newRow >= 0 && callerID < len(ws.PrevPerm) {
+				oldOf[newRow] = ws.PrevPerm[callerID]
+			}
+		}
+		// The synthetic pad row has no caller id; carry it over by name
+		// so an unchanged window stays a zero-delta (zero-epoch) retrain.
+		if cfg.PadToken != "" && ws.Prev != nil && ws.Prev.Vocab != nil {
+			if row, ok := vocab.ID(cfg.PadToken); ok && oldOf[row] < 0 {
+				if old, ok := ws.Prev.Vocab.ID(cfg.PadToken); ok {
+					oldOf[row] = old
+				}
+			}
+		}
+		opts.warmOldOf = oldOf
+	}
 	// Remap to vocabulary ids, dropping sub-MinCount tokens — the exact
 	// filtering Vocabulary.Encode applies on the string path.
 	seqs := make([][]int32, 0, len(enc.Sequences))
@@ -59,5 +84,10 @@ func TrainEncodedWithOptions(enc Encoded, cfg Config, opts TrainOptions) (*Model
 		totalTokens += int64(len(ids))
 		seqs = append(seqs, ids)
 	}
-	return trainPrepared(vocab, seqs, totalTokens, cfg, opts)
+	m, err := trainPrepared(vocab, seqs, totalTokens, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	m.Perm = perm
+	return m, nil
 }

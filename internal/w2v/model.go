@@ -68,16 +68,28 @@ func (c Config) withDefaults() Config {
 // Model is a trained embedding. Syn0 is the input-vector matrix, row per
 // vocabulary id; Vector slices into it.
 type Model struct {
-	Vocab *Vocabulary
-	Syn0  []float32 // N x Dim input embeddings (the published vectors)
-	syn1  []float32 // N x Dim output weights for negative sampling
-	synHS []float32 // (N-1) x Dim inner-node weights for hierarchical softmax
-	huff  *huffman  // Huffman coding when Cfg.HS is set
-	Cfg   Config
+	Vocab   *Vocabulary
+	Syn0    []float32     // N x Dim input embeddings (the published vectors)
+	syn1    []float32     // N x Dim output weights for negative sampling
+	synHS   []float32     // (N-1) x Dim inner-node weights for hierarchical softmax
+	huff    *huffman      // Huffman coding when Cfg.HS is set
+	sampler *aliasSampler // unigram alias table, kept for warm-start reuse
+	Cfg     Config
 
 	// Pairs is the number of (center, context) positive pairs the final
 	// training pass processed per epoch; Table 3 reports its total.
 	Pairs int64
+
+	// Perm maps the caller's id space (the corpus interner's) to
+	// vocabulary rows, -1 for dropped ids. Recorded by the TrainEncoded
+	// entry points so the next generation can warm-start through a pure
+	// integer composition (WarmSeed.PrevPerm); nil on the string path and
+	// on models loaded from disk — Save does not persist it.
+	Perm []int32
+
+	// Warm reports what warm seeding did when this model was trained from
+	// a WarmSeed; nil for cold trains.
+	Warm *WarmStats
 }
 
 // Checkpoint is the complete training state after a number of whole
@@ -108,6 +120,16 @@ type TrainOptions struct {
 	// epochs instead of from scratch. The vocabulary and config must match
 	// what the checkpoint was taken with.
 	Resume *Checkpoint
+	// Warm, when non-nil, seeds the new model from a previous generation
+	// and shrinks the epoch budget to the window delta. Mutually exclusive
+	// with Resume. Failures are tagged ErrWarmSeed so callers can fall
+	// back to a cold train.
+	Warm *WarmSeed
+
+	// warmOldOf is the precomputed new-row → previous-row mapping the
+	// encoded entry points derive by composing id permutations; nil means
+	// warmSeedModel falls back to word-string matching.
+	warmOldOf []int32
 }
 
 // Train builds the vocabulary from sentences and trains a model. Sentences
@@ -164,8 +186,12 @@ func trainPrepared(vocab *Vocabulary, enc [][]int32, totalTokens int64, cfg Conf
 	} else {
 		m.syn1 = make([]float32, n)
 	}
+	runEpochs := cfg.Epochs
 	startEpoch := 0
 	if ck := opts.Resume; ck != nil {
+		if opts.Warm != nil {
+			return nil, fmt.Errorf("%w: cannot combine a warm seed with checkpoint resume", ErrWarmSeed)
+		}
 		if err := checkResume(ck, vocab, cfg); err != nil {
 			return nil, err
 		}
@@ -173,6 +199,13 @@ func trainPrepared(vocab *Vocabulary, enc [][]int32, totalTokens int64, cfg Conf
 		copy(m.syn1, ck.Model.syn1)
 		copy(m.synHS, ck.Model.synHS)
 		startEpoch = ck.Epoch
+	} else if ws := opts.Warm; ws != nil {
+		st, err := warmSeedModel(m, ws, opts.warmOldOf)
+		if err != nil {
+			return nil, err
+		}
+		m.Warm = st
+		runEpochs = st.Epochs
 	} else {
 		r := netutil.NewRand(cfg.Seed)
 		for i := range m.Syn0 {
@@ -184,7 +217,13 @@ func trainPrepared(vocab *Vocabulary, enc [][]int32, totalTokens int64, cfg Conf
 		return nil, errors.New("w2v: no in-vocabulary tokens")
 	}
 
-	sampler := newAliasSampler(vocab.counts, 0.75)
+	var sampler *aliasSampler
+	if m.Warm != nil && m.Warm.SamplerReused {
+		sampler = opts.Warm.Prev.sampler
+	} else {
+		sampler = newAliasSampler(vocab.counts, 0.75)
+	}
+	m.sampler = sampler
 	padID := int32(-1)
 	if cfg.PadToken != "" {
 		if id, ok := vocab.ID(cfg.PadToken); ok {
@@ -214,7 +253,7 @@ func trainPrepared(vocab *Vocabulary, enc [][]int32, totalTokens int64, cfg Conf
 		sampler: sampler,
 		padID:   padID,
 		keep:    keep,
-		total:   totalTokens * int64(cfg.Epochs),
+		total:   totalTokens * int64(runEpochs),
 	}
 	if ck := opts.Resume; ck != nil {
 		t.processed.Store(ck.Processed)
@@ -240,7 +279,7 @@ func trainPrepared(vocab *Vocabulary, enc [][]int32, totalTokens int64, cfg Conf
 	// once up front instead of reallocating every epoch. Workers=1 keeps
 	// the unsharded path (and its byte-identical output).
 	shards := buildShards(enc, workers)
-	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
+	for epoch := startEpoch; epoch < runEpochs; epoch++ {
 		if workers == 1 {
 			t.run(enc, netutil.NewRand(cfg.Seed+uint64(epoch)*0x9e37+1))
 		} else {
@@ -259,7 +298,11 @@ func trainPrepared(vocab *Vocabulary, enc [][]int32, totalTokens int64, cfg Conf
 			}
 		}
 	}
-	m.Pairs = t.pairs.Load() / int64(cfg.Epochs)
+	// A warm start on an identical window runs zero epochs; the model is
+	// then exactly the seed and there are no pairs to average.
+	if runEpochs > 0 {
+		m.Pairs = t.pairs.Load() / int64(runEpochs)
+	}
 	return m, nil
 }
 
